@@ -1,0 +1,290 @@
+// Package repro_test holds the benchmark harness that regenerates the
+// paper's evaluation (DATE'05, "Fast and Accurate Transaction Level
+// Modeling of an Extended AMBA2.0 Bus Architecture"):
+//
+//   - BenchmarkTable1Accuracy   — Table 1 (TL vs RTL cycle counts per
+//     traffic scenario; reported as diff_pct per scenario)
+//   - BenchmarkRTLSimulation    — the 0.47 Kcycles/s baseline analog
+//   - BenchmarkTLMSimulation    — the 166 Kcycles/s TL analog (353x)
+//   - BenchmarkTLMSingleMaster  — the 456 Kcycles/s one-master analog
+//   - BenchmarkThreadedTLM      — the method-vs-thread modeling choice
+//   - BenchmarkAblation*        — the design-choice ablations of
+//     DESIGN.md (write buffer, pipelining, BI, filter set)
+//
+// Each speed benchmark reports Kcycles/sec as a custom metric so the
+// paper's table can be read directly from the benchmark output.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// reportKCycles attaches the paper's speed metric to a benchmark.
+func reportKCycles(b *testing.B, res core.RunResult) {
+	b.Helper()
+	if !res.Completed {
+		b.Fatalf("run did not complete (%d cycles)", res.Cycles)
+	}
+	b.ReportMetric(res.KCyclesPerSec(), "Kcycles/sec")
+	b.ReportMetric(float64(res.Cycles), "cycles")
+}
+
+// BenchmarkTable1Accuracy reruns every Table 1 scenario through both
+// models and reports the cycle-count difference per scenario. The
+// paper's claim: average difference below 3%.
+func BenchmarkTable1Accuracy(b *testing.B) {
+	for _, w := range core.Table1Scenarios() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var row core.AccuracyRow
+			for i := 0; i < b.N; i++ {
+				row = core.Compare(w)
+			}
+			if !row.Completed {
+				b.Fatal("comparison incomplete")
+			}
+			b.ReportMetric(row.ErrPct, "diff_pct")
+			b.ReportMetric(float64(row.RTLCycles), "rtl_cycles")
+			b.ReportMetric(float64(row.TLMCycles), "tl_cycles")
+		})
+	}
+}
+
+// BenchmarkRTLSimulation times the pin-accurate model on the speed
+// workload: the analog of the paper's 0.47 Kcycles/s RTL row.
+func BenchmarkRTLSimulation(b *testing.B) {
+	multi, _ := core.SpeedWorkloads(1000)
+	var res core.RunResult
+	for i := 0; i < b.N; i++ {
+		res = core.Run(multi, core.RTL, core.Options{})
+	}
+	reportKCycles(b, res)
+}
+
+// BenchmarkTLMSimulation times the TLM on the identical workload: the
+// analog of the paper's 166 Kcycles/s TL row (353x over RTL).
+func BenchmarkTLMSimulation(b *testing.B) {
+	multi, _ := core.SpeedWorkloads(1000)
+	var res core.RunResult
+	for i := 0; i < b.N; i++ {
+		res = core.Run(multi, core.TLM, core.Options{})
+	}
+	reportKCycles(b, res)
+}
+
+// BenchmarkTLMSingleMaster times the one-master TL configuration the
+// paper uses for "pure bus performance" (456 Kcycles/s analog).
+func BenchmarkTLMSingleMaster(b *testing.B) {
+	_, single := core.SpeedWorkloads(1000)
+	var res core.RunResult
+	for i := 0; i < b.N; i++ {
+		res = core.Run(single, core.TLM, core.Options{})
+	}
+	reportKCycles(b, res)
+}
+
+// BenchmarkThreadedTLM reruns the TLM speed workload with every master
+// generator behind a goroutine rendezvous — the thread-based modeling
+// style the paper rejected for speed (§4). Compare with
+// BenchmarkTLMSimulation to reproduce the method-vs-thread gap.
+func BenchmarkThreadedTLM(b *testing.B) {
+	multi, _ := core.SpeedWorkloads(1000)
+	plain := multi.Gens
+	multi.Gens = func() []traffic.Generator {
+		gens := plain()
+		for i, g := range gens {
+			gens[i] = traffic.NewThreaded(g)
+		}
+		return gens
+	}
+	var res core.RunResult
+	for i := 0; i < b.N; i++ {
+		res = core.Run(multi, core.TLM, core.Options{})
+	}
+	reportKCycles(b, res)
+}
+
+// BenchmarkAHBPlusVsPlainAHB runs the same RT-stream-plus-bulk workload
+// on the full AHB+ platform and on a plain AMBA2.0 AHB configuration
+// (no write buffer, no pipelining, no BI, round-robin arbitration).
+// This is the paper's §2 motivation made measurable: AMBA2.0 "cannot
+// guarantee master's QoS"; AHB+ bounds the RT master's latency.
+func BenchmarkAHBPlusVsPlainAHB(b *testing.B) {
+	mkGens := func() []traffic.Generator {
+		return []traffic.Generator{
+			&traffic.Stream{Base: 0x100000, Beats: 4, Period: 40, Count: 200},
+			&traffic.Sequential{Base: 0x000000, Beats: 16, Count: 400},
+			&traffic.Sequential{Base: 0x080000, Beats: 16, Count: 400, WriteEvery: 2},
+		}
+	}
+	for _, plus := range []bool{true, false} {
+		plus := plus
+		name := "ahb+"
+		if !plus {
+			name = "plain-ahb"
+		}
+		b.Run(name, func(b *testing.B) {
+			var p config.Params
+			if plus {
+				p = config.Default(3)
+			} else {
+				p = config.PlainAHB(3)
+			}
+			p.Masters[0].RealTime = plus // plain AHB has no QoS registers
+			if plus {
+				p.Masters[0].QoSObjective = 80
+			}
+			w := core.Workload{Name: name, Params: p, Gens: mkGens}
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(float64(res.Stats.Masters[0].LatencyMax), "rtMaxLat_cycles")
+			b.ReportMetric(res.Stats.ThroughputBytesPerKCycle(), "bytes_per_kcycle")
+		})
+	}
+}
+
+// BenchmarkAblationWriteBuffer sweeps write-buffer depth on the
+// saturating write-heavy workload (ablation A1). The metric to watch
+// is the write master's mean latency.
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	for _, depth := range core.AblationWriteBufferDepths() {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			w := core.SaturatingWorkload(depth, 300)
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(res.Stats.Masters[1].MeanLatency(), "writeLat_cycles")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPipelining compares request pipelining on/off on a
+// saturating workload (ablation A2); total cycles is the metric.
+func BenchmarkAblationPipelining(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		b.Run(fmt.Sprintf("pipelining=%v", on), func(b *testing.B) {
+			w := core.SaturatingWorkload(8, 300)
+			w.Params.Pipelining = on
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBankInterleaving compares BI on/off on the
+// row-thrashing dual-bank workload (ablation A3).
+func BenchmarkAblationBankInterleaving(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		b.Run(fmt.Sprintf("bi=%v", on), func(b *testing.B) {
+			w := core.InterleavingWorkload(on, 300)
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(100*res.Stats.DDR.HitRate(), "rowhit_pct")
+		})
+	}
+}
+
+// BenchmarkAblationPagePolicy compares the DDRC's open-page and
+// closed-page row policies on a row-thrashing workload with think time
+// (ablation A6): closed page hides precharges in the idle gaps.
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	for _, closed := range []bool{false, true} {
+		closed := closed
+		name := "open-page"
+		if closed {
+			name = "closed-page"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := core.PagePolicyWorkload(closed, 300)
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBusWidth compares 32-bit and 64-bit bus widths on a
+// streaming workload (ablation A7, the §3.7 bus-width parameter).
+func BenchmarkAblationBusWidth(b *testing.B) {
+	for _, width := range []int{4, 8} {
+		width := width
+		b.Run(fmt.Sprintf("bus=%dbit", width*8), func(b *testing.B) {
+			w := core.BusWidthWorkload(width, 300)
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(res.Stats.ThroughputBytesPerKCycle(), "bytes_per_kcycle")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationFilters compares the full seven-filter AHB+
+// arbitration against bare round-robin (ablation A4); the RT master's
+// worst-case latency is the metric the QoS machinery exists to bound.
+func BenchmarkAblationFilters(b *testing.B) {
+	for _, full := range []bool{true, false} {
+		full := full
+		name := "all-seven"
+		if !full {
+			name = "round-robin"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := core.AblationWorkload(8, 300)
+			if !full {
+				w.Params.Filters.Urgency = false
+				w.Params.Filters.RealTime = false
+				w.Params.Filters.Bandwidth = false
+				w.Params.Filters.BankAffinity = false
+			}
+			var res core.RunResult
+			for i := 0; i < b.N; i++ {
+				res = core.Run(w, core.TLM, core.Options{})
+			}
+			if !res.Completed {
+				b.Fatal("incomplete")
+			}
+			b.ReportMetric(float64(res.Stats.Masters[2].LatencyMax), "rtMaxLat_cycles")
+			b.ReportMetric(float64(res.Stats.TotalViolations()), "qos_violations")
+		})
+	}
+}

@@ -1,0 +1,30 @@
+// Command ahbsim runs the AHB+ transaction-level model on a selectable
+// workload and prints the bus profile (utilization, contention,
+// throughput, per-master latency) plus optional transaction traces.
+//
+// Usage:
+//
+//	ahbsim [-workload seq|rand|burst|stream|mixed] [-masters N]
+//	       [-txns N] [-wb depth] [-pipelining] [-bi] [-trace N]
+//	       [-config file.json] [-model tl|rtl]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+func main() {
+	f := cli.Register(flag.CommandLine)
+	model := flag.String("model", "tl", "abstraction level: tl|rtl")
+	flag.Parse()
+
+	m := core.TLM
+	if *model == "rtl" {
+		m = core.RTL
+	}
+	os.Exit(cli.Execute(f, m, os.Stdout))
+}

@@ -1,0 +1,27 @@
+// Command rtlsim runs the pin-accurate AHB+ model — the baseline the
+// TLM is validated against — on the same workload families as ahbsim,
+// printing the identical profile so the two abstraction levels are
+// directly comparable:
+//
+//	rtlsim -workload seq -txns 500
+//	ahbsim -workload seq -txns 500   # same cycle counts, much faster
+//
+// Usage:
+//
+//	rtlsim [-workload seq|rand|burst|stream|mixed] [-masters N]
+//	       [-txns N] [-wb depth] [-trace N] [-config file.json]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+func main() {
+	f := cli.Register(flag.CommandLine)
+	flag.Parse()
+	os.Exit(cli.Execute(f, core.RTL, os.Stdout))
+}

@@ -1,0 +1,59 @@
+// Command speed regenerates the paper's simulation-speed experiment
+// (§4): the same workload is timed on the pin-accurate model and the
+// TLM, and a single-master workload is timed on the TLM ("pure bus
+// performance"). The paper reports 0.47 Kcycles/s (RTL), 166 Kcycles/s
+// (TL multi-master, 353x) and 456 Kcycles/s (TL single-master).
+// Absolute numbers depend on the host and on how abstract the baseline
+// is; the shape to check is TL >> RTL and single-master > multi-master.
+//
+// Usage:
+//
+//	speed [-txns N] [-repeat N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	txns := flag.Int("txns", 3000, "transactions per master")
+	repeat := flag.Int("repeat", 3, "repetitions (best run reported)")
+	flag.Parse()
+
+	multi, single := core.SpeedWorkloads(*txns)
+	best := core.MeasureSpeed(multi, single)
+	for i := 1; i < *repeat; i++ {
+		sc := core.MeasureSpeed(multi, single)
+		if sc.TLM.Wall < best.TLM.Wall {
+			best.TLM = sc.TLM
+		}
+		if sc.RTL.Wall < best.RTL.Wall {
+			best.RTL = sc.RTL
+		}
+		if sc.SingleTLM.Wall < best.SingleTLM.Wall {
+			best.SingleTLM = sc.SingleTLM
+		}
+	}
+	if r := best.RTL.KCyclesPerSec(); r > 0 {
+		best.Speedup = best.TLM.KCyclesPerSec() / r
+	}
+
+	fmt.Println("Simulation speed experiment (paper §4)")
+	fmt.Println()
+	core.WriteSpeedReport(os.Stdout, best)
+	fmt.Println()
+	switch {
+	case best.Speedup < 2:
+		fmt.Println("shape check FAILED: TL not meaningfully faster than the pin-accurate model")
+		os.Exit(1)
+	case best.SingleTLM.KCyclesPerSec() <= best.TLM.KCyclesPerSec():
+		fmt.Println("shape check FAILED: single-master TL not faster than multi-master TL")
+		os.Exit(1)
+	default:
+		fmt.Println("shape check passed: TL >> pin-accurate, single-master TL fastest (paper: 353x / 166 vs 456 Kcycles/s)")
+	}
+}

@@ -1,0 +1,141 @@
+// Command sweep runs the ablation experiments of DESIGN.md: write
+// buffer depth (A1), request pipelining (A2), BI/bank interleaving
+// (A3), and the arbitration filter set (A4). Each sweep prints the
+// metric the feature exists to move.
+//
+// Usage:
+//
+//	sweep [-which wb|pipelining|bi|filters|all] [-txns N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func runTLM(w core.Workload) core.RunResult {
+	res := core.Run(w, core.TLM, core.Options{})
+	if !res.Completed {
+		fmt.Fprintf(os.Stderr, "sweep: %s did not complete\n", w.Name)
+		os.Exit(1)
+	}
+	return res
+}
+
+func sweepWB(txns int) {
+	fmt.Println("A1: write-buffer depth sweep (saturating write-heavy 3-master workload)")
+	fmt.Printf("%8s %10s %12s %12s %14s %12s\n", "depth", "cycles", "meanLat(m0)", "meanLat(m1)", "util%", "fullStalls")
+	for _, d := range core.AblationWriteBufferDepths() {
+		res := runTLM(core.SaturatingWorkload(d, txns))
+		fmt.Printf("%8d %10d %12.1f %12.1f %14.1f %12d\n",
+			d, uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
+			res.Stats.Masters[1].MeanLatency(),
+			100*res.Stats.Utilization(), res.Stats.WBFullStalls)
+	}
+	fmt.Println()
+}
+
+func sweepPipelining(txns int) {
+	fmt.Println("A2: request pipelining on/off (saturating 3-master workload)")
+	fmt.Printf("%12s %10s %14s\n", "pipelining", "cycles", "util%")
+	for _, on := range []bool{true, false} {
+		w := core.SaturatingWorkload(8, txns)
+		w.Params.Pipelining = on
+		res := runTLM(w)
+		fmt.Printf("%12v %10d %14.1f\n", on, uint64(res.Cycles), 100*res.Stats.Utilization())
+	}
+	fmt.Println()
+}
+
+func sweepBI(txns int) {
+	fmt.Println("A3: BI / bank interleaving on/off (bank-striped streams)")
+	fmt.Printf("%6s %10s %12s %12s %12s\n", "BI", "cycles", "rowHit%", "hintActs", "util%")
+	for _, on := range []bool{true, false} {
+		res := runTLM(core.InterleavingWorkload(on, txns))
+		fmt.Printf("%6v %10d %12.1f %12d %12.1f\n",
+			on, uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
+			res.Stats.DDR.HintActivates, 100*res.Stats.Utilization())
+	}
+	fmt.Println()
+}
+
+func sweepFilters(txns int) {
+	fmt.Println("A4: arbitration filters — full AHB+ set vs round-robin only (RT master m2)")
+	fmt.Printf("%12s %10s %14s %14s %12s\n", "filters", "cycles", "maxLat(RT)", "QoSviolations", "util%")
+	for _, full := range []bool{true, false} {
+		w := core.AblationWorkload(8, txns)
+		if !full {
+			w.Params.Filters.Urgency = false
+			w.Params.Filters.RealTime = false
+			w.Params.Filters.Bandwidth = false
+			w.Params.Filters.BankAffinity = false
+		}
+		res := runTLM(w)
+		label := "all-seven"
+		if !full {
+			label = "rr-only"
+		}
+		fmt.Printf("%12s %10d %14d %14d %12.1f\n",
+			label, uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
+			res.Stats.TotalViolations(), 100*res.Stats.Utilization())
+	}
+	fmt.Println()
+}
+
+func sweepPagePolicy(txns int) {
+	fmt.Println("A6: DDRC page policy (row-thrashing single master with think time)")
+	fmt.Printf("%14s %10s %12s\n", "policy", "cycles", "rowHit%")
+	for _, closed := range []bool{false, true} {
+		res := runTLM(core.PagePolicyWorkload(closed, txns))
+		name := "open-page"
+		if closed {
+			name = "closed-page"
+		}
+		fmt.Printf("%14s %10d %12.1f\n", name, uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
+	}
+	fmt.Println()
+}
+
+func sweepBusWidth(txns int) {
+	fmt.Println("A7: bus width (streaming DMA pair)")
+	fmt.Printf("%8s %10s %16s\n", "width", "cycles", "bytes/kcycle")
+	for _, width := range []int{4, 8} {
+		res := runTLM(core.BusWidthWorkload(width, txns))
+		fmt.Printf("%6db %10d %16.1f\n", width*8, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
+	}
+	fmt.Println()
+}
+
+func main() {
+	which := flag.String("which", "all", "sweep to run: wb|pipelining|bi|filters|pagepolicy|buswidth|all")
+	txns := flag.Int("txns", 500, "transactions per master")
+	flag.Parse()
+
+	switch *which {
+	case "wb":
+		sweepWB(*txns)
+	case "pipelining":
+		sweepPipelining(*txns)
+	case "bi":
+		sweepBI(*txns)
+	case "filters":
+		sweepFilters(*txns)
+	case "pagepolicy":
+		sweepPagePolicy(*txns)
+	case "buswidth":
+		sweepBusWidth(*txns)
+	case "all":
+		sweepWB(*txns)
+		sweepPipelining(*txns)
+		sweepBI(*txns)
+		sweepFilters(*txns)
+		sweepPagePolicy(*txns)
+		sweepBusWidth(*txns)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,69 @@
+// QoS streaming: a real-time video stream competing with two bulk DMA
+// masters. Run once with the full AHB+ arbitration filter set and once
+// with plain round-robin, and compare the stream's worst-case latency
+// and QoS violations — the effect the AHB+ QoS registers and the
+// urgency/real-time filters exist to produce (paper §2).
+//
+//	go run ./examples/qos_streaming
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func buildWorkload(fullFilters bool) core.Workload {
+	p := config.Default(3)
+	p.Masters[0].Name = "video"
+	p.Masters[0].RealTime = true
+	p.Masters[0].QoSObjective = 80 // cycles from request to first data
+	p.Masters[1].Name = "dma0"
+	p.Masters[2].Name = "dma1"
+	if !fullFilters {
+		// Strip the QoS machinery: plain AMBA2.0-style arbitration.
+		p.Filters.Urgency = false
+		p.Filters.RealTime = false
+		p.Filters.Bandwidth = false
+	}
+	return core.Workload{
+		Name:   "qos-streaming",
+		Params: p,
+		Gens: func() []traffic.Generator {
+			return []traffic.Generator{
+				// 4-beat slice every 40 cycles: a hard-deadline stream.
+				&traffic.Stream{Base: 0x100000, Beats: 4, Period: 40, Count: 400},
+				// Two saturating 16-beat DMA readers.
+				&traffic.Sequential{Base: 0x000000, Beats: 16, Count: 800},
+				&traffic.Sequential{Base: 0x080000, Beats: 16, Count: 800, WriteEvery: 2},
+			}
+		},
+	}
+}
+
+func main() {
+	fmt.Println("real-time stream vs bulk DMA: AHB+ filters vs plain round-robin")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s %12s %14s\n",
+		"arbitration", "meanLat", "maxLat", "violations", "totalCycles")
+	for _, full := range []bool{true, false} {
+		res := core.Run(buildWorkload(full), core.TLM, core.Options{})
+		if !res.Completed {
+			panic("run did not complete")
+		}
+		name := "ahb+ (7)"
+		if !full {
+			name = "round-robin"
+		}
+		video := res.Stats.Masters[0]
+		fmt.Printf("%-12s %12.1f %12d %12d %14d\n",
+			name, video.MeanLatency(), uint64(video.LatencyMax),
+			video.QoSViolations, uint64(res.Cycles))
+	}
+	fmt.Println()
+	fmt.Println("with the AHB+ urgency/real-time filters the stream's worst-case")
+	fmt.Println("latency stays near its objective; with round-robin it is at the")
+	fmt.Println("mercy of the 16-beat DMA bursts ahead of it.")
+}

@@ -1,0 +1,38 @@
+// Write-buffer study: sweep the AHB+ write-buffer depth under a
+// write-heavy workload and watch the tradeoff the paper's design
+// embodies — posted writes complete at bus speed (master-perceived
+// write latency collapses), while the buffer drains as a pseudo-master
+// whenever arbitration lets it (paper §3.3).
+//
+//	go run ./examples/writebuffer_study
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("write buffer depth sweep (saturating write-heavy workload)")
+	fmt.Println()
+	fmt.Printf("%6s %10s %14s %14s %12s %12s %10s\n",
+		"depth", "cycles", "writeLat(m1)", "readLat(m0)", "posted", "fullStalls", "wbPeak")
+	for _, depth := range core.AblationWriteBufferDepths() {
+		res := core.Run(core.SaturatingWorkload(depth, 400), core.TLM, core.Options{})
+		if !res.Completed {
+			panic("run did not complete")
+		}
+		st := res.Stats
+		fmt.Printf("%6d %10d %14.1f %14.1f %12d %12d %10d\n",
+			depth, uint64(res.Cycles),
+			st.Masters[1].MeanLatency(), // all-writes master
+			st.Masters[0].MeanLatency(), // all-reads master
+			st.WBPosted, st.WBFullStalls, st.WBPeak)
+	}
+	fmt.Println()
+	fmt.Println("depth 0 sends every write through the full DDR path; any nonzero")
+	fmt.Println("depth lets writes post at bus speed. Under saturation the drain")
+	fmt.Println("traffic costs total cycles — the win is the master-perceived write")
+	fmt.Println("latency, which is what stalls a CPU or a producer IP.")
+}

@@ -1,0 +1,82 @@
+package amba
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Txn is one bus transaction: the unit the AHB+ TLM arbitrates and
+// times, and the unit the pin-accurate model decomposes into per-cycle
+// signal activity. A Txn with Beats > 1 is a burst.
+type Txn struct {
+	// Master is the index of the issuing master port. The write buffer
+	// pseudo-master uses the dedicated index assigned by the bus.
+	Master int
+	// Addr is the address of the first beat.
+	Addr Addr
+	// Write is true for a write transfer.
+	Write bool
+	// Burst is the AHB burst kind.
+	Burst Burst
+	// Size is the per-beat transfer size.
+	Size Size
+	// Beats is the burst length in beats. For fixed burst kinds it must
+	// match Burst.Beats(); for BurstIncr it is free.
+	Beats int
+	// Data holds the write payload (len Beats*Size.Bytes()) or receives
+	// the read payload. Nil is allowed for timing-only simulation.
+	Data []byte
+	// Issue is the cycle at which the master first requested the bus
+	// for this transaction.
+	Issue sim.Cycle
+	// ID is a simulation-unique transaction number assigned by the bus.
+	ID uint64
+}
+
+// Validate checks protocol legality: burst length consistency, 1KB
+// boundary rule for incrementing bursts, and address alignment to the
+// transfer size.
+func (t *Txn) Validate() error {
+	if t.Beats <= 0 {
+		return fmt.Errorf("amba: txn has %d beats", t.Beats)
+	}
+	if fb := t.Burst.Beats(); fb != 0 && fb != t.Beats {
+		return fmt.Errorf("amba: burst %v requires %d beats, txn has %d", t.Burst, fb, t.Beats)
+	}
+	if t.Burst == BurstIncr && t.Beats > 16 {
+		return fmt.Errorf("amba: INCR burst of %d beats exceeds modeling limit 16", t.Beats)
+	}
+	step := Addr(t.Size.Bytes())
+	if t.Addr%step != 0 {
+		return fmt.Errorf("amba: address %#x not aligned to %v", t.Addr, t.Size)
+	}
+	if !t.Burst.Wrapping() && CrossesBoundary(t.Addr, t.Size, t.Beats, KB) {
+		return fmt.Errorf("amba: burst at %#x (%d beats of %v) crosses 1KB boundary", t.Addr, t.Beats, t.Size)
+	}
+	if t.Data != nil && len(t.Data) != t.Beats*t.Size.Bytes() {
+		return fmt.Errorf("amba: data length %d, want %d", len(t.Data), t.Beats*t.Size.Bytes())
+	}
+	return nil
+}
+
+// BeatAddr returns the address of beat i of this transaction.
+func (t *Txn) BeatAddr(i int) Addr {
+	return BeatAddr(t.Addr, t.Burst, t.Size, i)
+}
+
+// Bytes returns the total payload size in bytes.
+func (t *Txn) Bytes() int { return t.Beats * t.Size.Bytes() }
+
+// Dir returns "W" for writes and "R" for reads, for compact traces.
+func (t *Txn) Dir() string {
+	if t.Write {
+		return "W"
+	}
+	return "R"
+}
+
+// String implements fmt.Stringer.
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn#%d m%d %s %#08x %v x%d", t.ID, t.Master, t.Dir(), t.Addr, t.Burst, t.Beats)
+}

@@ -1,0 +1,217 @@
+// Package arb implements the AHB+ arbitration scheme: seven arbitration
+// filters, always activated regardless of master/slave combination
+// (paper §3.3), applied as a narrowing pipeline over the set of pending
+// requests. The same pipeline object drives both the pin-accurate model
+// and the TLM, so the two abstraction levels implement the identical
+// policy by construction.
+//
+// Filter order (first to last):
+//
+//  1. permission    — drop requests the DDRC cannot accept (BI veto)
+//  2. urgency       — requests whose QoS slack is nearly exhausted win
+//  3. realtime      — RT masters beat NRT masters
+//  4. bandwidth     — masters below their reserved share beat the rest
+//  5. bank-affinity — open-row, then idle-bank targets preferred (BI)
+//  6. write-buffer  — the write-buffer pseudo-master is boosted when
+//     nearly full and suppressed when nearly empty
+//  7. round-robin   — final single-winner tie-break, fair rotation
+//
+// Only the permission filter may veto every candidate (no grant this
+// round); any other filter that would empty the candidate set is
+// ignored for that round, which keeps the pipeline deadlock-free.
+package arb
+
+import (
+	"fmt"
+
+	"repro/internal/bi"
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// Request is one pending bus request as seen by the arbiter.
+type Request struct {
+	// Master is the requesting port index. The write-buffer
+	// pseudo-master participates with its own index.
+	Master int
+	// Addr is the first-beat address.
+	Addr uint32
+	// Write is the transfer direction.
+	Write bool
+	// Beats is the burst length.
+	Beats int
+	// Since is the cycle the request was first asserted.
+	Since sim.Cycle
+	// IsWriteBuf marks the write-buffer pseudo-master's drain request.
+	IsWriteBuf bool
+}
+
+// Context is everything the filter pipeline may observe for one
+// arbitration round.
+type Context struct {
+	// Now is the arbitration cycle.
+	Now sim.Cycle
+	// Reqs are the pending requests; filters operate on indices into it.
+	Reqs []Request
+	// QoS returns the QoS register of a master.
+	QoS func(master int) qos.Reg
+	// Status returns the BI bank status for an address (nil means no BI).
+	Status func(addr uint32) bi.BankStatus
+	// WBUsed and WBCap describe write-buffer occupancy.
+	WBUsed, WBCap int
+	// ServedBeats is the per-master count of data beats served within
+	// the current bandwidth accounting window.
+	ServedBeats func(master int) uint64
+	// TotalBeats is the total beats served in the window.
+	TotalBeats uint64
+	// LastGrant is the master granted in the previous round (-1 if
+	// none); the round-robin filter rotates from it.
+	LastGrant int
+	// UrgencyThreshold is the slack (cycles) below which a request is
+	// treated as urgent.
+	UrgencyThreshold sim.Cycle
+}
+
+// Filter narrows a candidate set. It must be deterministic and must not
+// mutate the context.
+type Filter interface {
+	// Name identifies the filter in stats and config.
+	Name() string
+	// Apply returns the surviving subset of cands (indices into
+	// ctx.Reqs), preserving order.
+	Apply(ctx *Context, cands []int) []int
+	// CanVeto reports whether an empty result is meaningful (grant
+	// nobody) rather than an over-narrowing to be ignored.
+	CanVeto() bool
+}
+
+// Stats counts, per filter, how many rounds it ran and in how many it
+// strictly narrowed the candidate set (was "decisive").
+type Stats struct {
+	Rounds   uint64
+	Decisive map[string]uint64
+	Vetoed   uint64
+	Grants   uint64
+}
+
+// Pipeline applies an ordered list of filters and picks the winner.
+type Pipeline struct {
+	filters []Filter
+	stats   Stats
+	buf     []int // reused candidate scratch
+}
+
+// NewPipeline returns a pipeline over the given filters in order.
+func NewPipeline(filters ...Filter) *Pipeline {
+	return &Pipeline{filters: filters, stats: Stats{Decisive: make(map[string]uint64)}}
+}
+
+// Default returns the full seven-filter AHB+ pipeline. Individual
+// filters can be disabled through config by building a custom pipeline;
+// see DefaultWith.
+func Default() *Pipeline {
+	return NewPipeline(
+		Permission{}, Urgency{}, RealTime{}, Bandwidth{},
+		BankAffinity{}, WriteBufferGate{}, RoundRobin{},
+	)
+}
+
+// Enabled describes which of the seven filters are active; the
+// round-robin tie-break is always present so arbitration stays
+// deterministic.
+type Enabled struct {
+	Permission   bool
+	Urgency      bool
+	RealTime     bool
+	Bandwidth    bool
+	BankAffinity bool
+	WriteBuffer  bool
+}
+
+// AllEnabled returns the paper configuration: every filter on.
+func AllEnabled() Enabled {
+	return Enabled{true, true, true, true, true, true}
+}
+
+// DefaultWith builds the pipeline with the selected filters (round-robin
+// always last).
+func DefaultWith(e Enabled) *Pipeline {
+	var fs []Filter
+	if e.Permission {
+		fs = append(fs, Permission{})
+	}
+	if e.Urgency {
+		fs = append(fs, Urgency{})
+	}
+	if e.RealTime {
+		fs = append(fs, RealTime{})
+	}
+	if e.Bandwidth {
+		fs = append(fs, Bandwidth{})
+	}
+	if e.BankAffinity {
+		fs = append(fs, BankAffinity{})
+	}
+	if e.WriteBuffer {
+		fs = append(fs, WriteBufferGate{})
+	}
+	fs = append(fs, RoundRobin{})
+	return NewPipeline(fs...)
+}
+
+// Filters returns the names of the filters in pipeline order.
+func (p *Pipeline) Filters() []string {
+	out := make([]string, len(p.filters))
+	for i, f := range p.filters {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// Stats returns a copy of the pipeline statistics.
+func (p *Pipeline) Stats() Stats {
+	c := p.stats
+	c.Decisive = make(map[string]uint64, len(p.stats.Decisive))
+	for k, v := range p.stats.Decisive {
+		c.Decisive[k] = v
+	}
+	return c
+}
+
+// Select runs the pipeline over ctx.Reqs and returns the index (into
+// ctx.Reqs) of the winner, or ok=false when no request may be granted
+// this round (permission veto or no requests at all).
+func (p *Pipeline) Select(ctx *Context) (winner int, ok bool) {
+	if len(ctx.Reqs) == 0 {
+		return 0, false
+	}
+	p.stats.Rounds++
+	if cap(p.buf) < len(ctx.Reqs) {
+		p.buf = make([]int, len(ctx.Reqs))
+	}
+	cands := p.buf[:len(ctx.Reqs)]
+	for i := range cands {
+		cands[i] = i
+	}
+	for _, f := range p.filters {
+		next := f.Apply(ctx, cands)
+		if len(next) == 0 {
+			if f.CanVeto() {
+				p.stats.Vetoed++
+				return 0, false
+			}
+			continue // over-narrowed: ignore this filter's result
+		}
+		if len(next) < len(cands) {
+			p.stats.Decisive[f.Name()]++
+		}
+		cands = next
+	}
+	if len(cands) != 1 {
+		// The round-robin stage guarantees a single winner; reaching
+		// here means a filter violated its contract.
+		panic(fmt.Sprintf("arb: pipeline left %d candidates", len(cands)))
+	}
+	p.stats.Grants++
+	return cands[0], true
+}

@@ -1,0 +1,256 @@
+package arb
+
+import (
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// Permission drops candidates whose target the DDRC cannot currently
+// accept (refresh window), as reported over BI. It is the only filter
+// allowed to veto the whole round.
+type Permission struct{}
+
+// Name implements Filter.
+func (Permission) Name() string { return "permission" }
+
+// CanVeto implements Filter.
+func (Permission) CanVeto() bool { return true }
+
+// Apply implements Filter.
+func (Permission) Apply(ctx *Context, cands []int) []int {
+	if ctx.Status == nil {
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		if ctx.Status(ctx.Reqs[i].Addr).Permit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Urgency keeps only the requests whose QoS slack has fallen to or
+// below the urgency threshold, and among those the minimum-slack ones.
+// When nothing is urgent it passes the set through unchanged. This is
+// the filter that converts the QoS objective registers into actual
+// grant decisions before a deadline is lost.
+type Urgency struct{}
+
+// Name implements Filter.
+func (Urgency) Name() string { return "urgency" }
+
+// CanVeto implements Filter.
+func (Urgency) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (Urgency) Apply(ctx *Context, cands []int) []int {
+	if ctx.QoS == nil {
+		return cands
+	}
+	minSlack := sim.CycleMax
+	urgent := false
+	for _, i := range cands {
+		r := ctx.Reqs[i]
+		slack := ctx.QoS(r.Master).Slack(ctx.Now, r.Since)
+		if slack <= ctx.UrgencyThreshold {
+			urgent = true
+			if slack < minSlack {
+				minSlack = slack
+			}
+		}
+	}
+	if !urgent {
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		r := ctx.Reqs[i]
+		if ctx.QoS(r.Master).Slack(ctx.Now, r.Since) == minSlack {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RealTime keeps RT-class masters when at least one is present,
+// otherwise passes through. The write-buffer pseudo-master is treated
+// by its own filter, not here.
+type RealTime struct{}
+
+// Name implements Filter.
+func (RealTime) Name() string { return "realtime" }
+
+// CanVeto implements Filter.
+func (RealTime) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (RealTime) Apply(ctx *Context, cands []int) []int {
+	if ctx.QoS == nil {
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		r := ctx.Reqs[i]
+		if !r.IsWriteBuf && ctx.QoS(r.Master).Class == qos.RT {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		return cands
+	}
+	return out
+}
+
+// Bandwidth keeps masters that are below their reserved bandwidth
+// share within the accounting window; when every candidate has met its
+// reservation (or none has one) it passes through.
+type Bandwidth struct{}
+
+// Name implements Filter.
+func (Bandwidth) Name() string { return "bandwidth" }
+
+// CanVeto implements Filter.
+func (Bandwidth) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (Bandwidth) Apply(ctx *Context, cands []int) []int {
+	if ctx.QoS == nil || ctx.ServedBeats == nil || ctx.TotalBeats == 0 {
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		r := ctx.Reqs[i]
+		quota := ctx.QoS(r.Master).Quota
+		if quota == 0 {
+			continue
+		}
+		share := float64(ctx.ServedBeats(r.Master)) / float64(ctx.TotalBeats)
+		if share < quota {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		return cands
+	}
+	return out
+}
+
+// BankAffinity prefers requests that hit an open DDR row, then requests
+// targeting an idle bank, using the BI idle-bank report. This is the
+// arbitration half of the bank-interleaving scheme: it steers grants so
+// the controller can stream data back-to-back.
+type BankAffinity struct{}
+
+// Name implements Filter.
+func (BankAffinity) Name() string { return "bankaffinity" }
+
+// CanVeto implements Filter.
+func (BankAffinity) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (BankAffinity) Apply(ctx *Context, cands []int) []int {
+	if ctx.Status == nil {
+		return cands
+	}
+	anyHit, anyIdle := false, false
+	for _, i := range cands {
+		st := ctx.Status(ctx.Reqs[i].Addr)
+		if st.RowOpen {
+			anyHit = true
+			break
+		}
+		if st.BankIdle {
+			anyIdle = true
+		}
+	}
+	if !anyHit && !anyIdle {
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		st := ctx.Status(ctx.Reqs[i].Addr)
+		if (anyHit && st.RowOpen) || (!anyHit && st.BankIdle) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteBufferGate manages the write-buffer pseudo-master: when the
+// buffer is nearly full its drain request is boosted above everything
+// else (it must not overflow, or masters stall); when it is nearly
+// empty the drain is suppressed so demand traffic goes first. In the
+// middle band the drain competes like a normal master.
+type WriteBufferGate struct{}
+
+// Name implements Filter.
+func (WriteBufferGate) Name() string { return "writebuffer" }
+
+// CanVeto implements Filter.
+func (WriteBufferGate) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (WriteBufferGate) Apply(ctx *Context, cands []int) []int {
+	if ctx.WBCap == 0 {
+		return cands
+	}
+	nWB := 0
+	for _, i := range cands {
+		if ctx.Reqs[i].IsWriteBuf {
+			nWB++
+		}
+	}
+	if nWB == 0 {
+		return cands
+	}
+	keepWB := false
+	switch {
+	case ctx.WBUsed*4 >= ctx.WBCap*3: // >= 3/4 full: drain now
+		keepWB = true
+	case ctx.WBUsed*4 <= ctx.WBCap && nWB < len(cands): // <= 1/4: defer
+		keepWB = false
+	default:
+		return cands
+	}
+	out := cands[:0:len(cands)]
+	for _, i := range cands {
+		if ctx.Reqs[i].IsWriteBuf == keepWB {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RoundRobin picks exactly one winner, rotating fairly from the last
+// granted master. It is always the final stage.
+type RoundRobin struct{}
+
+// Name implements Filter.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// CanVeto implements Filter.
+func (RoundRobin) CanVeto() bool { return false }
+
+// Apply implements Filter.
+func (RoundRobin) Apply(ctx *Context, cands []int) []int {
+	if len(cands) == 0 {
+		return cands
+	}
+	best := -1
+	bestKey := 1 << 30
+	for _, i := range cands {
+		m := ctx.Reqs[i].Master
+		// Distance of m after LastGrant in circular order; the smallest
+		// positive distance wins, so ownership rotates.
+		key := m - ctx.LastGrant
+		if key <= 0 {
+			key += 1 << 20
+		}
+		if key < bestKey {
+			bestKey = key
+			best = i
+		}
+	}
+	return append(cands[:0], best)
+}

@@ -1,0 +1,142 @@
+// Package bi implements the BI (Bus Interface) side-band protocol of
+// the AHB+ architecture: the dedicated link over which the arbiter
+// sends the memory controller "the next transaction information" ahead
+// of time, and the controller reports idle banks and access permission
+// back — the machinery behind the paper's bank-interleaving throughput
+// feature (§2, §3.4).
+package bi
+
+import (
+	"repro/internal/sim"
+)
+
+// NextTxn is the arbiter→DDRC announcement of an upcoming transaction.
+type NextTxn struct {
+	// Master is the index of the master the arbiter expects to grant.
+	Master int
+	// Addr is the first-beat address of the expected transaction.
+	Addr uint32
+	// Write is the expected direction.
+	Write bool
+	// Beats is the expected burst length.
+	Beats int
+}
+
+// item is a message in flight on the link.
+type item struct {
+	at  sim.Cycle
+	msg NextTxn
+}
+
+// Link is a unidirectional arbiter→DDRC message pipe with a fixed
+// pipeline latency, modeling the registered BI signal stage. Messages
+// become visible to the consumer Latency cycles after they are sent.
+// The zero-latency link delivers in the same cycle.
+type Link struct {
+	// Latency is the pipeline delay in cycles.
+	Latency sim.Cycle
+	// Enabled gates the whole interface; a disabled link drops sends,
+	// modeling the "BI off" ablation configuration.
+	Enabled bool
+
+	q       []item
+	sent    uint64
+	drop    uint64
+	deliver []Delivery // reused result buffer
+}
+
+// NewLink returns an enabled link with the given latency.
+func NewLink(latency sim.Cycle) *Link {
+	return &Link{Latency: latency, Enabled: true}
+}
+
+// Send enqueues msg at cycle now; it becomes deliverable at
+// now+Latency. Sends on a disabled link are counted and dropped.
+func (l *Link) Send(now sim.Cycle, msg NextTxn) {
+	if !l.Enabled {
+		l.drop++
+		return
+	}
+	l.sent++
+	l.q = append(l.q, item{at: now.AddSat(l.Latency), msg: msg})
+}
+
+// Delivery is a message paired with the cycle it arrived at the
+// consumer.
+type Delivery struct {
+	// At is the delivery cycle (send time + link latency).
+	At sim.Cycle
+	// Msg is the delivered announcement.
+	Msg NextTxn
+}
+
+// DeliverUpTo removes and returns, in send order, every message whose
+// delivery time is <= now, with its delivery timestamp. Consumers that
+// poll every cycle observe At == now; event-driven consumers use At to
+// apply the message at its true arrival cycle. The returned slice is
+// reused by the next call: consume it before calling again.
+func (l *Link) DeliverUpTo(now sim.Cycle) []Delivery {
+	n := 0
+	for n < len(l.q) && l.q[n].at <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := l.deliver[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, Delivery{At: l.q[i].at, Msg: l.q[i].msg})
+	}
+	l.deliver = out
+	l.q = append(l.q[:0], l.q[n:]...)
+	return out
+}
+
+// Pending returns the number of undelivered messages.
+func (l *Link) Pending() int { return len(l.q) }
+
+// Sent returns the number of accepted messages.
+func (l *Link) Sent() uint64 { return l.sent }
+
+// Dropped returns the number of messages dropped because the link was
+// disabled.
+func (l *Link) Dropped() uint64 { return l.drop }
+
+// BankStatus is the DDRC→arbiter report consumed by the permission and
+// bank-affinity arbitration filters. It is produced fresh each
+// arbitration round by the controller side (see the Provider interface)
+// rather than queued, because it is level-, not edge-, signaling.
+type BankStatus struct {
+	// Permit is false while the controller cannot accept new work
+	// (refresh window).
+	Permit bool
+	// BankIdle is true when the target bank is idle (cheap to open).
+	BankIdle bool
+	// RowOpen is true when the target row is already open (free access).
+	RowOpen bool
+}
+
+// Provider is the controller-side interface that answers status
+// queries for a candidate address. The DDR engine implements the two
+// underlying queries; this adapter gives the arbiter one typed view and
+// honors the Enabled gate: with BI off the arbiter sees a permissive,
+// information-free status, exactly like a bus with no side-band wiring.
+type Provider struct {
+	Link *Link
+	// PermitFn and InfoFn are wired to the DDR engine.
+	PermitFn func(now sim.Cycle, addr uint32) bool
+	InfoFn   func(now sim.Cycle, addr uint32) (idle, rowOpen bool)
+}
+
+// Status returns the BankStatus for addr at cycle now.
+func (p *Provider) Status(now sim.Cycle, addr uint32) BankStatus {
+	if p.Link == nil || !p.Link.Enabled {
+		return BankStatus{Permit: true}
+	}
+	idle, open := p.InfoFn(now, addr)
+	return BankStatus{
+		Permit:   p.PermitFn(now, addr),
+		BankIdle: idle,
+		RowOpen:  open,
+	}
+}

@@ -1,0 +1,103 @@
+package bi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLinkDeliversAfterLatency(t *testing.T) {
+	l := NewLink(3)
+	l.Send(10, NextTxn{Master: 1, Addr: 0x40})
+	if got := l.DeliverUpTo(12); got != nil {
+		t.Fatalf("delivered %v before latency elapsed", got)
+	}
+	got := l.DeliverUpTo(13)
+	if len(got) != 1 || got[0].Msg.Master != 1 || got[0].Msg.Addr != 0x40 || got[0].At != 13 {
+		t.Fatalf("DeliverUpTo = %v", got)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after delivery", l.Pending())
+	}
+}
+
+func TestLinkPreservesOrder(t *testing.T) {
+	l := NewLink(0)
+	for i := 0; i < 5; i++ {
+		l.Send(sim.Cycle(i), NextTxn{Master: i})
+	}
+	got := l.DeliverUpTo(10)
+	if len(got) != 5 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, m := range got {
+		if m.Msg.Master != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestLinkPartialDelivery(t *testing.T) {
+	l := NewLink(0)
+	l.Send(5, NextTxn{Master: 0})
+	l.Send(10, NextTxn{Master: 1})
+	got := l.DeliverUpTo(7)
+	if len(got) != 1 || got[0].Msg.Master != 0 {
+		t.Fatalf("partial delivery = %v", got)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d", l.Pending())
+	}
+}
+
+func TestDisabledLinkDrops(t *testing.T) {
+	l := NewLink(0)
+	l.Enabled = false
+	l.Send(0, NextTxn{})
+	if l.Pending() != 0 || l.Sent() != 0 || l.Dropped() != 1 {
+		t.Fatalf("disabled link: pending=%d sent=%d dropped=%d", l.Pending(), l.Sent(), l.Dropped())
+	}
+}
+
+func TestProviderStatus(t *testing.T) {
+	l := NewLink(0)
+	p := &Provider{
+		Link:     l,
+		PermitFn: func(now sim.Cycle, addr uint32) bool { return addr != 0xBAD0 },
+		InfoFn: func(now sim.Cycle, addr uint32) (bool, bool) {
+			return addr == 0x1000, addr == 0x2000
+		},
+	}
+	st := p.Status(0, 0x1000)
+	if !st.Permit || !st.BankIdle || st.RowOpen {
+		t.Fatalf("idle-bank status = %+v", st)
+	}
+	st = p.Status(0, 0x2000)
+	if !st.RowOpen || st.BankIdle {
+		t.Fatalf("open-row status = %+v", st)
+	}
+	st = p.Status(0, 0xBAD0)
+	if st.Permit {
+		t.Fatal("permit should be denied")
+	}
+}
+
+func TestProviderDisabledIsPermissive(t *testing.T) {
+	l := NewLink(0)
+	l.Enabled = false
+	p := &Provider{
+		Link:     l,
+		PermitFn: func(sim.Cycle, uint32) bool { return false },
+		InfoFn:   func(sim.Cycle, uint32) (bool, bool) { return true, true },
+	}
+	st := p.Status(0, 0)
+	if !st.Permit || st.BankIdle || st.RowOpen {
+		t.Fatalf("disabled BI should be permissive and information-free, got %+v", st)
+	}
+	// Nil link behaves the same.
+	p.Link = nil
+	st = p.Status(0, 0)
+	if !st.Permit || st.BankIdle {
+		t.Fatalf("nil link status = %+v", st)
+	}
+}

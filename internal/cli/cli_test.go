@@ -1,0 +1,185 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func newFlags(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuildGensFamilies(t *testing.T) {
+	for _, wl := range []string{"seq", "rand", "burst", "stream", "mixed"} {
+		mk, err := BuildGens(wl, 3, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		gens := mk()
+		if len(gens) != 3 {
+			t.Fatalf("%s: %d generators", wl, len(gens))
+		}
+		for i, g := range gens {
+			if _, ok := g.Next(0); !ok {
+				t.Fatalf("%s: generator %d empty", wl, i)
+			}
+		}
+	}
+	if _, err := BuildGens("nope", 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestExecuteTLM(t *testing.T) {
+	f := newFlags(t, "-workload", "seq", "-masters", "2", "-txns", "30", "-trace", "3")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"model TL", "utilization", "no violations", "txn"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExecuteRTLMatchesTLMCycles(t *testing.T) {
+	run := func(m core.Model) string {
+		f := newFlags(t, "-workload", "seq", "-masters", "2", "-txns", "20")
+		var out strings.Builder
+		if code := Execute(f, m, &out); code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "simulated cycles") {
+				return line
+			}
+		}
+		t.Fatal("no cycle line")
+		return ""
+	}
+	if a, b := run(core.TLM), run(core.RTL); a != b {
+		t.Fatalf("cycle counts diverged between CLI models:\n%s\n%s", a, b)
+	}
+}
+
+func TestExecuteCycleCapReturnsError(t *testing.T) {
+	f := newFlags(t, "-txns", "100000", "-max-cycles", "100")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 1 {
+		t.Fatalf("exit code %d, want 1 for capped run", code)
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Fatal("capped run should warn")
+	}
+}
+
+func TestExecuteConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	p := config.Default(2)
+	p.Masters[0].Name = "custom0"
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	f := newFlags(t, "-config", path, "-txns", "10")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "custom0") {
+		t.Fatalf("config-file master name not used:\n%s", out.String())
+	}
+}
+
+func TestExecuteBadConfigPath(t *testing.T) {
+	f := newFlags(t, "-config", "/does/not/exist.json")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestExecuteBadWorkload(t *testing.T) {
+	f := newFlags(t, "-workload", "bogus")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestExecuteVCD(t *testing.T) {
+	dir := t.TempDir()
+	vcdPath := filepath.Join(dir, "bus.vcd")
+	f := newFlags(t, "-txns", "10", "-masters", "1", "-vcd", vcdPath)
+	var out strings.Builder
+	if code := Execute(f, core.RTL, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions") {
+		t.Fatal("VCD file lacks header")
+	}
+	// VCD on the TLM is rejected: waveforms do not exist at
+	// transaction level.
+	f2 := newFlags(t, "-txns", "10", "-vcd", vcdPath)
+	if code := Execute(f2, core.TLM, &out); code != 2 {
+		t.Fatalf("TLM -vcd exit %d, want 2", code)
+	}
+}
+
+func TestExecuteTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	data := "master,at,addr,dir,beats\n0,0,0x1000,R,8\n1,10,0x80000,W,4\n0,30,0x1020,R,8\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := newFlags(t, "-trace-file", path, "-trace", "10")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 masters") {
+		t.Fatalf("platform not sized to trace:\n%s", got)
+	}
+	if !strings.Contains(got, "0x1000") {
+		t.Fatalf("trace transactions not replayed:\n%s", got)
+	}
+}
+
+func TestExecuteHistFlag(t *testing.T) {
+	f := newFlags(t, "-txns", "20", "-masters", "1", "-hist")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "latency histogram") {
+		t.Fatalf("histogram missing:\n%s", out.String())
+	}
+}
+
+func TestExecuteBadTraceFile(t *testing.T) {
+	f := newFlags(t, "-trace-file", "/does/not/exist.csv")
+	var out strings.Builder
+	if code := Execute(f, core.TLM, &out); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,223 @@
+// Package core is the public facade of the AHB+ reproduction: it wires
+// traffic masters, the AHB+ bus (transaction-level or pin-accurate),
+// the DDR controller and the BI side-band into a runnable system, and
+// provides the experiment harnesses that regenerate the paper's
+// results — the Table 1 accuracy comparison and the TLM-vs-RTL
+// simulation-speed measurement.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tlm"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Workload pairs a platform configuration with a reproducible master
+// workload. Gens must return fresh generators on every call so the
+// identical sequence can be replayed through both models.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Params is the platform configuration.
+	Params config.Params
+	// Gens builds the master traffic generators.
+	Gens func() []traffic.Generator
+	// MaxCycles caps each run (0 = default cap).
+	MaxCycles sim.Cycle
+}
+
+// Model selects the abstraction level.
+type Model int
+
+const (
+	// TLM is the transaction-level model (the paper's contribution).
+	TLM Model = iota
+	// RTL is the pin-accurate signal-level model (the baseline).
+	RTL
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	if m == TLM {
+		return "TL"
+	}
+	return "RTL"
+}
+
+// RunResult is the model-independent outcome of one run.
+type RunResult struct {
+	// Model is the abstraction level that produced the result.
+	Model Model
+	// Cycles is the simulated cycle count.
+	Cycles sim.Cycle
+	// Completed reports whether the workload drained.
+	Completed bool
+	// Stats is the bus profile.
+	Stats *stats.Bus
+	// Wall is the host wall-clock time of the run.
+	Wall time.Duration
+	// Violations is the number of protocol property violations.
+	Violations uint64
+}
+
+// KCyclesPerSec returns the simulation speed in kilocycles per second
+// of host time, the metric the paper reports (0.47 Kcycles/s RTL vs
+// 166 Kcycles/s TL).
+func (r RunResult) KCyclesPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / 1000 / r.Wall.Seconds()
+}
+
+// Options adjusts a run.
+type Options struct {
+	// Tracer records per-transaction timelines (optional).
+	Tracer *trace.Recorder
+	// Checker collects property violations; nil installs a collecting
+	// checker automatically.
+	Checker *check.Checker
+	// Waveform receives a VCD dump of the AHB signals (pin-accurate
+	// model only).
+	Waveform io.Writer
+}
+
+// Run executes the workload on the chosen model.
+func Run(w Workload, m Model, opt Options) RunResult {
+	chk := opt.Checker
+	if chk == nil {
+		chk = &check.Checker{}
+	}
+	start := time.Now()
+	var out RunResult
+	switch m {
+	case TLM:
+		b := tlm.New(tlm.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer})
+		res := b.Run(w.MaxCycles)
+		out = RunResult{Model: TLM, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+	case RTL:
+		b := rtl.New(rtl.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer, Waveform: opt.Waveform})
+		res := b.Run(w.MaxCycles)
+		out = RunResult{Model: RTL, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+	default:
+		panic(fmt.Sprintf("core: unknown model %d", m))
+	}
+	out.Wall = time.Since(start)
+	out.Violations = chk.Total()
+	return out
+}
+
+// AccuracyRow is one line of the Table 1 reproduction: the same
+// workload through both models and the cycle-count difference.
+type AccuracyRow struct {
+	// Name is the scenario label.
+	Name string
+	// RTLCycles and TLMCycles are the simulated cycle counts.
+	RTLCycles, TLMCycles sim.Cycle
+	// ErrPct is |RTL-TLM| / RTL in percent.
+	ErrPct float64
+	// Completed reports whether both runs drained their workloads.
+	Completed bool
+}
+
+// Compare runs the workload through both models and reports the
+// accuracy row.
+func Compare(w Workload) AccuracyRow {
+	r := Run(w, RTL, Options{})
+	t := Run(w, TLM, Options{})
+	d := float64(r.Cycles) - float64(t.Cycles)
+	if d < 0 {
+		d = -d
+	}
+	row := AccuracyRow{
+		Name:      w.Name,
+		RTLCycles: r.Cycles,
+		TLMCycles: t.Cycles,
+		Completed: r.Completed && t.Completed,
+	}
+	if r.Cycles > 0 {
+		row.ErrPct = 100 * d / float64(r.Cycles)
+	}
+	return row
+}
+
+// CompareAll runs Compare over the workloads and returns the rows plus
+// the average error percentage (the paper's summary statistic).
+func CompareAll(ws []Workload) ([]AccuracyRow, float64) {
+	rows := make([]AccuracyRow, len(ws))
+	var sum float64
+	for i, w := range ws {
+		rows[i] = Compare(w)
+		sum += rows[i].ErrPct
+	}
+	if len(rows) == 0 {
+		return rows, 0
+	}
+	return rows, sum / float64(len(rows))
+}
+
+// WriteAccuracyTable renders rows in the layout of the paper's Table 1
+// (per-scenario RTL cycles, TL cycles, difference) plus the average.
+func WriteAccuracyTable(w io.Writer, rows []AccuracyRow, avg float64) {
+	fmt.Fprintf(w, "%-28s %12s %12s %8s\n", "scenario", "RTL cycles", "TL cycles", "diff %")
+	for _, r := range rows {
+		note := ""
+		if !r.Completed {
+			note = "  (incomplete)"
+		}
+		fmt.Fprintf(w, "%-28s %12d %12d %8.2f%s\n", r.Name, uint64(r.RTLCycles), uint64(r.TLMCycles), r.ErrPct, note)
+	}
+	fmt.Fprintf(w, "%-28s %12s %12s %8.2f\n", "average", "", "", avg)
+}
+
+// SpeedComparison is the paper's §4 speed experiment: the same
+// workload timed on both models, plus the single-master TLM speed.
+type SpeedComparison struct {
+	// RTL and TLM are the multi-master results.
+	RTL, TLM RunResult
+	// SingleTLM is the one-master TLM result (the paper's 456
+	// Kcycles/s configuration).
+	SingleTLM RunResult
+	// Speedup is TLM Kcycles/s over RTL Kcycles/s.
+	Speedup float64
+}
+
+// MeasureSpeed times the workload on both models and the single-master
+// workload on the TLM.
+func MeasureSpeed(multi Workload, single Workload) SpeedComparison {
+	sc := SpeedComparison{
+		RTL:       Run(multi, RTL, Options{}),
+		TLM:       Run(multi, TLM, Options{}),
+		SingleTLM: Run(single, TLM, Options{}),
+	}
+	if r := sc.RTL.KCyclesPerSec(); r > 0 {
+		sc.Speedup = sc.TLM.KCyclesPerSec() / r
+	}
+	return sc
+}
+
+// WriteSpeedReport renders the speed comparison.
+func WriteSpeedReport(w io.Writer, sc SpeedComparison) {
+	fmt.Fprintf(w, "%-22s %12s %12s %14s\n", "model", "cycles", "wall", "Kcycles/sec")
+	for _, r := range []struct {
+		name string
+		res  RunResult
+	}{
+		{"RTL (pin-accurate)", sc.RTL},
+		{"TL (multi-master)", sc.TLM},
+		{"TL (single master)", sc.SingleTLM},
+	} {
+		fmt.Fprintf(w, "%-22s %12d %12s %14.1f\n",
+			r.name, uint64(r.res.Cycles), r.res.Wall.Round(time.Microsecond), r.res.KCyclesPerSec())
+	}
+	fmt.Fprintf(w, "TL speedup over RTL: %.0fx\n", sc.Speedup)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func TestSpeedWorkloadsDeterministic(t *testing.T) {
+	multi, single := SpeedWorkloads(100)
+	a := Run(multi, TLM, Options{})
+	b := Run(multi, TLM, Options{})
+	if a.Cycles != b.Cycles {
+		t.Fatalf("speed workload nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+	s := Run(single, TLM, Options{})
+	if !s.Completed || s.Stats.TotalTxns() == 0 {
+		t.Fatal("single workload broken")
+	}
+	if len(single.Gens()) != 1 || len(multi.Gens()) != 3 {
+		t.Fatal("workload shapes wrong")
+	}
+}
+
+func TestSaturatingWorkloadValid(t *testing.T) {
+	for _, d := range AblationWriteBufferDepths() {
+		w := SaturatingWorkload(d, 50)
+		if err := w.Params.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", d, err)
+		}
+		res := Run(w, TLM, Options{})
+		if !res.Completed {
+			t.Fatalf("depth %d incomplete", d)
+		}
+		// Saturating means high utilization.
+		if res.Stats.Utilization() < 0.3 {
+			t.Fatalf("depth %d: utilization %.2f too low for a saturating workload", d, res.Stats.Utilization())
+		}
+	}
+}
+
+func TestAblationWorkloadHasRTMaster(t *testing.T) {
+	w := AblationWorkload(8, 50)
+	if !w.Params.Masters[2].RealTime || w.Params.Masters[2].QoSObjective == 0 {
+		t.Fatal("ablation workload should configure an RT master")
+	}
+	res := Run(w, TLM, Options{})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestInterleavingAblationShape(t *testing.T) {
+	on := Run(InterleavingWorkload(true, 150), TLM, Options{})
+	off := Run(InterleavingWorkload(false, 150), TLM, Options{})
+	if !on.Completed || !off.Completed {
+		t.Fatal("incomplete")
+	}
+	if on.Cycles >= off.Cycles {
+		t.Fatalf("BI should reduce cycles on the row-thrashing workload: on=%d off=%d", on.Cycles, off.Cycles)
+	}
+	if on.Stats.DDR.HintPrecharges == 0 {
+		t.Fatal("BI run produced no hint precharges")
+	}
+}
+
+func TestRunWithTracer(t *testing.T) {
+	tr := trace.New(10)
+	res := Run(smallWorkload(1), TLM, Options{Tracer: tr})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if len(tr.Records()) == 0 {
+		t.Fatal("tracer empty")
+	}
+}
+
+func TestRunWaveformRTL(t *testing.T) {
+	var vcd strings.Builder
+	res := Run(smallWorkload(1), RTL, Options{Waveform: &vcd})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if !strings.Contains(vcd.String(), "$enddefinitions") {
+		t.Fatal("waveform not produced")
+	}
+}
+
+func TestPlainAHBWorkloadsRunOnBothModels(t *testing.T) {
+	w := Workload{
+		Name:   "plain",
+		Params: config.PlainAHB(2),
+		Gens: func() []traffic.Generator {
+			return []traffic.Generator{
+				&traffic.Sequential{Base: 0, Beats: 4, Count: 20},
+				&traffic.Sequential{Base: 0x80000, Beats: 4, Count: 20},
+			}
+		},
+	}
+	row := Compare(w)
+	if !row.Completed {
+		t.Fatal("plain-AHB comparison incomplete")
+	}
+	if row.ErrPct > 5 {
+		t.Fatalf("plain-AHB models diverge %.2f%%", row.ErrPct)
+	}
+}
+
+func TestTable1ScenariosCoverFamilies(t *testing.T) {
+	rows := Table1Scenarios()
+	if len(rows) != 12 {
+		t.Fatalf("%d scenarios, want 12", len(rows))
+	}
+	families := map[string]int{}
+	for _, w := range rows {
+		fam := strings.SplitN(w.Name, "/", 2)[0]
+		families[fam]++
+	}
+	for _, fam := range []string{"seq", "rand", "burst", "stream"} {
+		if families[fam] != 3 {
+			t.Fatalf("family %s has %d scenarios, want 3", fam, families[fam])
+		}
+	}
+}
+
+func TestPagePolicyAblationShape(t *testing.T) {
+	open := Run(PagePolicyWorkload(false, 150), TLM, Options{})
+	closed := Run(PagePolicyWorkload(true, 150), TLM, Options{})
+	if !open.Completed || !closed.Completed {
+		t.Fatal("incomplete")
+	}
+	if closed.Cycles >= open.Cycles {
+		t.Fatalf("closed page should win on gap-spaced row thrash: closed=%d open=%d",
+			closed.Cycles, open.Cycles)
+	}
+	// Cross-model agreement holds under the alternate policy too.
+	row := Compare(PagePolicyWorkload(true, 100))
+	if !row.Completed || row.ErrPct > 5 {
+		t.Fatalf("closed-page cross-model error %.2f%%", row.ErrPct)
+	}
+}
+
+func TestBusWidthAblation(t *testing.T) {
+	narrow := Run(BusWidthWorkload(4, 150), TLM, Options{})
+	wide := Run(BusWidthWorkload(8, 150), TLM, Options{})
+	if !narrow.Completed || !wide.Completed {
+		t.Fatal("incomplete")
+	}
+	// Same beat count, double the bytes: the 64-bit bus must move at
+	// least ~1.9x the data per kilocycle.
+	ratio := wide.Stats.ThroughputBytesPerKCycle() / narrow.Stats.ThroughputBytesPerKCycle()
+	if ratio < 1.8 {
+		t.Fatalf("64-bit bus throughput ratio %.2f, want ~2x", ratio)
+	}
+	// Cross-model agreement holds at the alternate width.
+	row := Compare(BusWidthWorkload(8, 100))
+	if !row.Completed || row.ErrPct > 5 {
+		t.Fatalf("64-bit cross-model error %.2f%% (rtl=%d tlm=%d)", row.ErrPct, row.RTLCycles, row.TLMCycles)
+	}
+}

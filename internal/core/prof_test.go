@@ -1,0 +1,10 @@
+package core
+
+import "testing"
+
+func BenchmarkTLMProfile(b *testing.B) {
+	multi, _ := SpeedWorkloads(2000)
+	for i := 0; i < b.N; i++ {
+		Run(multi, TLM, Options{})
+	}
+}

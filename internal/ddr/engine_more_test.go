@@ -1,0 +1,277 @@
+package ddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestStatsBalanceProperty(t *testing.T) {
+	// Accounting invariant: hits + misses + conflicts == reads + writes,
+	// and beats accumulate exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(DDR266(), DefaultAddrMap())
+		now := sim.Cycle(0)
+		var beats uint64
+		for i := 0; i < 100; i++ {
+			n := 1 + rng.Intn(16)
+			e.Access(now, uint32(rng.Intn(1<<22))&^3, rng.Intn(2) == 0, n)
+			beats += uint64(n)
+			now += sim.Cycle(rng.Intn(20))
+		}
+		st := e.Stats()
+		if st.RowHits+st.RowMisses+st.RowConflicts != st.Reads+st.Writes {
+			return false
+		}
+		if st.Reads+st.Writes != 100 {
+			return false
+		}
+		return st.DataBeats == beats
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDR333FasterRefreshCadence(t *testing.T) {
+	// DDR-333 at a faster clock has a longer tREFI in cycles; sanity
+	// check the presets are distinct and self-consistent.
+	a, b := DDR266(), DDR333()
+	if a == b {
+		t.Fatal("presets should differ")
+	}
+	for _, tm := range []Timing{a, b} {
+		if tm.TRAS+tm.TRP > tm.TRC {
+			t.Fatalf("preset violates tRC >= tRAS+tRP: %+v", tm)
+		}
+	}
+}
+
+func TestHintDuringTransientIsNoOp(t *testing.T) {
+	e := testEngine()
+	// Start an activation (miss access), then hint a different row in
+	// the same bank mid-activation: the hint must not disturb it.
+	res := e.Access(0, e.Map.Encode(0, 1, 0), false, 1)
+	before := e.banks[0]
+	e.Hint(1, e.Map.Encode(0, 2, 0), false) // bank is Activating
+	if e.banks[0] != before {
+		t.Fatal("hint during activation mutated bank state")
+	}
+	_ = res
+}
+
+func TestHintSameRowIsNoOp(t *testing.T) {
+	e := testEngine()
+	res := e.Access(0, e.Map.Encode(0, 3, 0), false, 1)
+	acts := e.Stats().Activates
+	e.Hint(res.LastData+20, e.Map.Encode(0, 3, 8), false)
+	if e.Stats().Activates != acts || e.Stats().HintPrecharges != 0 {
+		t.Fatal("hint for the already-open row should do nothing")
+	}
+}
+
+func TestHintBlockedByTRASWindow(t *testing.T) {
+	e := testEngine()
+	e.Access(0, e.Map.Encode(0, 1, 0), false, 1)
+	// Immediately hint a conflicting row: tRAS (6) has not elapsed, the
+	// precharge would be illegal, so the hint must decline.
+	e.Hint(2, e.Map.Encode(0, 2, 0), false)
+	if e.Stats().HintPrecharges != 0 {
+		t.Fatal("hint precharged inside the tRAS window")
+	}
+	row, open := e.OpenRow(0)
+	if !open || row != 1 {
+		t.Fatal("open row disturbed")
+	}
+}
+
+func TestTickMaterializesRefreshEagerly(t *testing.T) {
+	tm := DDR266()
+	tm.TREFI = 50
+	tm.TRFC = 9
+	e := NewEngine(tm, DefaultAddrMap())
+	e.Tick(49)
+	if e.Stats().Refreshes != 0 {
+		t.Fatal("refresh before due")
+	}
+	e.Tick(50)
+	if e.Stats().Refreshes != 1 {
+		t.Fatalf("Refreshes = %d, want 1 at the due cycle", e.Stats().Refreshes)
+	}
+	// Eager (Tick) and lazy (Access) materialization give the same
+	// post-refresh access timing.
+	lazy := NewEngine(tm, DefaultAddrMap())
+	eagerRes := e.Access(70, 0x40, false, 1)
+	lazyRes := lazy.Access(70, 0x40, false, 1)
+	if eagerRes.FirstData != lazyRes.FirstData {
+		t.Fatalf("eager %d vs lazy %d first data", eagerRes.FirstData, lazyRes.FirstData)
+	}
+}
+
+func TestTickNoRefreshConfigured(t *testing.T) {
+	e := testEngine() // NoRefresh
+	e.Tick(1 << 20)
+	if e.Stats().Refreshes != 0 {
+		t.Fatal("tick refreshed with refresh disabled")
+	}
+}
+
+func TestPermitDuringRefreshWindow(t *testing.T) {
+	tm := DDR266()
+	tm.TREFI = 100
+	tm.TRFC = 9
+	e := NewEngine(tm, DefaultAddrMap())
+	if !e.Permit(99, 0) {
+		t.Fatal("permit should hold before the refresh")
+	}
+	// At the due cycle the refresh materializes and blocks.
+	if e.Permit(100, 0) {
+		t.Fatal("permit should drop during the refresh window")
+	}
+	// After tRFC the device is available again.
+	if !e.Permit(100+9, 0) {
+		t.Fatal("permit should recover after tRFC")
+	}
+}
+
+func TestAccessLatencyBoundsProperty(t *testing.T) {
+	// No access's request-to-first-data latency (absent refresh) can be
+	// lower than tCL/tWL or higher than tRP+tRCD+tCL plus the maximum
+	// in-flight drain time of earlier work.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := testEngine()
+		now := sim.Cycle(0)
+		for i := 0; i < 60; i++ {
+			write := rng.Intn(2) == 0
+			beats := 1 + rng.Intn(16)
+			res := e.Access(now, uint32(rng.Intn(1<<22))&^3, write, beats)
+			lat := res.FirstData - now
+			minLat := e.T.TCL
+			if write {
+				minLat = e.T.TWL
+			}
+			if lat < minLat {
+				return false
+			}
+			// Generous upper bound: precharge+activate+column plus the
+			// longest possible earlier-burst drain + recovery windows.
+			upper := e.T.TRP + e.T.TRCD + e.T.TCL + e.T.TWR + e.T.TRC + 16
+			if lat > upper+sim.Cycle(16) {
+				return false
+			}
+			now = res.LastData + sim.Cycle(rng.Intn(4))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlternateAddrMapGeometries(t *testing.T) {
+	for _, m := range []AddrMap{
+		{BeatBytesLog2: 2, ColBits: 9, BankBits: 2, RowBits: 12},
+		{BeatBytesLog2: 2, ColBits: 8, BankBits: 3, RowBits: 12}, // 8 banks
+		{BeatBytesLog2: 3, ColBits: 8, BankBits: 2, RowBits: 12}, // 64-bit bus
+	} {
+		e := NewEngine(DDR266().NoRefresh(), m)
+		if e.Banks() != m.Banks() {
+			t.Fatalf("banks %d vs %d", e.Banks(), m.Banks())
+		}
+		res := e.Access(0, 0, false, 4)
+		if res.Kind != AccessMiss {
+			t.Fatalf("map %+v: first access %v", m, res.Kind)
+		}
+		// Round-trip still holds for the alternate geometry.
+		bank, row, col := m.Decode(m.Encode(m.Banks()-1, 5, 7))
+		if bank != m.Banks()-1 || row != 5 || col != 7 {
+			t.Fatalf("map %+v: decode mismatch", m)
+		}
+	}
+}
+
+func TestRefreshStallReporting(t *testing.T) {
+	tm := DDR266()
+	tm.TREFI = 40
+	tm.TRFC = 9
+	e := NewEngine(tm, DefaultAddrMap())
+	res := e.Access(41, 0x40, false, 1)
+	if res.RefreshStall == 0 {
+		t.Fatal("access behind a refresh should report the stall")
+	}
+	if res.Latency(41) < res.RefreshStall {
+		t.Fatal("latency must include the refresh stall")
+	}
+}
+
+func TestClosedPagePolicyAutoPrecharges(t *testing.T) {
+	e := testEngine()
+	e.Policy = ClosedPage
+	m := e.Map
+	first := e.Access(0, m.Encode(0, 1, 0), false, 4)
+	if first.Kind != AccessMiss {
+		t.Fatalf("first access %v", first.Kind)
+	}
+	// The bank auto-precharged: a later access to the SAME row is a
+	// miss, not a hit.
+	second := e.Access(first.LastData+20, m.Encode(0, 1, 16), false, 4)
+	if second.Kind != AccessMiss {
+		t.Fatalf("closed-page re-access kind %v, want miss", second.Kind)
+	}
+	if e.Stats().Precharges < 2 {
+		t.Fatalf("expected auto-precharges, stats %+v", e.Stats())
+	}
+}
+
+func TestClosedPageBeatsOpenPageOnRowThrash(t *testing.T) {
+	m := DefaultAddrMap()
+	thrash := func(policy PagePolicy) sim.Cycle {
+		e := NewEngine(DDR266().NoRefresh(), m)
+		e.Policy = policy
+		now := sim.Cycle(0)
+		var last sim.Cycle
+		for i := 0; i < 40; i++ {
+			// Same bank, new row every access, with think time between:
+			// the auto-precharge hides in the gap, which a demand
+			// conflict precharge cannot.
+			res := e.Access(now, m.Encode(0, uint32(i), 0), false, 4)
+			last = res.LastData
+			now = last + 10
+		}
+		return last
+	}
+	open, closed := thrash(OpenPage), thrash(ClosedPage)
+	if closed >= open {
+		t.Fatalf("closed page should win on row thrash: closed=%d open=%d", closed, open)
+	}
+}
+
+func TestOpenPageBeatsClosedPageOnStreaming(t *testing.T) {
+	m := DefaultAddrMap()
+	stream := func(policy PagePolicy) sim.Cycle {
+		e := NewEngine(DDR266().NoRefresh(), m)
+		e.Policy = policy
+		now := sim.Cycle(0)
+		var last sim.Cycle
+		for i := 0; i < 40; i++ {
+			res := e.Access(now, uint32(i*16), false, 4) // sequential
+			last = res.LastData
+			now = last + 1
+		}
+		return last
+	}
+	open, closed := stream(OpenPage), stream(ClosedPage)
+	if open >= closed {
+		t.Fatalf("open page should win on streaming: open=%d closed=%d", open, closed)
+	}
+}
+
+func TestPagePolicyString(t *testing.T) {
+	if OpenPage.String() == "" || ClosedPage.String() == "" || PagePolicy(7).String() == "" {
+		t.Fatal("PagePolicy strings")
+	}
+}

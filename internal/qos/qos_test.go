@@ -1,0 +1,104 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegValidate(t *testing.T) {
+	if err := (Reg{Class: RT, Objective: 100}).Validate(); err != nil {
+		t.Fatalf("valid RT reg rejected: %v", err)
+	}
+	if err := (Reg{Class: NRT}).Validate(); err != nil {
+		t.Fatalf("valid NRT reg rejected: %v", err)
+	}
+	if (Reg{Class: RT}).Validate() == nil {
+		t.Fatal("RT without objective must be rejected")
+	}
+	if (Reg{Quota: 1.5}).Validate() == nil {
+		t.Fatal("quota > 1 must be rejected")
+	}
+	if (Reg{Quota: -0.1}).Validate() == nil {
+		t.Fatal("negative quota must be rejected")
+	}
+}
+
+func TestSlack(t *testing.T) {
+	r := Reg{Class: RT, Objective: 100}
+	if got := r.Slack(50, 0); got != 50 {
+		t.Fatalf("Slack = %v, want 50", got)
+	}
+	if got := r.Slack(150, 0); got != 0 {
+		t.Fatalf("overdue Slack = %v, want 0 (floored)", got)
+	}
+	if got := r.Slack(10, 10); got != 100 {
+		t.Fatalf("fresh request Slack = %v, want full objective", got)
+	}
+	noObj := Reg{Class: NRT}
+	if noObj.Slack(1000, 0) != sim.CycleMax {
+		t.Fatal("no-objective Slack should be CycleMax")
+	}
+}
+
+func TestTrackerRecords(t *testing.T) {
+	tr := NewTracker([]Reg{
+		{Class: RT, Objective: 20},
+		{Class: NRT},
+	})
+	if tr.Masters() != 2 {
+		t.Fatalf("Masters = %d", tr.Masters())
+	}
+	if v := tr.Record(0, 0, 10); v {
+		t.Fatal("latency 10 <= objective 20 should not violate")
+	}
+	if v := tr.Record(0, 0, 30); !v {
+		t.Fatal("latency 30 > objective 20 should violate")
+	}
+	if v := tr.Record(1, 0, 10000); v {
+		t.Fatal("NRT master should never violate")
+	}
+	if tr.Violations(0) != 1 || tr.Violations(1) != 0 {
+		t.Fatalf("violations = %d/%d", tr.Violations(0), tr.Violations(1))
+	}
+	if tr.TotalViolations() != 1 {
+		t.Fatalf("TotalViolations = %d", tr.TotalViolations())
+	}
+	if tr.Grants(0) != 2 {
+		t.Fatalf("Grants = %d", tr.Grants(0))
+	}
+	if tr.WorstLatency(0) != 30 {
+		t.Fatalf("WorstLatency = %v", tr.WorstLatency(0))
+	}
+	if got := tr.MeanLatency(0); got != 20 {
+		t.Fatalf("MeanLatency = %f, want 20", got)
+	}
+	if tr.MeanLatency(1) != 10000 {
+		t.Fatalf("MeanLatency(1) = %f", tr.MeanLatency(1))
+	}
+	if tr.Reg(0).Objective != 20 {
+		t.Fatal("Reg accessor")
+	}
+}
+
+func TestTrackerEmptyMeanLatency(t *testing.T) {
+	tr := NewTracker([]Reg{{Class: NRT}})
+	if tr.MeanLatency(0) != 0 {
+		t.Fatal("mean latency with no grants should be 0")
+	}
+}
+
+func TestTrackerPanicsOnInvalidReg(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTracker([]Reg{{Class: RT}})
+}
+
+func TestClassString(t *testing.T) {
+	if NRT.String() != "NRT" || RT.String() != "RT" || Class(7).String() == "" {
+		t.Fatal("Class.String")
+	}
+}

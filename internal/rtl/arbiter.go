@@ -1,0 +1,193 @@
+package rtl
+
+import (
+	"repro/internal/amba"
+	"repro/internal/arb"
+	"repro/internal/bi"
+	"repro/internal/check"
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// arbiterComp samples the request lines every cycle and, when an
+// arbitration window is open, runs the shared seven-filter pipeline to
+// pick the next bus owner. With request pipelining enabled the window
+// opens while the previous transaction is still streaming data (cycle
+// L-1), which is the AHB+ latency-hiding scheme; the winning request is
+// simultaneously announced to the DDRC over BI so the controller can
+// prepare the target bank.
+type arbiterComp struct {
+	w    *Wires
+	pipe *arb.Pipeline
+	// comb re-evaluates the same filters every cycle regardless of the
+	// grant window, because the paper's seven filters "are always
+	// activated without the consideration of master/slave
+	// combinations" — combinational logic does not idle. Its result is
+	// committed only when the window is open (via pipe).
+	comb       *arb.Pipeline
+	regs       []qos.Reg
+	link       *bi.Link
+	status     *bi.Provider
+	chk        *check.Checker
+	pipelining bool
+	urgency    sim.Cycle
+	wbCap      int
+	bank       sim.RegBank
+	reqsBuf    []arb.Request
+	portsBuf   []int
+
+	grantedTo int       // unconsumed grant (-1 none)
+	ldSeen    sim.Cycle // BusLastData value the window flag refers to
+	arbDone   bool      // a busy-window arbitration already granted
+	lastGrant int       // round-robin memory (master index)
+
+	served      []uint64 // beats granted per master (bandwidth window)
+	totalServed uint64
+
+	// grants counts issued grants; rounds counts evaluated rounds.
+	grants, rounds uint64
+}
+
+func newArbiter(w *Wires, pipe, comb *arb.Pipeline, regs []qos.Reg, link *bi.Link, status *bi.Provider,
+	chk *check.Checker, pipelining bool, urgency sim.Cycle, wbCap int) *arbiterComp {
+	a := &arbiterComp{
+		w: w, pipe: pipe, comb: comb, regs: regs, link: link, status: status, chk: chk,
+		pipelining: pipelining, urgency: urgency, wbCap: wbCap,
+		grantedTo: -1, lastGrant: -1,
+		served: make([]uint64, w.NMasters+1),
+	}
+	for i := range w.HGrant {
+		a.bank.Add(w.HGrant[i])
+	}
+	a.bank.Add(w.GrantIdx)
+	return a
+}
+
+// Name implements sim.Component.
+func (a *arbiterComp) Name() string { return "arbiter" }
+
+// Eval implements sim.Component.
+func (a *arbiterComp) Eval(now sim.Cycle) {
+	w := a.w
+
+	// Per-cycle protocol property: the grant vector is one-hot or zero.
+	granted := 0
+	for i := range w.HGrant {
+		if w.HGrant[i].Get() {
+			granted++
+		}
+	}
+	if granted <= 1 {
+		a.chk.PropertyOK()
+	} else {
+		a.chk.Property(now, "grant-one-hot", false, "%d grants asserted", granted)
+	}
+
+	// Collect the requests visible this cycle (combinational request
+	// sampling happens unconditionally, every cycle).
+	reqs := a.reqsBuf[:0]
+	ports := a.portsBuf[:0]
+	for i := 0; i <= w.NMasters; i++ {
+		if !w.HBusReq[i].Get() {
+			continue
+		}
+		info := w.ReqInfo[i]
+		reqs = append(reqs, arb.Request{
+			Master:     i,
+			Addr:       info.addr,
+			Write:      info.write,
+			Beats:      info.beats,
+			Since:      info.since,
+			IsWriteBuf: i == w.wbIndex(),
+		})
+		ports = append(ports, i)
+	}
+	a.reqsBuf, a.portsBuf = reqs, ports
+
+	ctx := &arb.Context{
+		Now:  now,
+		Reqs: reqs,
+		QoS: func(m int) qos.Reg {
+			if m < len(a.regs) {
+				return a.regs[m]
+			}
+			return qos.Reg{}
+		},
+		Status: func(addr uint32) bi.BankStatus {
+			return a.status.Status(now, addr)
+		},
+		WBUsed:           w.WBUsed.Get(),
+		WBCap:            a.wbCap,
+		ServedBeats:      func(m int) uint64 { return a.served[m] },
+		TotalBeats:       a.totalServed,
+		LastGrant:        a.lastGrant,
+		UrgencyThreshold: a.urgency,
+	}
+	// The seven filters are "always activated": the combinational
+	// pipeline evaluates every cycle whether or not the grant register
+	// will load its result.
+	if len(reqs) > 0 {
+		a.comb.Select(ctx)
+	}
+
+	// Detect consumption of an outstanding grant: the granted master's
+	// address phase is visible this cycle. Drop the grant lines so a
+	// stale grant can never authorize an unarbitrated transaction, and
+	// skip arbitration for this cycle — the fabric is capturing the new
+	// transaction right now, so BusOwner does not yet reflect it.
+	if a.grantedTo >= 0 && w.HTransM[a.grantedTo].Get() == amba.TransNonSeq {
+		w.HGrant[a.grantedTo].Set(false)
+		w.GrantIdx.Set(-1)
+		a.grantedTo = -1
+		return
+	}
+
+	// One busy-window arbitration per transaction: reopen the window
+	// when the fabric publishes a new completion cycle.
+	if ld := w.BusLastData.Get(); ld != a.ldSeen {
+		a.ldSeen = ld
+		a.arbDone = false
+	}
+
+	if a.grantedTo >= 0 {
+		return // a grant is in flight; nothing to do
+	}
+	owner := w.BusOwner.Get()
+	busyWindow := a.pipelining && owner >= 0 && !a.arbDone && now+1 >= a.ldSeen
+	if owner >= 0 && !busyWindow {
+		return
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	a.rounds++
+	win, ok := a.pipe.Select(ctx)
+	if !ok {
+		return // permission veto (refresh window); retry next cycle
+	}
+	g := ports[win]
+	a.chk.Property(now, "grant-implies-request", w.HBusReq[g].Get(),
+		"granted master %d without a visible request", g)
+	for i := range w.HGrant {
+		w.HGrant[i].Set(i == g)
+	}
+	w.GrantIdx.Set(g)
+	a.grantedTo = g
+	a.lastGrant = g
+	if owner >= 0 {
+		a.arbDone = true
+	}
+	a.grants++
+	a.served[g] += uint64(reqs[win].Beats)
+	a.totalServed += uint64(reqs[win].Beats)
+	// Announce the winner to the DDRC over BI (bank-interleaving hint).
+	a.link.Send(now, bi.NextTxn{
+		Master: g,
+		Addr:   reqs[win].Addr,
+		Write:  reqs[win].Write,
+		Beats:  reqs[win].Beats,
+	})
+}
+
+// Update implements sim.Component.
+func (a *arbiterComp) Update(now sim.Cycle) { a.bank.CommitAll() }

@@ -1,0 +1,308 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/amba"
+	"repro/internal/bi"
+	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/ddr"
+	"repro/internal/memmodel"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// wbEntry is one posted write waiting in the write buffer. The payload
+// is already in memory (the datapath is abstracted, per the paper); the
+// entry carries only what the drain needs for timing.
+type wbEntry struct {
+	addr  uint32
+	beats int
+}
+
+// curTxn is the fabric's in-flight transaction.
+type curTxn struct {
+	active     bool
+	port       int
+	addr       uint32
+	write      bool
+	beats      int
+	posted     bool
+	erred      bool
+	reqVisible sim.Cycle
+	grantAt    sim.Cycle
+	first      sim.Cycle
+	last       sim.Cycle
+	kind       string
+}
+
+// fabricComp is the bus fabric + DDRC slave: it multiplexes the granted
+// master's address phase, consults the DDR engine for beat timing,
+// drives HREADY/HRDATA, hosts the write buffer, and delivers BI hints
+// to the controller.
+type fabricComp struct {
+	w       *Wires
+	eng     *ddr.Engine
+	mem     *memmodel.Memory
+	link    *bi.Link
+	chk     *check.Checker
+	tracer  *trace.Recorder
+	tracker *qos.Tracker
+	bus     *stats.Bus
+	size    amba.Size
+	wbDepth int
+	bank    sim.RegBank
+
+	cur    curTxn
+	queue  []wbEntry
+	txnID  uint64
+	rbuf   []byte
+	sram   config.SRAMCfg
+	ddrCap uint64
+
+	// slotR are the write-buffer FIFO entry registers: one per slot,
+	// re-driven every cycle like the RTL FIFO flops.
+	slotR []*sim.Reg[wbSlot]
+}
+
+// wbSlot is the registered image of one write-buffer FIFO entry.
+type wbSlot struct {
+	addr  uint32
+	beats int
+	valid bool
+}
+
+func newFabric(w *Wires, eng *ddr.Engine, mem *memmodel.Memory, link *bi.Link,
+	chk *check.Checker, tracer *trace.Recorder, tracker *qos.Tracker,
+	bus *stats.Bus, size amba.Size, wbDepth int, sram config.SRAMCfg) *fabricComp {
+	f := &fabricComp{
+		w: w, eng: eng, mem: mem, link: link, chk: chk,
+		tracer: tracer, tracker: tracker, bus: bus, size: size, wbDepth: wbDepth,
+		sram: sram, ddrCap: eng.Map.Capacity(),
+	}
+	f.bank.Add(w.HReady)
+	f.bank.Add(w.HResp)
+	f.bank.Add(w.HRData)
+	f.bank.Add(w.BusOwner)
+	f.bank.Add(w.BusLastData)
+	f.bank.Add(w.WBUsed)
+	f.bank.Add(w.WBFrontA)
+	f.bank.Add(w.WBFrontLen)
+	for i := 0; i < wbDepth; i++ {
+		r := sim.NewReg(wbSlot{})
+		f.slotR = append(f.slotR, r)
+		f.bank.Add(r)
+	}
+	return f
+}
+
+// Name implements sim.Component.
+func (f *fabricComp) Name() string { return "fabric" }
+
+// Eval implements sim.Component.
+func (f *fabricComp) Eval(now sim.Cycle) {
+	w := f.w
+
+	// 1. Deliver due BI hints to the memory controller.
+	for _, d := range f.link.DeliverUpTo(now) {
+		f.eng.Hint(d.At, d.Msg.Addr, d.Msg.Write)
+	}
+
+	// 2. Complete the in-flight transaction on its final beat.
+	if f.cur.active && now == f.cur.last {
+		f.finish(now)
+	}
+
+	// 3. Capture a granted master's address phase.
+	if g := w.GrantIdx.Get(); g >= 0 && w.HTransM[g].Get() == amba.TransNonSeq {
+		f.capture(now, g)
+	}
+
+	// 4. Drive the slave-side signals for the (possibly new) current
+	// transaction.
+	if f.cur.active {
+		next := now + 1
+		inBeats := next >= f.cur.first && next <= f.cur.last
+		w.HReady.Set(inBeats)
+		if inBeats && !f.cur.write && !f.cur.erred {
+			beat := int(next - f.cur.first)
+			ba := f.cur.addr + uint32(beat*f.size.Bytes())
+			w.HRData.Set(uint32(f.mem.ReadWord(ba, min(4, f.size.Bytes()))))
+		}
+		if inBeats && f.cur.erred {
+			w.HResp.Set(amba.RespError)
+		} else {
+			w.HResp.Set(amba.RespOkay)
+		}
+	} else {
+		w.HReady.Set(false)
+		w.HResp.Set(amba.RespOkay)
+	}
+
+	// 5. Publish write-buffer state: occupancy, front entry, and the
+	// per-slot FIFO registers (driven every cycle, as RTL flops are).
+	for i, r := range f.slotR {
+		if i < len(f.queue) {
+			r.Set(wbSlot{addr: f.queue[i].addr, beats: f.queue[i].beats, valid: true})
+		} else {
+			r.Set(wbSlot{})
+		}
+	}
+	w.WBUsed.Set(len(f.queue))
+	if len(f.queue) > 0 {
+		w.WBFrontA.Set(f.queue[0].addr)
+		w.WBFrontLen.Set(f.queue[0].beats)
+	} else {
+		w.WBFrontA.Set(0)
+		w.WBFrontLen.Set(0)
+	}
+	if len(f.queue) > f.bus.WBPeak {
+		f.bus.WBPeak = len(f.queue)
+	}
+}
+
+// capture starts the transaction whose address phase is visible.
+func (f *fabricComp) capture(now sim.Cycle, g int) {
+	w := f.w
+	f.chk.Assert(!f.cur.active, "address phase for master %d while transaction of %d in flight", g, f.cur.port)
+	addr := w.HAddrM[g].Get()
+	write := w.HWriteM[g].Get()
+	beats := w.HBeatsM[g].Get()
+	burst := w.HBurstM[g].Get()
+	info := w.ReqInfo[g]
+	f.chk.Property(now, "burst-legal", (&amba.Txn{
+		Master: g, Addr: addr, Write: write, Burst: burst, Size: f.size, Beats: beats,
+	}).Validate() == nil, "master %d drove an illegal burst: %#x %v x%d", g, addr, burst, beats)
+
+	f.txnID++
+	isWB := g == w.wbIndex()
+	cur := curTxn{
+		active:     true,
+		port:       g,
+		addr:       addr,
+		write:      write,
+		beats:      beats,
+		reqVisible: info.since,
+		grantAt:    info.since, // refined below
+	}
+	// Grant became visible one cycle before the master drove the
+	// address phase.
+	cur.grantAt = now - 1
+
+	inDDR := uint64(addr) < f.ddrCap
+	switch {
+	case !inDDR && f.sram.Contains(addr):
+		// On-chip SRAM slave: fixed wait states, then one beat per
+		// cycle. No bank machinery, no write posting.
+		cur.first = now + 1 + sim.Cycle(f.sram.WaitStates)
+		cur.last = cur.first + sim.Cycle(beats-1)
+		cur.kind = "sram"
+		if write {
+			f.mem.Write(addr, w.WDataBuf)
+		} else {
+			n := beats * f.size.Bytes()
+			if cap(f.rbuf) < n {
+				f.rbuf = make([]byte, n)
+			}
+			f.rbuf = f.rbuf[:n]
+			f.mem.Read(addr, f.rbuf)
+			w.RDataBuf = f.rbuf
+		}
+	case !inDDR:
+		// Unmapped address: the decoder selects no slave; the default
+		// slave terminates the transfer with a single ERROR beat.
+		cur.first = now + 1
+		cur.last = now + 1
+		cur.erred = true
+		cur.kind = "error"
+	case write && !isWB && f.wbDepth > 0 && len(f.queue) < f.wbDepth:
+		// Posted write: absorbed by the write buffer at bus speed, one
+		// beat per cycle starting next cycle.
+		cur.posted = true
+		cur.first = now + 1
+		cur.last = now + sim.Cycle(beats)
+		cur.kind = "posted"
+		f.queue = append(f.queue, wbEntry{addr: addr, beats: beats})
+		f.mem.Write(addr, w.WDataBuf) // datapath abstracted: eager write
+		f.bus.WBPosted++
+	default:
+		if write && !isWB && f.wbDepth > 0 {
+			f.bus.WBFullStalls++
+		}
+		res := f.eng.Access(now+1, addr, write, beats)
+		cur.first = res.FirstData
+		cur.last = res.LastData
+		cur.kind = res.Kind.String()
+		if write {
+			if isWB {
+				// Drain: payload was written eagerly at post time.
+				f.popFront(addr, beats)
+				f.bus.WBDrained++
+			} else {
+				f.mem.Write(addr, w.WDataBuf)
+			}
+		} else {
+			n := beats * f.size.Bytes()
+			if cap(f.rbuf) < n {
+				f.rbuf = make([]byte, n)
+			}
+			f.rbuf = f.rbuf[:n]
+			f.mem.Read(addr, f.rbuf)
+			w.RDataBuf = f.rbuf
+		}
+	}
+	f.cur = cur
+	w.BusOwner.Set(g)
+	w.BusLastData.Set(cur.last)
+}
+
+// popFront removes the drained entry and checks it matches the drive.
+func (f *fabricComp) popFront(addr uint32, beats int) {
+	f.chk.Assert(len(f.queue) > 0, "write-buffer drain with empty queue")
+	front := f.queue[0]
+	f.chk.Assert(front.addr == addr && front.beats == beats,
+		"write-buffer drain mismatch: drove %#x x%d, front %#x x%d", addr, beats, front.addr, front.beats)
+	f.queue = append(f.queue[:0], f.queue[1:]...)
+}
+
+// finish records the completed transaction.
+func (f *fabricComp) finish(now sim.Cycle) {
+	c := &f.cur
+	violated := false
+	if c.port < f.w.NMasters {
+		violated = f.tracker.Record(c.port, c.reqVisible, c.first)
+	}
+	wait := c.grantAt.SubFloor(c.reqVisible)
+	lat := c.first.SubFloor(c.reqVisible)
+	beats, bytes := c.beats, c.beats*f.size.Bytes()
+	if c.erred {
+		beats, bytes = 1, 0
+		f.bus.Masters[c.port].Errors++
+	}
+	f.bus.Masters[c.port].RecordTxn(c.write, beats, bytes, wait, lat, violated)
+	f.bus.BusyBeats += uint64(beats)
+	f.tracer.Add(trace.Record{
+		ID: f.txnID, Master: c.port, Addr: c.addr, Write: c.write, Beats: c.beats,
+		Req: c.reqVisible, Grant: c.grantAt, FirstData: c.first, Done: c.last, Kind: c.kind,
+	})
+	c.active = false
+	// Release ownership unless a pipelined handoff grant is in flight.
+	if f.w.GrantIdx.Get() < 0 {
+		f.w.BusOwner.Set(-1)
+	}
+}
+
+// idle reports whether the fabric has no transaction in flight and no
+// pending write-buffer work.
+func (f *fabricComp) idle() bool { return !f.cur.active && len(f.queue) == 0 }
+
+// Update implements sim.Component.
+func (f *fabricComp) Update(now sim.Cycle) { f.bank.CommitAll() }
+
+// String aids debugging.
+func (f *fabricComp) String() string {
+	return fmt.Sprintf("fabric{cur=%+v wb=%d}", f.cur, len(f.queue))
+}

@@ -1,0 +1,125 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a specific cycle on a Scheduler.
+type Event struct {
+	at  Cycle
+	seq uint64 // FIFO tie-break for events at the same cycle
+	fn  func(now Cycle)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a cycle-keyed event wheel: the execution engine of the
+// method-based TLM. Unlike the cycle-based Kernel it advances directly
+// to the next scheduled event, skipping quiescent cycles entirely.
+// Events at the same cycle run in scheduling (FIFO) order, which keeps
+// runs deterministic.
+type Scheduler struct {
+	q       eventHeap
+	now     Cycle
+	seq     uint64
+	stopped bool
+	stopMsg string
+	free    []*Event // recycled event records
+}
+
+// NewScheduler returns an empty scheduler at cycle 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current cycle; inside an event callback it is the
+// cycle the event was scheduled for.
+func (s *Scheduler) Now() Cycle { return s.now }
+
+// At schedules fn to run at cycle c. Scheduling in the past (c < Now)
+// panics: it indicates a causality bug in the model.
+func (s *Scheduler) At(c Cycle, fn func(now Cycle)) {
+	if c < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn = c, s.seq, fn
+	} else {
+		e = &Event{at: c, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.q, e)
+}
+
+// After schedules fn to run d cycles from now.
+func (s *Scheduler) After(d Cycle, fn func(now Cycle)) {
+	s.At(s.now.AddSat(d), fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.q) }
+
+// PeekNext returns the cycle of the earliest queued event, or CycleMax
+// if the queue is empty.
+func (s *Scheduler) PeekNext() Cycle {
+	if len(s.q) == 0 {
+		return CycleMax
+	}
+	return s.q[0].at
+}
+
+// Stop requests that Run return after the currently executing event.
+func (s *Scheduler) Stop(msg string) {
+	s.stopped = true
+	s.stopMsg = msg
+}
+
+// StopReason returns the message passed to Stop, or "".
+func (s *Scheduler) StopReason() string { return s.stopMsg }
+
+// Run executes events in cycle order until the queue drains, the cycle
+// limit would be exceeded, or Stop is called. It returns the cycle the
+// scheduler stopped at: the cycle of the last executed event, or limit
+// if the first unexecuted event lies beyond it.
+func (s *Scheduler) Run(limit Cycle) Cycle {
+	for len(s.q) > 0 && !s.stopped {
+		if s.q[0].at > limit {
+			s.now = limit
+			return s.now
+		}
+		e := heap.Pop(&s.q).(*Event)
+		s.now = e.at
+		fn := e.fn
+		e.fn = nil
+		if len(s.free) < 64 {
+			s.free = append(s.free, e)
+		}
+		fn(s.now)
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue drains or Stop is called, with
+// no cycle limit.
+func (s *Scheduler) RunAll() Cycle {
+	return s.Run(CycleMax)
+}

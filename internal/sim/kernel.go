@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a hardware block simulated by the two-phase cycle-based
+// Kernel. On every cycle the kernel first calls Eval on every component
+// (phase 1: compute next state from the current, stable signal values)
+// and then Update on every component (phase 2: commit next state so it
+// becomes visible in the following cycle). This is the classic two-step
+// cycle-based scheme: no delta cycles, no event sensitivity lists.
+type Component interface {
+	// Name identifies the component in error messages and traces.
+	Name() string
+	// Eval computes the component's next state from currently visible
+	// signal values. It must not make its own writes visible to other
+	// components within the same cycle.
+	Eval(now Cycle)
+	// Update commits the state computed by Eval.
+	Update(now Cycle)
+}
+
+// Kernel is the two-phase cycle-based simulation kernel used by the
+// pin-accurate model. Components are evaluated in registration order in
+// phase 1 and committed in the same order in phase 2; because phase-1
+// reads only see phase-2 (committed) values, registration order does not
+// affect results.
+type Kernel struct {
+	comps   []Component
+	now     Cycle
+	stopped bool
+	stopMsg string
+}
+
+// ErrStopped is returned by Run when a component requested a stop via
+// Kernel.Stop before the requested cycle count elapsed.
+var ErrStopped = errors.New("sim: stopped by component request")
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Register adds a component to the kernel. Registering the same
+// component twice is a programming error and panics.
+func (k *Kernel) Register(c Component) {
+	for _, existing := range k.comps {
+		if existing == c {
+			panic(fmt.Sprintf("sim: component %q registered twice", c.Name()))
+		}
+	}
+	k.comps = append(k.comps, c)
+}
+
+// Components returns the number of registered components.
+func (k *Kernel) Components() int { return len(k.comps) }
+
+// Now returns the current simulation cycle. During Eval/Update callbacks
+// it is the cycle being simulated.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Stop requests that the simulation stop after the current cycle
+// completes (both phases still run for every component). The message is
+// reported through StopReason.
+func (k *Kernel) Stop(msg string) {
+	k.stopped = true
+	k.stopMsg = msg
+}
+
+// StopReason returns the message passed to Stop, or "" if no stop was
+// requested.
+func (k *Kernel) StopReason() string { return k.stopMsg }
+
+// Step simulates exactly one cycle: phase 1 (Eval) over all components,
+// then phase 2 (Update), then the cycle counter advances.
+func (k *Kernel) Step() {
+	now := k.now
+	for _, c := range k.comps {
+		c.Eval(now)
+	}
+	for _, c := range k.comps {
+		c.Update(now)
+	}
+	k.now++
+}
+
+// Run simulates n cycles, or fewer if a component calls Stop. It returns
+// the number of cycles actually simulated and ErrStopped if the run was
+// cut short.
+func (k *Kernel) Run(n Cycle) (Cycle, error) {
+	start := k.now
+	for i := Cycle(0); i < n; i++ {
+		k.Step()
+		if k.stopped {
+			return k.now - start, ErrStopped
+		}
+	}
+	return k.now - start, nil
+}
+
+// RunUntil simulates cycles until pred returns true (checked after each
+// cycle) or the limit is reached. It returns the number of cycles
+// simulated and whether the predicate was satisfied.
+func (k *Kernel) RunUntil(pred func() bool, limit Cycle) (Cycle, bool) {
+	start := k.now
+	for k.now-start < limit {
+		k.Step()
+		if pred() {
+			return k.now - start, true
+		}
+		if k.stopped {
+			return k.now - start, false
+		}
+	}
+	return k.now - start, false
+}

@@ -1,0 +1,62 @@
+package sim
+
+// Reg is a registered (clocked) value with the two-phase discipline the
+// Kernel expects: reads during Eval observe the value committed at the
+// end of the previous cycle; writes during Eval become visible only
+// after Commit runs in the Update phase.
+//
+// Components own their registers and must call Commit from Update (or
+// embed a RegBank and commit that).
+type Reg[T any] struct {
+	cur, next T
+	dirty     bool
+}
+
+// NewReg returns a register initialized to v in both phases.
+func NewReg[T any](v T) *Reg[T] {
+	return &Reg[T]{cur: v, next: v}
+}
+
+// Get returns the currently visible (committed) value.
+func (r *Reg[T]) Get() T { return r.cur }
+
+// Set schedules v to become visible after the next Commit.
+func (r *Reg[T]) Set(v T) {
+	r.next = v
+	r.dirty = true
+}
+
+// Commit makes the pending value visible. Safe to call when no Set
+// happened (it is then a no-op).
+func (r *Reg[T]) Commit() {
+	if r.dirty {
+		r.cur = r.next
+		r.dirty = false
+	}
+}
+
+// Force immediately sets both phases to v, bypassing the two-phase
+// discipline. Intended for reset logic only.
+func (r *Reg[T]) Force(v T) {
+	r.cur = v
+	r.next = v
+	r.dirty = false
+}
+
+// RegBank groups registers so a component can commit them all with one
+// call from its Update method.
+type RegBank struct {
+	regs []interface{ Commit() }
+}
+
+// Add registers r with the bank and returns the bank for chaining.
+func (b *RegBank) Add(r interface{ Commit() }) {
+	b.regs = append(b.regs, r)
+}
+
+// CommitAll commits every register in the bank.
+func (b *RegBank) CommitAll() {
+	for _, r := range b.regs {
+		r.Commit()
+	}
+}

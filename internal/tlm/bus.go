@@ -1,0 +1,538 @@
+// Package tlm implements the AHB+ transaction-level model — the
+// paper's contribution. It is method-based: masters interact with the
+// bus through transaction calls rather than signal wiggling, and the
+// simulator advances directly from event to event on a cycle-keyed
+// wheel, skipping quiescent cycles. Per-transaction timing is computed
+// arithmetically from the same timing contract the pin-accurate model
+// (internal/rtl) implements signal by signal:
+//
+//	request visible  rv = assert+1
+//	arbitration      T  = max(window floor, rv)
+//	grant visible    T+1
+//	address phase    A  = T+2
+//	memory access    A+1 (shared DDR engine)
+//	data beats       F..L from the engine (posted writes: A+1..A+beats)
+//
+// window floor: with request pipelining, max(L-1, A+1) of the previous
+// transaction; without it, L+1.
+//
+// Remaining abstractions (the deliberate sources of the small TLM
+// error the paper reports): write-buffer occupancy is sampled at
+// arbitration instants rather than per cycle, and queue pushes/pops
+// take effect at the arbitration event rather than at the address
+// phase two cycles later.
+package tlm
+
+import (
+	"fmt"
+
+	"repro/internal/amba"
+	"repro/internal/arb"
+	"repro/internal/bi"
+	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/ddr"
+	"repro/internal/memmodel"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Config assembles a transaction-level simulation. It is deliberately
+// identical in shape to rtl.Config so experiments drive both models
+// from one description.
+type Config struct {
+	// Params is the shared platform configuration.
+	Params config.Params
+	// Gens drives the master ports.
+	Gens []traffic.Generator
+	// Checker receives assertions and property checks (optional).
+	Checker *check.Checker
+	// Tracer records per-transaction timelines (optional).
+	Tracer *trace.Recorder
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Cycles is the simulated cycle count (last completion + 1),
+	// directly comparable with rtl.Result.Cycles.
+	Cycles sim.Cycle
+	// Completed is true when every generator drained and the write
+	// buffer emptied before the cycle cap.
+	Completed bool
+	// Stats is the profile of the run.
+	Stats *stats.Bus
+}
+
+// mState is the method-based master port state.
+type mState struct {
+	gen      traffic.Generator
+	cur      traffic.Req
+	rv       sim.Cycle // request visible cycle
+	pending  bool
+	finished bool
+}
+
+// wbEntry is one posted write awaiting drain.
+type wbEntry struct {
+	addr  uint32
+	beats int
+	// capA is the address-phase cycle of the posting transaction: the
+	// entry becomes visible to the write-buffer pseudo-master one cycle
+	// later, exactly as the pin-accurate WBUsed register behaves.
+	capA sim.Cycle
+}
+
+// wbState is the write-buffer pseudo-master state.
+type wbState struct {
+	queue    []wbEntry
+	pending  bool
+	rv       sim.Cycle
+	draining bool
+}
+
+// Bus is the AHB+ transaction-level model.
+type Bus struct {
+	p       config.Params
+	size    amba.Size
+	sch     *sim.Scheduler
+	eng     *ddr.Engine
+	mem     *memmodel.Memory
+	link    *bi.Link
+	status  *bi.Provider
+	pipe    *arb.Pipeline
+	regs    []qos.Reg
+	tracker *qos.Tracker
+	bus     *stats.Bus
+	chk     *check.Checker
+	tracer  *trace.Recorder
+
+	masters []*mState
+	wb      wbState
+
+	// Arbitration window state of the most recent transaction.
+	lastA, lastL sim.Cycle
+	floor        sim.Cycle // earliest next arbitration cycle
+	nextArbAt    sim.Cycle // scheduled arbitration event (CycleMax none)
+	lastGrant    int
+	served       []uint64
+	totalServed  uint64
+	txnID        uint64
+	maxDone      sim.Cycle
+	rbuf, wbuf   []byte
+	arbFn        func(now sim.Cycle)
+	ddrCap       uint64
+
+	// Reused arbitration-round scratch (method-based TLM hot path).
+	ctx      arb.Context
+	reqsBuf  []arb.Request
+	portsBuf []int
+}
+
+// New assembles the TLM platform. It panics on invalid configuration.
+func New(cfg Config) *Bus {
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	if len(cfg.Gens) != len(cfg.Params.Masters) {
+		panic(fmt.Sprintf("tlm: %d generators for %d masters", len(cfg.Gens), len(cfg.Params.Masters)))
+	}
+	n := len(cfg.Gens)
+	link := bi.NewLink(sim.Cycle(cfg.Params.BILatency))
+	link.Enabled = cfg.Params.BIEnabled
+	eng := ddr.NewEngine(cfg.Params.DDR, cfg.Params.AddrMap)
+	if cfg.Params.ClosedPage {
+		eng.Policy = ddr.ClosedPage
+	}
+	b := &Bus{
+		p:    cfg.Params,
+		size: amba.SizeForBytes(cfg.Params.BusBytes),
+		sch:  sim.NewScheduler(),
+		eng:  eng,
+		mem:  memmodel.New(),
+		link: link,
+		status: &bi.Provider{
+			Link:     link,
+			PermitFn: eng.Permit,
+			InfoFn:   eng.IdleOrOpen,
+		},
+		pipe:      arb.DefaultWith(cfg.Params.Filters),
+		regs:      append(cfg.Params.QoSRegs(), qos.Reg{}),
+		bus:       stats.NewBus(n + 1),
+		chk:       cfg.Checker,
+		tracer:    cfg.Tracer,
+		lastGrant: -1,
+		nextArbAt: sim.CycleMax,
+		served:    make([]uint64, n+1),
+	}
+	b.tracker = qos.NewTracker(b.regs[:n])
+	b.ddrCap = cfg.Params.AddrMap.Capacity()
+	b.arbFn = b.arbEvent
+	b.ctx = arb.Context{
+		QoS: func(m int) qos.Reg {
+			if m < len(b.regs) {
+				return b.regs[m]
+			}
+			return qos.Reg{}
+		},
+		Status: func(addr uint32) bi.BankStatus {
+			return b.status.Status(b.ctx.Now, addr)
+		},
+		WBCap:            cfg.Params.WriteBufferDepth,
+		UrgencyThreshold: sim.Cycle(cfg.Params.UrgencyThreshold),
+		ServedBeats:      func(m int) uint64 { return b.served[m] },
+	}
+	for i := 0; i < n; i++ {
+		b.bus.Masters[i].Name = cfg.Params.Masters[i].Name
+	}
+	b.bus.Masters[n].Name = "wbuf"
+	for _, g := range cfg.Gens {
+		m := &mState{gen: g}
+		b.masters = append(b.masters, m)
+		b.fetch(m, 0, true)
+	}
+	// Arm the first arbitration round for the earliest initial request.
+	b.rescheduleForPending(0)
+	return b
+}
+
+// wbIndex is the write-buffer pseudo-master port number.
+func (b *Bus) wbIndex() int { return len(b.masters) }
+
+// fetch pulls master m's next request and marks it pending from its
+// visibility cycle m.rv onward. prevDone is the completion cycle of
+// the previous transaction (0 and first=true for the initial fetch).
+// Arbitration scheduling for the new request is handled by the
+// caller's rescheduleForPending pass — there is no per-request event,
+// which is a large part of the method-based model's speed.
+func (b *Bus) fetch(m *mState, prevDone sim.Cycle, first bool) {
+	req, ok := m.gen.Next(prevDone)
+	if !ok {
+		m.finished = true
+		return
+	}
+	if req.Beats <= 0 {
+		b.chk.Assert(false, "generator %s produced empty burst", m.gen.Name())
+	}
+	m.cur = req
+	assert := req.At
+	if !first {
+		assert = sim.MaxCycle(req.At, prevDone+1)
+	}
+	m.rv = assert + 1
+	m.pending = true
+}
+
+// scheduleArb (re)schedules the arbitration event no earlier than the
+// window floor and the given cycle.
+func (b *Bus) scheduleArb(from sim.Cycle) {
+	t := sim.MaxCycle(b.floor, from)
+	if t >= b.nextArbAt {
+		return // an earlier or equal arbitration is already scheduled
+	}
+	b.nextArbAt = t
+	b.sch.At(t, b.arbFn)
+}
+
+// deliverHints applies BI messages due by the cutoff cycle to the
+// controller, each at its true delivery time — the pin-accurate fabric
+// polls the link every cycle, so its hints always land at their due
+// cycle, and the TLM must match.
+func (b *Bus) deliverHints(upTo sim.Cycle) {
+	for _, d := range b.link.DeliverUpTo(upTo) {
+		b.eng.Hint(d.At, d.Msg.Addr, d.Msg.Write)
+	}
+}
+
+// arbEvent is one arbitration round at its scheduled cycle.
+func (b *Bus) arbEvent(now sim.Cycle) {
+	if now != b.nextArbAt {
+		return // superseded by a rescheduled round
+	}
+	b.nextArbAt = sim.CycleMax
+	if now < b.floor {
+		// A stale event from before the floor moved; reschedule.
+		b.scheduleArb(b.floor)
+		return
+	}
+	// The pin-accurate fabric delivers hints after the arbiter has
+	// evaluated within a cycle, so at cycle `now` the arbiter observes
+	// controller state including hints due through now-1 only.
+	b.deliverHints(now.SubFloor(1))
+
+	// Collect the requests visible this cycle into reused buffers.
+	reqs := b.reqsBuf[:0]
+	ports := b.portsBuf[:0]
+	for i, m := range b.masters {
+		if m.pending && m.rv <= now {
+			reqs = append(reqs, arb.Request{
+				Master: i, Addr: m.cur.Addr, Write: m.cur.Write,
+				Beats: m.cur.Beats, Since: m.rv,
+			})
+			ports = append(ports, i)
+		}
+	}
+	if b.wb.pending && b.wb.rv <= now && len(b.wb.queue) > 0 {
+		front := b.wb.queue[0]
+		reqs = append(reqs, arb.Request{
+			Master: b.wbIndex(), Addr: front.addr, Write: true,
+			Beats: front.beats, Since: b.wb.rv, IsWriteBuf: true,
+		})
+		ports = append(ports, b.wbIndex())
+	}
+	b.reqsBuf, b.portsBuf = reqs, ports
+	if len(reqs) == 0 {
+		b.rescheduleForPending(now)
+		return
+	}
+
+	b.ctx.Now = now
+	b.ctx.Reqs = reqs
+	b.ctx.WBUsed = len(b.wb.queue)
+	b.ctx.TotalBeats = b.totalServed
+	b.ctx.LastGrant = b.lastGrant
+	win, ok := b.pipe.Select(&b.ctx)
+	if !ok {
+		// Permission veto (refresh window): retry next cycle, like the
+		// pin-accurate arbiter does.
+		b.scheduleArb(now + 1)
+		return
+	}
+	b.grant(now, ports[win], reqs[win])
+	b.rescheduleForPending(now + 1)
+}
+
+// rescheduleForPending arms the next arbitration for the earliest
+// pending request, if any.
+func (b *Bus) rescheduleForPending(now sim.Cycle) {
+	earliest := sim.CycleMax
+	for _, m := range b.masters {
+		if m.pending && m.rv < earliest {
+			earliest = m.rv
+		}
+	}
+	if b.wb.pending && len(b.wb.queue) > 0 && b.wb.rv < earliest {
+		earliest = b.wb.rv
+	}
+	if earliest == sim.CycleMax {
+		return
+	}
+	b.scheduleArb(sim.MaxCycle(earliest, now))
+}
+
+// grant times the winning transaction and commits all bus state.
+func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
+	grantVis := t + 1
+	a := t + 2
+	// Protocol property, mirroring the pin-accurate fabric's capture
+	// check: the burst must be AHB-legal.
+	legal := amba.Txn{Master: port, Addr: req.Addr, Write: req.Write,
+		Burst: amba.FixedBurstFor(req.Beats, false), Size: b.size, Beats: req.Beats}
+	if err := legal.Validate(); err == nil {
+		b.chk.PropertyOK()
+	} else {
+		b.chk.Property(t, "burst-legal", false, "master %d drove an illegal burst: %v", port, err)
+	}
+	b.txnID++
+	b.lastGrant = port
+	b.served[port] += uint64(req.Beats)
+	b.totalServed += uint64(req.Beats)
+	b.bus.Grants++
+
+	// Announce over BI for bank interleaving (delivered before the next
+	// engine access, mirroring the fabric's per-cycle delivery).
+	b.link.Send(t, bi.NextTxn{Master: port, Addr: req.Addr, Write: req.Write, Beats: req.Beats})
+
+	isWB := port == b.wbIndex()
+	var first, last sim.Cycle
+	var kind string
+	erred := false
+	inDDR := uint64(req.Addr) < b.ddrCap
+	switch {
+	case !inDDR && b.p.SRAM.Contains(req.Addr):
+		// On-chip SRAM slave: fixed wait states, then one beat/cycle.
+		first = a + 1 + sim.Cycle(b.p.SRAM.WaitStates)
+		last = first + sim.Cycle(req.Beats-1)
+		kind = "sram"
+		if req.Write {
+			b.writePayload(port, req.Addr, req.Beats)
+		} else {
+			n := req.Beats * b.size.Bytes()
+			if cap(b.rbuf) < n {
+				b.rbuf = make([]byte, n)
+			}
+			b.rbuf = b.rbuf[:n]
+			b.mem.Read(req.Addr, b.rbuf)
+		}
+	case !inDDR:
+		// Unmapped: single ERROR beat from the default slave.
+		first = a + 1
+		last = a + 1
+		erred = true
+		kind = "error"
+	case req.Write && !isWB && b.p.WriteBufferDepth > 0 && len(b.wb.queue) < b.p.WriteBufferDepth:
+		// Posted write: absorbed at bus speed.
+		first = a + 1
+		last = a + sim.Cycle(req.Beats)
+		kind = "posted"
+		b.wb.queue = append(b.wb.queue, wbEntry{addr: req.Addr, beats: req.Beats, capA: a})
+		b.writePayload(port, req.Addr, req.Beats)
+		b.bus.WBPosted++
+		if len(b.wb.queue) > b.bus.WBPeak {
+			b.bus.WBPeak = len(b.wb.queue)
+		}
+		if !b.wb.pending && !b.wb.draining {
+			b.wb.pending = true
+			b.wb.rv = a + 2
+		}
+	default:
+		if req.Write && !isWB && b.p.WriteBufferDepth > 0 {
+			b.bus.WBFullStalls++
+		}
+		// The fabric delivers hints due through A at the top of the
+		// capture cycle, before it consults the engine.
+		b.deliverHints(a)
+		res := b.eng.Access(a+1, req.Addr, req.Write, req.Beats)
+		first, last = res.FirstData, res.LastData
+		kind = res.Kind.String()
+		if req.Write {
+			if isWB {
+				b.chk.Assert(len(b.wb.queue) > 0, "write-buffer drain with empty queue")
+				b.wb.queue = append(b.wb.queue[:0], b.wb.queue[1:]...)
+				b.wb.pending = false
+				b.wb.draining = true
+				b.bus.WBDrained++
+			} else {
+				b.writePayload(port, req.Addr, req.Beats)
+			}
+		} else {
+			n := req.Beats * b.size.Bytes()
+			if cap(b.rbuf) < n {
+				b.rbuf = make([]byte, n)
+			}
+			b.rbuf = b.rbuf[:n]
+			b.mem.Read(req.Addr, b.rbuf)
+		}
+	}
+
+	if first > t {
+		b.chk.PropertyOK()
+	} else {
+		b.chk.Property(t, "data-after-grant", false,
+			"txn %d first data %v not after arbitration %v", b.txnID, first, t)
+	}
+
+	// Account the completed transaction (its timing is fully known).
+	violated := false
+	if !isWB {
+		violated = b.tracker.Record(port, req.Since, first)
+	}
+	wait := grantVis.SubFloor(req.Since)
+	lat := first.SubFloor(req.Since)
+	beats, bytes := req.Beats, req.Beats*b.size.Bytes()
+	if erred {
+		beats, bytes = 1, 0
+		b.bus.Masters[port].Errors++
+	}
+	b.bus.Masters[port].RecordTxn(req.Write, beats, bytes, wait, lat, violated)
+	b.bus.BusyBeats += uint64(beats)
+	b.tracer.Add(trace.Record{
+		ID: b.txnID, Master: port, Addr: req.Addr, Write: req.Write, Beats: req.Beats,
+		Req: req.Since, Grant: grantVis, FirstData: first, Done: last, Kind: kind,
+	})
+	if last > b.maxDone {
+		b.maxDone = last
+	}
+
+	// Move the arbitration window.
+	b.lastA, b.lastL = a, last
+	if b.p.Pipelining {
+		b.floor = sim.MaxCycle(last.SubFloor(1), a+1)
+	} else {
+		b.floor = last + 1
+	}
+
+	// Schedule the port's next activity. A master's next request is
+	// computed immediately (generators are pure functions of the
+	// completion time); the write buffer needs a completion event
+	// because its re-request depends on the queue length at drain end,
+	// which posted writes granted in the meantime can change.
+	if isWB {
+		b.sch.At(last, func(done sim.Cycle) {
+			b.wb.draining = false
+			if len(b.wb.queue) > 0 {
+				b.wb.pending = true
+				// The pseudo-master re-asserts one cycle after both the
+				// drain completion and the front entry's visibility
+				// (its posting transaction's address phase + 1).
+				b.wb.rv = sim.MaxCycle(done, b.wb.queue[0].capA) + 2
+				b.scheduleArb(b.wb.rv)
+			}
+		})
+	} else {
+		m := b.masters[port]
+		m.pending = false
+		b.fetch(m, last, false)
+	}
+}
+
+// writePayload writes the master's deterministic pattern to memory
+// (datapath abstracted, identical to the pin-accurate model's pattern).
+func (b *Bus) writePayload(port int, addr uint32, beats int) {
+	n := beats * b.size.Bytes()
+	if cap(b.wbuf) < n {
+		b.wbuf = make([]byte, n)
+	}
+	b.wbuf = b.wbuf[:n]
+	for i := 0; i < n; i++ {
+		b.wbuf[i] = payloadByte(port, addr+uint32(i))
+	}
+	b.mem.Write(addr, b.wbuf)
+}
+
+// payloadByte matches rtl.writePattern so cross-model data checks hold.
+func payloadByte(master int, addr uint32) byte {
+	return byte(uint32(master)*31 + addr*7 + (addr >> 8))
+}
+
+// done reports whether all workloads and the write buffer drained.
+func (b *Bus) done() bool {
+	for _, m := range b.masters {
+		if !m.finished {
+			return false
+		}
+	}
+	return len(b.wb.queue) == 0 && !b.wb.draining
+}
+
+// Run simulates until every workload drains or maxCycles elapses
+// (0 means a generous default cap).
+func (b *Bus) Run(maxCycles sim.Cycle) Result {
+	if maxCycles == 0 {
+		maxCycles = 50_000_000
+	}
+	b.sch.Run(maxCycles)
+	completed := b.done() && b.sch.Pending() == 0
+	b.bus.Cycles = b.maxDone + 1
+	if !completed && b.sch.Now() > b.maxDone {
+		b.bus.Cycles = b.sch.Now()
+	}
+	b.bus.DDR = b.eng.Stats()
+	ps := b.pipe.Stats()
+	b.bus.ArbRounds = ps.Rounds
+	for k, v := range ps.Decisive {
+		b.bus.FilterDecisive[k] = v
+	}
+	return Result{Cycles: b.bus.Cycles, Completed: completed, Stats: b.bus}
+}
+
+// Mem exposes the backing store for end-to-end data checks.
+func (b *Bus) Mem() *memmodel.Memory { return b.mem }
+
+// Engine exposes the DDR engine for tests.
+func (b *Bus) Engine() *ddr.Engine { return b.eng }
+
+// Tracker exposes QoS outcomes.
+func (b *Bus) Tracker() *qos.Tracker { return b.tracker }

@@ -1,0 +1,157 @@
+package tlm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// randomPlatform derives a platform configuration from a seed, sampling
+// the whole parameter space of §3.7: write-buffer depth, pipelining,
+// BI, filter set, QoS classes.
+func randomPlatform(rng *rand.Rand, masters int) config.Params {
+	p := config.Default(masters)
+	p.WriteBufferDepth = []int{0, 2, 4, 8, 16}[rng.Intn(5)]
+	p.Pipelining = rng.Intn(2) == 0
+	p.BIEnabled = rng.Intn(2) == 0
+	p.BILatency = uint64(rng.Intn(3))
+	p.Filters.Permission = rng.Intn(2) == 0
+	p.Filters.Urgency = rng.Intn(2) == 0
+	p.Filters.RealTime = rng.Intn(2) == 0
+	p.Filters.Bandwidth = rng.Intn(2) == 0
+	p.Filters.BankAffinity = rng.Intn(2) == 0
+	p.Filters.WriteBuffer = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		p.DDR = p.DDR.NoRefresh()
+	}
+	p.ClosedPage = rng.Intn(3) == 0
+	if rng.Intn(3) == 0 {
+		p.SRAM = config.SRAMCfg{
+			Enabled:    true,
+			Base:       uint32(p.AddrMap.Capacity()),
+			Size:       1 << 16,
+			WaitStates: uint64(rng.Intn(4)),
+		}
+	}
+	for i := range p.Masters {
+		if rng.Intn(3) == 0 {
+			p.Masters[i].RealTime = true
+			p.Masters[i].QoSObjective = uint64(rng.Intn(400) + 50)
+		}
+		if rng.Intn(3) == 0 {
+			p.Masters[i].BandwidthQuota = float64(rng.Intn(4)) * 0.1
+		}
+	}
+	return p
+}
+
+// randomGens derives a reproducible workload mix from a seed.
+func randomGens(seed int64, masters, txns int) func() []traffic.Generator {
+	return func() []traffic.Generator {
+		rng := rand.New(rand.NewSource(seed))
+		gens := make([]traffic.Generator, masters)
+		for i := range gens {
+			base := uint32(i) << 19
+			switch rng.Intn(4) {
+			case 0:
+				gens[i] = &traffic.Sequential{Base: base, Beats: []int{1, 4, 8, 16}[rng.Intn(4)],
+					Count: txns, Gap: 0, WriteEvery: rng.Intn(4)}
+			case 1:
+				gens[i] = &traffic.Random{Seed: rng.Int63(), Base: base, WindowBytes: 1 << 17,
+					MaxBeats: 8, WriteFrac: rng.Float64(), MeanGap: rng.Intn(20), Count: txns}
+			case 2:
+				gens[i] = &traffic.Bursty{Base: base, Beats: 4, BurstTxns: rng.Intn(6) + 2,
+					IdleGap: sim.Cycle(50 + 10*rng.Intn(20)), Count: txns, Write: rng.Intn(2) == 0}
+			default:
+				gens[i] = &traffic.Stream{Base: base, Beats: 4, Period: sim.Cycle(30 + 10*rng.Intn(10)), Count: txns}
+			}
+		}
+		return gens
+	}
+}
+
+// TestFuzzCrossModelAgreement drives randomized platform configurations
+// and workloads through both abstraction levels and requires the cycle
+// counts to track within the paper's accuracy band and memory contents
+// to match exactly. This is the repository's strongest evidence that
+// the TLM is faithful across the whole configuration space, not just on
+// the Table 1 scenarios.
+func TestFuzzCrossModelAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz equivalence in -short mode")
+	}
+	f := func(seedRaw int64) bool {
+		seed := seedRaw
+		rng := rand.New(rand.NewSource(seed))
+		masters := rng.Intn(3) + 1
+		p := randomPlatform(rng, masters)
+		mk := randomGens(rng.Int63(), masters, 40)
+
+		rb := rtl.New(rtl.Config{Params: p, Gens: mk(), Checker: &check.Checker{PanicOnProperty: true}})
+		rres := rb.Run(3_000_000)
+		tb := New(Config{Params: p, Gens: mk(), Checker: &check.Checker{PanicOnProperty: true}})
+		tres := tb.Run(3_000_000)
+		if !rres.Completed || !tres.Completed {
+			t.Logf("seed %d: incomplete (rtl=%v tlm=%v)", seed, rres.Completed, tres.Completed)
+			return false
+		}
+		// Cycle agreement within the paper's error band.
+		d := float64(rres.Cycles) - float64(tres.Cycles)
+		if d < 0 {
+			d = -d
+		}
+		if errPct := 100 * d / float64(rres.Cycles); errPct > 10 {
+			t.Logf("seed %d: cycle divergence %.2f%% (rtl=%d tlm=%d, cfg=%+v)",
+				seed, errPct, rres.Cycles, tres.Cycles, p)
+			return false
+		}
+		// Transaction counts must match exactly.
+		for i := 0; i < masters; i++ {
+			if rres.Stats.Masters[i].Txns != tres.Stats.Masters[i].Txns {
+				t.Logf("seed %d: master %d txns diverged", seed, i)
+				return false
+			}
+		}
+		// Memory contents must be identical.
+		srng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for k := 0; k < 2000; k++ {
+			a := uint32(srng.Intn(1 << 21))
+			if rb.Mem().ByteAt(a) != tb.Mem().ByteAt(a) {
+				t.Logf("seed %d: memory diverged at %#x", seed, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzTLMDeterminism replays the same seed twice through the TLM
+// and requires bit-identical outcomes.
+func TestFuzzTLMDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() (uint64, uint64) {
+			rng := rand.New(rand.NewSource(seed))
+			masters := rng.Intn(3) + 1
+			p := randomPlatform(rng, masters)
+			mk := randomGens(rng.Int63(), masters, 30)
+			b := New(Config{Params: p, Gens: mk()})
+			res := b.Run(3_000_000)
+			return uint64(res.Cycles), res.Stats.TotalTxns()
+		}
+		c1, t1 := run()
+		c2, t2 := run()
+		return c1 == c2 && t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

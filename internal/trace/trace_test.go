@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Record {
+	return Record{ID: 1, Master: 2, Addr: 0x1000, Write: true, Beats: 4,
+		Req: 10, Grant: 12, FirstData: 18, Done: 21, Kind: "miss"}
+}
+
+func TestRecorderStores(t *testing.T) {
+	r := New(0)
+	r.Add(sample())
+	if len(r.Records()) != 1 {
+		t.Fatalf("stored %d", len(r.Records()))
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Add(Record{ID: uint64(i)})
+	}
+	if len(r.Records()) != 2 || r.Dropped() != 3 {
+		t.Fatalf("stored=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(sample()) // must not panic
+	if r.Records() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder state")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New(0)
+	r.Add(sample())
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"0x1000", "W", "miss", "18", "21"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	r.Add(sample())
+	rec := sample()
+	rec.ID, rec.Write = 2, false
+	r.Add(rec)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "id,master,dir") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",W,") || !strings.Contains(lines[2], ",R,") {
+		t.Fatalf("direction columns wrong:\n%s", b.String())
+	}
+}

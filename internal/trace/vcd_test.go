@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDHeader(t *testing.T) {
+	var b strings.Builder
+	v := NewVCD(&b)
+	v.AddSignal("clk", 1)
+	v.AddSignal("addr", 32)
+	if err := v.Begin("top"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 32 \" addr $end",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("header missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDChangeOnlyEmission(t *testing.T) {
+	var b strings.Builder
+	v := NewVCD(&b)
+	clk := v.AddSignal("clk", 1)
+	if err := v.Begin("top"); err != nil {
+		t.Fatal(err)
+	}
+	v.Sample(0, clk, 1)
+	v.Sample(1, clk, 1) // unchanged: must not emit
+	v.Sample(2, clk, 0)
+	v.Flush()
+	out := b.String()
+	if !strings.Contains(out, "#0\n1!") {
+		t.Fatalf("missing initial change:\n%s", out)
+	}
+	if strings.Contains(out, "#1") {
+		t.Fatalf("unchanged sample emitted a timestamp:\n%s", out)
+	}
+	if !strings.Contains(out, "#2\n0!") {
+		t.Fatalf("missing change at t=2:\n%s", out)
+	}
+}
+
+func TestVCDVectorFormat(t *testing.T) {
+	var b strings.Builder
+	v := NewVCD(&b)
+	addr := v.AddSignal("addr", 16)
+	if err := v.Begin("top"); err != nil {
+		t.Fatal(err)
+	}
+	v.Sample(5, addr, 0xAB)
+	v.Flush()
+	if !strings.Contains(b.String(), "b10101011 !") {
+		t.Fatalf("vector change format wrong:\n%s", b.String())
+	}
+	// Values are masked to the declared width.
+	v.Sample(6, addr, 0x1FFFF)
+	v.Flush()
+	if !strings.Contains(b.String(), "b1111111111111111 !") {
+		t.Fatalf("width mask not applied:\n%s", b.String())
+	}
+}
+
+func TestVCDIdCodesUnique(t *testing.T) {
+	var b strings.Builder
+	v := NewVCD(&b)
+	for i := 0; i < 200; i++ {
+		v.AddSignal(sname(i), 1)
+	}
+	if err := v.Begin("m"); err != nil {
+		t.Fatal(err)
+	}
+	// 200 distinct codes must appear in the header.
+	lines := strings.Split(b.String(), "\n")
+	codes := map[string]bool{}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "$var") {
+			parts := strings.Fields(l)
+			codes[parts[3]] = true
+		}
+	}
+	if len(codes) != 200 {
+		t.Fatalf("%d unique id codes, want 200", len(codes))
+	}
+	if got := v.SortedSignals(); len(got) != 200 {
+		t.Fatalf("Signals() returned %d names", len(got))
+	}
+}
+
+func sname(i int) string { return "s" + string(rune('a'+i%26)) + string(rune('0'+i%10)) }
+
+func TestVCDMisuse(t *testing.T) {
+	var b strings.Builder
+	v := NewVCD(&b)
+	id := v.AddSignal("x", 1)
+	mustPanic(t, func() { NewVCD(&b).Sample(0, 0, 0) })
+	mustPanic(t, func() { v.AddSignal("bad", 0) })
+	if err := v.Begin("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Begin("m"); err == nil {
+		t.Fatal("double Begin should error")
+	}
+	mustPanic(t, func() { v.AddSignal("late", 1) })
+	v.Sample(0, id, 1) // still usable
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/amba"
+	"repro/internal/sim"
+)
+
+// LoadCSV parses a transaction trace into one Script generator per
+// master, so captured or externally generated workloads can be replayed
+// through either model. The format is one transaction per row:
+//
+//	master,at,addr,dir,beats
+//	0,0,0x1000,R,8
+//	1,25,0x80000,W,4
+//
+// A header row is optional (detected by a non-numeric first field).
+// `at` is the earliest request cycle (absolute floor, like Script),
+// `addr` accepts 0x-prefixed hex or decimal, `dir` is R or W.
+func LoadCSV(r io.Reader) ([]Generator, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: reading trace: %w", err)
+	}
+	perMaster := map[int][]Req{}
+	maxMaster := -1
+	for i, row := range rows {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("traffic: row %d has %d fields, want 5", i+1, len(row))
+		}
+		if i == 0 {
+			if _, err := strconv.Atoi(strings.TrimSpace(row[0])); err != nil {
+				continue // header row
+			}
+		}
+		master, err := strconv.Atoi(strings.TrimSpace(row[0]))
+		if err != nil || master < 0 {
+			return nil, fmt.Errorf("traffic: row %d: bad master %q", i+1, row[0])
+		}
+		at, err := strconv.ParseUint(strings.TrimSpace(row[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad cycle %q", i+1, row[1])
+		}
+		addr, err := parseAddr(strings.TrimSpace(row[2]))
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: %w", i+1, err)
+		}
+		dir := strings.ToUpper(strings.TrimSpace(row[3]))
+		if dir != "R" && dir != "W" {
+			return nil, fmt.Errorf("traffic: row %d: bad direction %q", i+1, row[3])
+		}
+		beats, err := strconv.Atoi(strings.TrimSpace(row[4]))
+		if err != nil || beats < 1 || beats > 16 {
+			return nil, fmt.Errorf("traffic: row %d: bad beat count %q", i+1, row[4])
+		}
+		perMaster[master] = append(perMaster[master], Req{
+			At:    sim.Cycle(at),
+			Addr:  addr,
+			Write: dir == "W",
+			Burst: amba.FixedBurstFor(beats, false),
+			Beats: beats,
+		})
+		if master > maxMaster {
+			maxMaster = master
+		}
+	}
+	if maxMaster < 0 {
+		return nil, fmt.Errorf("traffic: trace contains no transactions")
+	}
+	gens := make([]Generator, maxMaster+1)
+	for m := 0; m <= maxMaster; m++ {
+		gens[m] = &Script{
+			NameStr: fmt.Sprintf("trace-m%d", m),
+			Reqs:    perMaster[m],
+		}
+	}
+	return gens, nil
+}
+
+func parseAddr(s string) (uint32, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		s = s[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return uint32(v), nil
+}

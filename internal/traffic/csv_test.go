@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `master,at,addr,dir,beats
+0,0,0x1000,R,8
+1,25,0x80000,W,4
+0,40,4096,r,1
+2,5,0x100000,w,16
+`
+
+func TestLoadCSV(t *testing.T) {
+	gens, err := LoadCSV(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("%d generators, want 3 (max master + 1)", len(gens))
+	}
+	r0, ok := gens[0].Next(0)
+	if !ok || r0.Addr != 0x1000 || r0.Write || r0.Beats != 8 {
+		t.Fatalf("m0 first req %+v", r0)
+	}
+	r0b, ok := gens[0].Next(100) // prevDone floor applies
+	if !ok || r0b.Addr != 4096 || r0b.At != 100 {
+		t.Fatalf("m0 second req %+v", r0b)
+	}
+	if _, ok := gens[0].Next(0); ok {
+		t.Fatal("m0 should be exhausted")
+	}
+	r1, ok := gens[1].Next(0)
+	if !ok || !r1.Write || r1.At != 25 {
+		t.Fatalf("m1 req %+v", r1)
+	}
+	r2, _ := gens[2].Next(0)
+	if r2.Beats != 16 || !r2.Write {
+		t.Fatalf("m2 req %+v", r2)
+	}
+	if gens[0].Name() != "trace-m0" {
+		t.Fatalf("name %q", gens[0].Name())
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	gens, err := LoadCSV(strings.NewReader("0,0,0x40,R,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("%d generators", len(gens))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"wrong fields", "0,0,0x40,R\n"},
+		{"bad master", "x,0,0x40,R,4\n0,0,0x40,R,4\nbogus,0,0x40,R,4\n"},
+		{"negative master", "-1,0,0x40,R,4\n"},
+		{"bad cycle", "0,abc,0x40,R,4\n"},
+		{"bad addr", "0,0,zz,R,4\n"},
+		{"bad dir", "0,0,0x40,Q,4\n"},
+		{"bad beats", "0,0,0x40,R,99\n"},
+		{"zero beats", "0,0,0x40,R,0\n"},
+		{"empty", "master,at,addr,dir,beats\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted invalid trace", c.name)
+		}
+	}
+}
+
+func TestLoadCSVGapFillsIdleMasters(t *testing.T) {
+	// Master 1 absent from the trace: it gets an empty script, not a
+	// nil slot.
+	gens, err := LoadCSV(strings.NewReader("0,0,0x40,R,4\n2,0,0x80,R,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	if _, ok := gens[1].Next(0); ok {
+		t.Fatal("idle master should produce nothing")
+	}
+}

@@ -1,0 +1,71 @@
+package traffic
+
+import "repro/internal/sim"
+
+// Threaded wraps a Generator so that every Next crosses a goroutine
+// boundary: the wrapped generator runs in its own goroutine and each
+// call performs a synchronous channel rendezvous, the way a
+// thread-based TLM synchronizes one simulation thread per master with
+// the kernel. The paper chose method-based modeling over thread-based
+// modeling for speed (§4); benchmarking the same workload through
+// Threaded generators reproduces that comparison.
+type Threaded struct {
+	inner   Generator
+	reqCh   chan sim.Cycle
+	respCh  chan threadResp
+	started bool
+}
+
+type threadResp struct {
+	req Req
+	ok  bool
+}
+
+// NewThreaded returns a thread-backed view of g. The goroutine starts
+// lazily on the first Next and exits when the generator is exhausted or
+// Reset is called.
+func NewThreaded(g Generator) *Threaded {
+	return &Threaded{inner: g}
+}
+
+// Name implements Generator.
+func (t *Threaded) Name() string { return t.inner.Name() + "+thread" }
+
+func (t *Threaded) start() {
+	t.reqCh = make(chan sim.Cycle)
+	t.respCh = make(chan threadResp)
+	t.started = true
+	go func(req <-chan sim.Cycle, resp chan<- threadResp) {
+		for prevDone := range req {
+			r, ok := t.inner.Next(prevDone)
+			resp <- threadResp{r, ok}
+			if !ok {
+				return
+			}
+		}
+	}(t.reqCh, t.respCh)
+}
+
+// Next implements Generator by round-tripping through the master
+// goroutine.
+func (t *Threaded) Next(prevDone sim.Cycle) (Req, bool) {
+	if !t.started {
+		t.start()
+	}
+	t.reqCh <- prevDone
+	r := <-t.respCh
+	if !r.ok {
+		t.started = false
+	}
+	return r.req, r.ok
+}
+
+// Reset implements Generator. Any running goroutine is released and the
+// inner generator rewound.
+func (t *Threaded) Reset() {
+	if t.started {
+		close(t.reqCh)
+		t.started = false
+	}
+	t.inner.Reset()
+}
