@@ -4,9 +4,13 @@
 // printed in the layout of the paper's table. The paper reports an
 // average accuracy difference below 3%.
 //
+// The twelve scenario comparisons run concurrently on the internal/farm
+// worker pool (each comparison itself runs its two models in parallel);
+// the printed table stays in deterministic scenario order.
+//
 // Usage:
 //
-//	accuracy [-csv]
+//	accuracy [-csv] [-workers N]
 package main
 
 import (
@@ -19,9 +23,10 @@ import (
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	workers := flag.Int("workers", 0, "max concurrent scenario comparisons (0 = one per CPU)")
 	flag.Parse()
 
-	rows, avg := core.CompareAll(core.Table1Scenarios())
+	rows, avg := core.CompareAllN(core.Table1Scenarios(), *workers)
 	if *csvOut {
 		fmt.Println("scenario,rtl_cycles,tl_cycles,diff_pct")
 		for _, r := range rows {

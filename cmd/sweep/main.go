@@ -1,11 +1,14 @@
 // Command sweep runs the ablation experiments of DESIGN.md: write
 // buffer depth (A1), request pipelining (A2), BI/bank interleaving
-// (A3), and the arbitration filter set (A4). Each sweep prints the
-// metric the feature exists to move.
+// (A3), the arbitration filter set (A4), the DDRC page policy (A6) and
+// the bus width (A7). Each sweep prints the metric the feature exists
+// to move. The independent runs of a sweep execute concurrently on the
+// internal/farm worker pool, so multi-scenario sweeps scale with cores
+// while the printed tables stay in deterministic order.
 //
 // Usage:
 //
-//	sweep [-which wb|pipelining|bi|filters|all] [-txns N]
+//	sweep [-which wb|pipelining|bi|filters|pagepolicy|buswidth|all] [-txns N] [-workers N]
 package main
 
 import (
@@ -14,24 +17,38 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/farm"
 )
 
-func runTLM(w core.Workload) core.RunResult {
-	res := core.Run(w, core.TLM, core.Options{})
-	if !res.Completed {
-		fmt.Fprintf(os.Stderr, "sweep: %s did not complete\n", w.Name)
-		os.Exit(1)
+// workers is the farm bound shared by every sweep (-workers flag).
+var workers int
+
+// runAll executes the workloads on the farm (TLM, index order results)
+// and exits nonzero if any run failed to drain.
+func runAll(ws []core.Workload) []core.RunResult {
+	results := farm.Map(workers, len(ws), func(i int) core.RunResult {
+		return core.Run(ws[i], core.TLM, core.Options{})
+	})
+	for i, res := range results {
+		if !res.Completed {
+			fmt.Fprintf(os.Stderr, "sweep: %s did not complete\n", ws[i].Name)
+			os.Exit(1)
+		}
 	}
-	return res
+	return results
 }
 
 func sweepWB(txns int) {
 	fmt.Println("A1: write-buffer depth sweep (saturating write-heavy 3-master workload)")
 	fmt.Printf("%8s %10s %12s %12s %14s %12s\n", "depth", "cycles", "meanLat(m0)", "meanLat(m1)", "util%", "fullStalls")
-	for _, d := range core.AblationWriteBufferDepths() {
-		res := runTLM(core.SaturatingWorkload(d, txns))
+	depths := core.AblationWriteBufferDepths()
+	var ws []core.Workload
+	for _, d := range depths {
+		ws = append(ws, core.SaturatingWorkload(d, txns))
+	}
+	for i, res := range runAll(ws) {
 		fmt.Printf("%8d %10d %12.1f %12.1f %14.1f %12d\n",
-			d, uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
+			depths[i], uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
 			res.Stats.Masters[1].MeanLatency(),
 			100*res.Stats.Utilization(), res.Stats.WBFullStalls)
 	}
@@ -41,11 +58,15 @@ func sweepWB(txns int) {
 func sweepPipelining(txns int) {
 	fmt.Println("A2: request pipelining on/off (saturating 3-master workload)")
 	fmt.Printf("%12s %10s %14s\n", "pipelining", "cycles", "util%")
-	for _, on := range []bool{true, false} {
+	modes := []bool{true, false}
+	var ws []core.Workload
+	for _, on := range modes {
 		w := core.SaturatingWorkload(8, txns)
 		w.Params.Pipelining = on
-		res := runTLM(w)
-		fmt.Printf("%12v %10d %14.1f\n", on, uint64(res.Cycles), 100*res.Stats.Utilization())
+		ws = append(ws, w)
+	}
+	for i, res := range runAll(ws) {
+		fmt.Printf("%12v %10d %14.1f\n", modes[i], uint64(res.Cycles), 100*res.Stats.Utilization())
 	}
 	fmt.Println()
 }
@@ -53,10 +74,14 @@ func sweepPipelining(txns int) {
 func sweepBI(txns int) {
 	fmt.Println("A3: BI / bank interleaving on/off (bank-striped streams)")
 	fmt.Printf("%6s %10s %12s %12s %12s\n", "BI", "cycles", "rowHit%", "hintActs", "util%")
-	for _, on := range []bool{true, false} {
-		res := runTLM(core.InterleavingWorkload(on, txns))
+	modes := []bool{true, false}
+	var ws []core.Workload
+	for _, on := range modes {
+		ws = append(ws, core.InterleavingWorkload(on, txns))
+	}
+	for i, res := range runAll(ws) {
 		fmt.Printf("%6v %10d %12.1f %12d %12.1f\n",
-			on, uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
+			modes[i], uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
 			res.Stats.DDR.HintActivates, 100*res.Stats.Utilization())
 	}
 	fmt.Println()
@@ -65,7 +90,9 @@ func sweepBI(txns int) {
 func sweepFilters(txns int) {
 	fmt.Println("A4: arbitration filters — full AHB+ set vs round-robin only (RT master m2)")
 	fmt.Printf("%12s %10s %14s %14s %12s\n", "filters", "cycles", "maxLat(RT)", "QoSviolations", "util%")
-	for _, full := range []bool{true, false} {
+	modes := []bool{true, false}
+	var ws []core.Workload
+	for _, full := range modes {
 		w := core.AblationWorkload(8, txns)
 		if !full {
 			w.Params.Filters.Urgency = false
@@ -73,9 +100,11 @@ func sweepFilters(txns int) {
 			w.Params.Filters.Bandwidth = false
 			w.Params.Filters.BankAffinity = false
 		}
-		res := runTLM(w)
+		ws = append(ws, w)
+	}
+	for i, res := range runAll(ws) {
 		label := "all-seven"
-		if !full {
+		if !modes[i] {
 			label = "rr-only"
 		}
 		fmt.Printf("%12s %10d %14d %14d %12.1f\n",
@@ -88,10 +117,14 @@ func sweepFilters(txns int) {
 func sweepPagePolicy(txns int) {
 	fmt.Println("A6: DDRC page policy (row-thrashing single master with think time)")
 	fmt.Printf("%14s %10s %12s\n", "policy", "cycles", "rowHit%")
-	for _, closed := range []bool{false, true} {
-		res := runTLM(core.PagePolicyWorkload(closed, txns))
+	modes := []bool{false, true}
+	var ws []core.Workload
+	for _, closed := range modes {
+		ws = append(ws, core.PagePolicyWorkload(closed, txns))
+	}
+	for i, res := range runAll(ws) {
 		name := "open-page"
-		if closed {
+		if modes[i] {
 			name = "closed-page"
 		}
 		fmt.Printf("%14s %10d %12.1f\n", name, uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
@@ -102,9 +135,13 @@ func sweepPagePolicy(txns int) {
 func sweepBusWidth(txns int) {
 	fmt.Println("A7: bus width (streaming DMA pair)")
 	fmt.Printf("%8s %10s %16s\n", "width", "cycles", "bytes/kcycle")
-	for _, width := range []int{4, 8} {
-		res := runTLM(core.BusWidthWorkload(width, txns))
-		fmt.Printf("%6db %10d %16.1f\n", width*8, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
+	widths := []int{4, 8}
+	var ws []core.Workload
+	for _, width := range widths {
+		ws = append(ws, core.BusWidthWorkload(width, txns))
+	}
+	for i, res := range runAll(ws) {
+		fmt.Printf("%6db %10d %16.1f\n", widths[i]*8, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
 	}
 	fmt.Println()
 }
@@ -112,6 +149,7 @@ func sweepBusWidth(txns int) {
 func main() {
 	which := flag.String("which", "all", "sweep to run: wb|pipelining|bi|filters|pagepolicy|buswidth|all")
 	txns := flag.Int("txns", 500, "transactions per master")
+	flag.IntVar(&workers, "workers", 0, "max concurrent runs (0 = one per CPU)")
 	flag.Parse()
 
 	switch *which {

@@ -38,24 +38,35 @@ type Txn struct {
 // boundary rule for incrementing bursts, and address alignment to the
 // transfer size.
 func (t *Txn) Validate() error {
-	if t.Beats <= 0 {
-		return fmt.Errorf("amba: txn has %d beats", t.Beats)
-	}
-	if fb := t.Burst.Beats(); fb != 0 && fb != t.Beats {
-		return fmt.Errorf("amba: burst %v requires %d beats, txn has %d", t.Burst, fb, t.Beats)
-	}
-	if t.Burst == BurstIncr && t.Beats > 16 {
-		return fmt.Errorf("amba: INCR burst of %d beats exceeds modeling limit 16", t.Beats)
-	}
-	step := Addr(t.Size.Bytes())
-	if t.Addr%step != 0 {
-		return fmt.Errorf("amba: address %#x not aligned to %v", t.Addr, t.Size)
-	}
-	if !t.Burst.Wrapping() && CrossesBoundary(t.Addr, t.Size, t.Beats, KB) {
-		return fmt.Errorf("amba: burst at %#x (%d beats of %v) crosses 1KB boundary", t.Addr, t.Beats, t.Size)
+	if err := ValidateBurst(t.Addr, t.Burst, t.Size, t.Beats); err != nil {
+		return err
 	}
 	if t.Data != nil && len(t.Data) != t.Beats*t.Size.Bytes() {
 		return fmt.Errorf("amba: data length %d, want %d", len(t.Data), t.Beats*t.Size.Bytes())
+	}
+	return nil
+}
+
+// ValidateBurst checks the payload-independent protocol legality rules
+// for a burst. It is the hot-path form of Txn.Validate: the simulators
+// check every granted transaction, and assembling a full Txn record
+// just to discard it dominates the check itself.
+func ValidateBurst(addr Addr, burst Burst, size Size, beats int) error {
+	if beats <= 0 {
+		return fmt.Errorf("amba: txn has %d beats", beats)
+	}
+	if fb := burst.Beats(); fb != 0 && fb != beats {
+		return fmt.Errorf("amba: burst %v requires %d beats, txn has %d", burst, fb, beats)
+	}
+	if burst == BurstIncr && beats > 16 {
+		return fmt.Errorf("amba: INCR burst of %d beats exceeds modeling limit 16", beats)
+	}
+	step := Addr(size.Bytes())
+	if addr%step != 0 {
+		return fmt.Errorf("amba: address %#x not aligned to %v", addr, size)
+	}
+	if !burst.Wrapping() && CrossesBoundary(addr, size, beats, KB) {
+		return fmt.Errorf("amba: burst at %#x (%d beats of %v) crosses 1KB boundary", addr, beats, size)
 	}
 	return nil
 }

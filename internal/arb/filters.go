@@ -18,12 +18,12 @@ func (Permission) CanVeto() bool { return true }
 
 // Apply implements Filter.
 func (Permission) Apply(ctx *Context, cands []int) []int {
-	if ctx.Status == nil {
+	if !ctx.hasStatus() {
 		return cands
 	}
 	out := cands[:0:len(cands)]
 	for _, i := range cands {
-		if ctx.Status(ctx.Reqs[i].Addr).Permit {
+		if ctx.permitFor(i) {
 			out = append(out, i)
 		}
 	}
@@ -45,14 +45,17 @@ func (Urgency) CanVeto() bool { return false }
 
 // Apply implements Filter.
 func (Urgency) Apply(ctx *Context, cands []int) []int {
-	if ctx.QoS == nil {
+	if !ctx.hasQoS() {
 		return cands
+	}
+	if ctx.qosStatic && !ctx.anyObjective {
+		return cands // no master has an objective: nothing can be urgent
 	}
 	minSlack := sim.CycleMax
 	urgent := false
 	for _, i := range cands {
 		r := ctx.Reqs[i]
-		slack := ctx.QoS(r.Master).Slack(ctx.Now, r.Since)
+		slack := ctx.qosReg(r.Master).Slack(ctx.Now, r.Since)
 		if slack <= ctx.UrgencyThreshold {
 			urgent = true
 			if slack < minSlack {
@@ -66,7 +69,7 @@ func (Urgency) Apply(ctx *Context, cands []int) []int {
 	out := cands[:0:len(cands)]
 	for _, i := range cands {
 		r := ctx.Reqs[i]
-		if ctx.QoS(r.Master).Slack(ctx.Now, r.Since) == minSlack {
+		if ctx.qosReg(r.Master).Slack(ctx.Now, r.Since) == minSlack {
 			out = append(out, i)
 		}
 	}
@@ -86,13 +89,16 @@ func (RealTime) CanVeto() bool { return false }
 
 // Apply implements Filter.
 func (RealTime) Apply(ctx *Context, cands []int) []int {
-	if ctx.QoS == nil {
+	if !ctx.hasQoS() {
 		return cands
+	}
+	if ctx.qosStatic && !ctx.anyRT {
+		return cands // no RT master registered: provably pass-through
 	}
 	out := cands[:0:len(cands)]
 	for _, i := range cands {
 		r := ctx.Reqs[i]
-		if !r.IsWriteBuf && ctx.QoS(r.Master).Class == qos.RT {
+		if !r.IsWriteBuf && ctx.qosReg(r.Master).Class == qos.RT {
 			out = append(out, i)
 		}
 	}
@@ -115,17 +121,20 @@ func (Bandwidth) CanVeto() bool { return false }
 
 // Apply implements Filter.
 func (Bandwidth) Apply(ctx *Context, cands []int) []int {
-	if ctx.QoS == nil || ctx.ServedBeats == nil || ctx.TotalBeats == 0 {
+	if !ctx.hasQoS() || !ctx.hasServed() || ctx.TotalBeats == 0 {
 		return cands
+	}
+	if ctx.qosStatic && !ctx.anyQuota {
+		return cands // no reservations: provably pass-through
 	}
 	out := cands[:0:len(cands)]
 	for _, i := range cands {
 		r := ctx.Reqs[i]
-		quota := ctx.QoS(r.Master).Quota
+		quota := ctx.qosReg(r.Master).Quota
 		if quota == 0 {
 			continue
 		}
-		share := float64(ctx.ServedBeats(r.Master)) / float64(ctx.TotalBeats)
+		share := float64(ctx.served(r.Master)) / float64(ctx.TotalBeats)
 		if share < quota {
 			out = append(out, i)
 		}
@@ -150,12 +159,12 @@ func (BankAffinity) CanVeto() bool { return false }
 
 // Apply implements Filter.
 func (BankAffinity) Apply(ctx *Context, cands []int) []int {
-	if ctx.Status == nil {
+	if !ctx.hasStatus() {
 		return cands
 	}
 	anyHit, anyIdle := false, false
 	for _, i := range cands {
-		st := ctx.Status(ctx.Reqs[i].Addr)
+		st := ctx.statusFor(i)
 		if st.RowOpen {
 			anyHit = true
 			break
@@ -169,7 +178,7 @@ func (BankAffinity) Apply(ctx *Context, cands []int) []int {
 	}
 	out := cands[:0:len(cands)]
 	for _, i := range cands {
-		st := ctx.Status(ctx.Reqs[i].Addr)
+		st := ctx.statusFor(i)
 		if (anyHit && st.RowOpen) || (!anyHit && st.BankIdle) {
 			out = append(out, i)
 		}

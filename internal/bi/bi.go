@@ -128,6 +128,16 @@ type Provider struct {
 	InfoFn   func(now sim.Cycle, addr uint32) (idle, rowOpen bool)
 }
 
+// Permit reports just the access-permission bit for addr at cycle now,
+// skipping the bank-affinity queries. With BI off it is always true,
+// like the Status fallback.
+func (p *Provider) Permit(now sim.Cycle, addr uint32) bool {
+	if p.Link == nil || !p.Link.Enabled {
+		return true
+	}
+	return p.PermitFn(now, addr)
+}
+
 // Status returns the BankStatus for addr at cycle now.
 func (p *Provider) Status(now sim.Cycle, addr uint32) BankStatus {
 	if p.Link == nil || !p.Link.Enabled {

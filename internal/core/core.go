@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/config"
+	"repro/internal/farm"
 	"repro/internal/rtl"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -104,10 +105,14 @@ func Run(w Workload, m Model, opt Options) RunResult {
 		b := tlm.New(tlm.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer})
 		res := b.Run(w.MaxCycles)
 		out = RunResult{Model: TLM, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+		// The backing store is not part of the result; recycle its pages
+		// so back-to-back runs stop paying the page-allocation GC tax.
+		b.Mem().Release()
 	case RTL:
 		b := rtl.New(rtl.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer, Waveform: opt.Waveform})
 		res := b.Run(w.MaxCycles)
 		out = RunResult{Model: RTL, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+		b.Mem().Release()
 	default:
 		panic(fmt.Sprintf("core: unknown model %d", m))
 	}
@@ -129,11 +134,16 @@ type AccuracyRow struct {
 	Completed bool
 }
 
-// Compare runs the workload through both models and reports the
-// accuracy row.
+// Compare runs the workload through both models — concurrently, on the
+// run farm — and reports the accuracy row. The models share no mutable
+// state (each Run builds its own platform and generators), so the
+// parallel rows are bit-identical to sequential ones.
 func Compare(w Workload) AccuracyRow {
-	r := Run(w, RTL, Options{})
-	t := Run(w, TLM, Options{})
+	var r, t RunResult
+	farm.Pair(
+		func() { r = Run(w, RTL, Options{}) },
+		func() { t = Run(w, TLM, Options{}) },
+	)
 	d := float64(r.Cycles) - float64(t.Cycles)
 	if d < 0 {
 		d = -d
@@ -151,13 +161,23 @@ func Compare(w Workload) AccuracyRow {
 }
 
 // CompareAll runs Compare over the workloads and returns the rows plus
-// the average error percentage (the paper's summary statistic).
+// the average error percentage (the paper's summary statistic). The
+// scenarios execute on the run farm with the default worker count; use
+// CompareAllN to bound or widen the pool.
 func CompareAll(ws []Workload) ([]AccuracyRow, float64) {
-	rows := make([]AccuracyRow, len(ws))
+	return CompareAllN(ws, 0)
+}
+
+// CompareAllN is CompareAll with an explicit farm worker bound
+// (workers <= 0 selects one worker per CPU). Every scenario runs both
+// models, so up to 2*workers simulations may be in flight.
+func CompareAllN(ws []Workload, workers int) ([]AccuracyRow, float64) {
+	rows := farm.Map(workers, len(ws), func(i int) AccuracyRow {
+		return Compare(ws[i])
+	})
 	var sum float64
-	for i, w := range ws {
-		rows[i] = Compare(w)
-		sum += rows[i].ErrPct
+	for _, r := range rows {
+		sum += r.ErrPct
 	}
 	if len(rows) == 0 {
 		return rows, 0
@@ -192,7 +212,9 @@ type SpeedComparison struct {
 }
 
 // MeasureSpeed times the workload on both models and the single-master
-// workload on the TLM.
+// workload on the TLM. The runs are deliberately sequential — this is
+// the wall-clock experiment, and co-scheduling the models would
+// contaminate the Kcycles/sec readings.
 func MeasureSpeed(multi Workload, single Workload) SpeedComparison {
 	sc := SpeedComparison{
 		RTL:       Run(multi, RTL, Options{}),

@@ -405,6 +405,27 @@ func (e *Engine) Tick(now sim.Cycle) {
 	}
 }
 
+// NextRefresh returns the cycle the next auto-refresh becomes due, or
+// CycleMax when refresh is disabled. Cycle-stepped observers use it to
+// know how far ahead no autonomous controller activity can occur.
+func (e *Engine) NextRefresh() sim.Cycle {
+	if e.T.TREFI == 0 {
+		return sim.CycleMax
+	}
+	return e.nextRefresh
+}
+
+// RefreshClear returns the earliest cycle >= now at which the
+// controller can accept new work: now itself, or the end of the refresh
+// window in progress at now. Refreshes due by now are materialized,
+// exactly as a Permit probe at now would.
+func (e *Engine) RefreshClear(now sim.Cycle) sim.Cycle {
+	if e.T.TREFI == 0 {
+		return now
+	}
+	return e.refreshDue(now)
+}
+
 // Hint is the bank-interleaving fast path fed by the BI protocol: the
 // arbiter announces the likely next transaction while the current one is
 // still transferring, and the engine prepares the target bank — eagerly

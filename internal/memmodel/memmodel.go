@@ -5,17 +5,32 @@
 // levels so end-to-end data integrity can be checked across models.
 package memmodel
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 const pageShift = 12 // 4 KiB pages
 const pageSize = 1 << pageShift
 const pageMask = pageSize - 1
+
+// pagePool recycles page frames across Memory instances. Simulation
+// harnesses construct a fresh Memory per run; without recycling, page
+// allocation dominates the allocation profile of short runs (the pages
+// are the overwhelming majority of bytes a run allocates). Pages are
+// zeroed when returned, so a pooled frame is indistinguishable from a
+// fresh one.
+var pagePool = sync.Pool{New: func() any { return new([pageSize]byte) }}
 
 // Memory is a sparse byte-addressable store. The zero value is an empty
 // memory in which every byte reads as zero. Memory is not safe for
 // concurrent use; the simulators are single-goroutine by design.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// One-entry page cache: simulated traffic is strongly page-local
+	// (sequential bursts, streams), so most accesses skip the map.
+	lastKey  uint32
+	lastPage *[pageSize]byte
 }
 
 // New returns an empty memory.
@@ -24,19 +39,42 @@ func New() *Memory {
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	key := addr >> pageShift
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		if !create {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	key := addr >> pageShift
 	p := m.pages[key]
 	if p == nil && create {
-		p = new([pageSize]byte)
+		p = pagePool.Get().(*[pageSize]byte)
 		m.pages[key] = p
 	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
+	}
 	return p
+}
+
+// Release returns every page frame to the shared pool and empties the
+// memory. Call it when a simulation run is finished with its backing
+// store; using the Memory afterwards is valid (it reads as all zeroes
+// again). Releasing is what makes back-to-back runs — benchmarks, the
+// run farm — allocation-free in steady state.
+func (m *Memory) Release() {
+	if m == nil {
+		return
+	}
+	for k, p := range m.pages {
+		*p = [pageSize]byte{}
+		pagePool.Put(p)
+		delete(m.pages, k)
+	}
+	m.lastKey, m.lastPage = 0, nil
 }
 
 // ByteAt returns the byte at addr (zero if never written).

@@ -35,6 +35,7 @@ type arbiterComp struct {
 	bank       sim.RegBank
 	reqsBuf    []arb.Request
 	portsBuf   []int
+	ctx        arb.Context // persistent round context (no per-cycle rebuild)
 
 	grantedTo int       // unconsumed grant (-1 none)
 	ldSeen    sim.Cycle // BusLastData value the window flag refers to
@@ -60,6 +61,14 @@ func newArbiter(w *Wires, pipe, comb *arb.Pipeline, regs []qos.Reg, link *bi.Lin
 		a.bank.Add(w.HGrant[i])
 	}
 	a.bank.Add(w.GrantIdx)
+	a.ctx = arb.Context{
+		Regs:             regs,
+		Provider:         status,
+		Served:           a.served,
+		WBCap:            wbCap,
+		UrgencyThreshold: urgency,
+	}
+	a.ctx.PrecomputeQoS()
 	return a
 }
 
@@ -104,25 +113,12 @@ func (a *arbiterComp) Eval(now sim.Cycle) {
 	}
 	a.reqsBuf, a.portsBuf = reqs, ports
 
-	ctx := &arb.Context{
-		Now:  now,
-		Reqs: reqs,
-		QoS: func(m int) qos.Reg {
-			if m < len(a.regs) {
-				return a.regs[m]
-			}
-			return qos.Reg{}
-		},
-		Status: func(addr uint32) bi.BankStatus {
-			return a.status.Status(now, addr)
-		},
-		WBUsed:           w.WBUsed.Get(),
-		WBCap:            a.wbCap,
-		ServedBeats:      func(m int) uint64 { return a.served[m] },
-		TotalBeats:       a.totalServed,
-		LastGrant:        a.lastGrant,
-		UrgencyThreshold: a.urgency,
-	}
+	ctx := &a.ctx
+	ctx.Now = now
+	ctx.Reqs = reqs
+	ctx.WBUsed = w.WBUsed.Get()
+	ctx.TotalBeats = a.totalServed
+	ctx.LastGrant = a.lastGrant
 	// The seven filters are "always activated": the combinational
 	// pipeline evaluates every cycle whether or not the grant register
 	// will load its result.
@@ -191,3 +187,19 @@ func (a *arbiterComp) Eval(now sim.Cycle) {
 
 // Update implements sim.Component.
 func (a *arbiterComp) Update(now sim.Cycle) { a.bank.CommitAll() }
+
+// Quiescent implements sim.Sleeper: the arbiter idles when no request
+// line is asserted, no grant is outstanding and the bus is unowned.
+// Commits on any HBUSREQ line (wired in New) wake it, so it evaluates
+// again on exactly the cycle a request first becomes visible.
+func (a *arbiterComp) Quiescent(now sim.Cycle) (sim.Cycle, bool) {
+	if a.grantedTo >= 0 || a.w.BusOwner.Get() >= 0 {
+		return 0, false
+	}
+	for i := 0; i <= a.w.NMasters; i++ {
+		if a.w.HBusReq[i].Get() {
+			return 0, false
+		}
+	}
+	return sim.CycleMax, true
+}

@@ -116,11 +116,34 @@ func New(cfg Config) *Bus {
 	b.fabric = newFabric(w, eng, mem, link, cfg.Checker, cfg.Tracer, tracker,
 		busStats, size, cfg.Params.WriteBufferDepth, cfg.Params.SRAM)
 	b.kernel.Register(b.fabric)
-	b.kernel.Register(newDDRFSM(eng, cfg.Checker))
+	ddrfsm := newDDRFSM(eng, cfg.Checker, w, link)
+	b.kernel.Register(ddrfsm)
 	if cfg.Waveform != nil {
 		b.wave = newWave(w, cfg.Waveform)
 		b.kernel.Register(b.wave)
 	}
+
+	// Clock-gating wake wiring. Every component above implements
+	// sim.Sleeper; these register watches wake a gated component on the
+	// exact cycle the input becomes visible to an always-evaluated one:
+	//   - a request line wakes the arbiter (new round), the fabric
+	//     (same-cycle BI hint delivery on the eventual grant) and the
+	//     controller FSM (the round's permission probe touches the
+	//     engine);
+	//   - a committed grant wakes the fabric for the address-phase
+	//     capture two cycles later;
+	//   - write-buffer occupancy wakes the drain pseudo-master.
+	arbW := b.kernel.Waker(b.arb)
+	fabW := b.kernel.Waker(b.fabric)
+	ddrW := b.kernel.Waker(ddrfsm)
+	for i := range w.HBusReq {
+		w.HBusReq[i].Notify(arbW)
+		w.HBusReq[i].Notify(fabW)
+		w.HBusReq[i].Notify(ddrW)
+	}
+	w.GrantIdx.Notify(fabW)
+	w.GrantIdx.Notify(ddrW)
+	w.WBUsed.Notify(b.kernel.Waker(b.wbm))
 	return b
 }
 

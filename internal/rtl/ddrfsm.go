@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"repro/internal/bi"
 	"repro/internal/check"
 	"repro/internal/ddr"
 	"repro/internal/sim"
@@ -16,6 +17,8 @@ import (
 type ddrFSMComp struct {
 	eng  *ddr.Engine
 	chk  *check.Checker
+	w    *Wires   // observed for the clock-gating quiescence test
+	link *bi.Link // in-flight hints force the FSM to keep sampling
 	prev []ddr.BankState
 	rows []uint32
 	// transitions counts observed state changes per bank.
@@ -34,10 +37,12 @@ type ddrFSMComp struct {
 	maxPhase int
 }
 
-func newDDRFSM(eng *ddr.Engine, chk *check.Checker) *ddrFSMComp {
+func newDDRFSM(eng *ddr.Engine, chk *check.Checker, w *Wires, link *bi.Link) *ddrFSMComp {
 	d := &ddrFSMComp{
 		eng:         eng,
 		chk:         chk,
+		w:           w,
+		link:        link,
 		prev:        make([]ddr.BankState, eng.Banks()),
 		rows:        make([]uint32, eng.Banks()),
 		transitions: make([]uint64, eng.Banks()),
@@ -145,3 +150,35 @@ func (d *ddrFSMComp) Eval(now sim.Cycle) {
 
 // Update implements sim.Component.
 func (d *ddrFSMComp) Update(now sim.Cycle) { d.bank.CommitAll() }
+
+// Quiescent implements sim.Sleeper. The controller FSM may stop
+// sampling only when nothing can move a bank: no request is visible
+// (requests lead to arbitration, whose permission probe and eventual
+// access touch the engine), no grant or transaction is in flight, no BI
+// hint is still travelling, and every bank sits in a settled state from
+// the next cycle on. Bank state then holds still until the next
+// engine call — which the conditions above exclude — or the refresh
+// timer, so the FSM asks to be woken exactly when the next refresh
+// becomes due. Skipped cycles are provably observation-free: the
+// legality checker sees the same transition sequence, merely without
+// the self-loop samples in between.
+func (d *ddrFSMComp) Quiescent(now sim.Cycle) (sim.Cycle, bool) {
+	if d.w.GrantIdx.Get() >= 0 || d.w.BusOwner.Get() >= 0 {
+		return 0, false
+	}
+	for i := 0; i <= d.w.NMasters; i++ {
+		if d.w.HBusReq[i].Get() {
+			return 0, false
+		}
+	}
+	if d.link.Pending() > 0 {
+		return 0, false
+	}
+	for b := 0; b < d.eng.Banks(); b++ {
+		switch d.eng.BankState(b, now+1) {
+		case ddr.BankActivating, ddr.BankPrecharging:
+			return 0, false
+		}
+	}
+	return d.eng.NextRefresh(), true
+}

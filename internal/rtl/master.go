@@ -180,5 +180,20 @@ func (m *masterComp) Eval(now sim.Cycle) {
 // Update implements sim.Component.
 func (m *masterComp) Update(now sim.Cycle) { m.bank.CommitAll() }
 
+// Quiescent implements sim.Sleeper: a master idles between the
+// completion of one transaction and the request time of the next (and
+// forever once its workload drains). Both states are purely
+// time-driven, so no watched signal is needed — the kernel wakes the
+// master at its own request time.
+func (m *masterComp) Quiescent(now sim.Cycle) (sim.Cycle, bool) {
+	switch m.st {
+	case mDone:
+		return sim.CycleMax, true
+	case mIdle:
+		return m.wantAt, true
+	}
+	return 0, false
+}
+
 // finished reports whether the workload is exhausted.
 func (m *masterComp) finished() bool { return m.st == mDone }

@@ -91,3 +91,15 @@ func (m *wbMasterComp) Eval(now sim.Cycle) {
 
 // Update implements sim.Component.
 func (m *wbMasterComp) Update(now sim.Cycle) { m.bank.CommitAll() }
+
+// Quiescent implements sim.Sleeper: the pseudo-master sleeps while the
+// fabric-published occupancy register reads empty; a commit on WBUsed
+// (wired via Reg.Notify in New) wakes it the cycle the first posted
+// write becomes visible — exactly the cycle an always-evaluated
+// instance would first see it.
+func (m *wbMasterComp) Quiescent(now sim.Cycle) (sim.Cycle, bool) {
+	if (m.st == mIdle || m.st == mDone) && m.w.WBUsed.Get() == 0 {
+		return sim.CycleMax, true
+	}
+	return 0, false
+}

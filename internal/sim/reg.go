@@ -10,6 +10,7 @@ package sim
 type Reg[T any] struct {
 	cur, next T
 	dirty     bool
+	wakers    []*Waker
 }
 
 // NewReg returns a register initialized to v in both phases.
@@ -27,12 +28,24 @@ func (r *Reg[T]) Set(v T) {
 }
 
 // Commit makes the pending value visible. Safe to call when no Set
-// happened (it is then a no-op).
+// happened (it is then a no-op). Committing a pending Set wakes every
+// watcher registered via Notify, which is how clock-gated components
+// resume when an input register changes.
 func (r *Reg[T]) Commit() {
 	if r.dirty {
 		r.cur = r.next
 		r.dirty = false
+		for _, w := range r.wakers {
+			w.Wake()
+		}
 	}
+}
+
+// Notify registers a wake handle to fire whenever a pending Set commits
+// on this register. Used to wire clock-gated components to the inputs
+// that must wake them; see Kernel.Waker.
+func (r *Reg[T]) Notify(w *Waker) {
+	r.wakers = append(r.wakers, w)
 }
 
 // Force immediately sets both phases to v, bypassing the two-phase

@@ -121,8 +121,8 @@ type Bus struct {
 	totalServed  uint64
 	txnID        uint64
 	maxDone      sim.Cycle
-	rbuf, wbuf   []byte
-	arbFn        func(now sim.Cycle)
+	wbuf         []byte
+	arbEv        sim.EventID // the armed arbitration event (cancellable)
 	ddrCap       uint64
 
 	// Reused arbitration-round scratch (method-based TLM hot path).
@@ -169,21 +169,14 @@ func New(cfg Config) *Bus {
 	}
 	b.tracker = qos.NewTracker(b.regs[:n])
 	b.ddrCap = cfg.Params.AddrMap.Capacity()
-	b.arbFn = b.arbEvent
 	b.ctx = arb.Context{
-		QoS: func(m int) qos.Reg {
-			if m < len(b.regs) {
-				return b.regs[m]
-			}
-			return qos.Reg{}
-		},
-		Status: func(addr uint32) bi.BankStatus {
-			return b.status.Status(b.ctx.Now, addr)
-		},
+		Regs:             b.regs,
+		Provider:         b.status,
+		Served:           b.served,
 		WBCap:            cfg.Params.WriteBufferDepth,
 		UrgencyThreshold: sim.Cycle(cfg.Params.UrgencyThreshold),
-		ServedBeats:      func(m int) uint64 { return b.served[m] },
 	}
+	b.ctx.PrecomputeQoS()
 	for i := 0; i < n; i++ {
 		b.bus.Masters[i].Name = cfg.Params.Masters[i].Name
 	}
@@ -225,15 +218,25 @@ func (b *Bus) fetch(m *mState, prevDone sim.Cycle, first bool) {
 	m.pending = true
 }
 
+// arbEventFn dispatches the arbitration event without a per-schedule
+// closure: the owning Bus rides along as the event's owner word.
+func arbEventFn(now sim.Cycle, owner any, _ uint64) {
+	owner.(*Bus).arbEvent(now)
+}
+
 // scheduleArb (re)schedules the arbitration event no earlier than the
-// window floor and the given cycle.
+// window floor and the given cycle. A superseded later event is
+// cancelled rather than left to fire as a stale no-op.
 func (b *Bus) scheduleArb(from sim.Cycle) {
 	t := sim.MaxCycle(b.floor, from)
 	if t >= b.nextArbAt {
 		return // an earlier or equal arbitration is already scheduled
 	}
+	if b.nextArbAt != sim.CycleMax {
+		b.sch.Cancel(b.arbEv)
+	}
 	b.nextArbAt = t
-	b.sch.At(t, b.arbFn)
+	b.arbEv = b.sch.Post(t, arbEventFn, b, 0)
 }
 
 // deliverHints applies BI messages due by the cutoff cycle to the
@@ -295,9 +298,11 @@ func (b *Bus) arbEvent(now sim.Cycle) {
 	b.ctx.LastGrant = b.lastGrant
 	win, ok := b.pipe.Select(&b.ctx)
 	if !ok {
-		// Permission veto (refresh window): retry next cycle, like the
-		// pin-accurate arbiter does.
-		b.scheduleArb(now + 1)
+		// Permission veto (refresh window). The pin-accurate arbiter
+		// retries every cycle; no retry can succeed before the window
+		// clears, so jump straight to the clear cycle — the grant lands
+		// on the identical cycle with the no-op rounds elided.
+		b.scheduleArb(sim.MaxCycle(b.eng.RefreshClear(now+1), now+1))
 		return
 	}
 	b.grant(now, ports[win], reqs[win])
@@ -328,9 +333,7 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 	a := t + 2
 	// Protocol property, mirroring the pin-accurate fabric's capture
 	// check: the burst must be AHB-legal.
-	legal := amba.Txn{Master: port, Addr: req.Addr, Write: req.Write,
-		Burst: amba.FixedBurstFor(req.Beats, false), Size: b.size, Beats: req.Beats}
-	if err := legal.Validate(); err == nil {
+	if err := amba.ValidateBurst(req.Addr, amba.FixedBurstFor(req.Beats, false), b.size, req.Beats); err == nil {
 		b.chk.PropertyOK()
 	} else {
 		b.chk.Property(t, "burst-legal", false, "master %d drove an illegal burst: %v", port, err)
@@ -358,13 +361,6 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 		kind = "sram"
 		if req.Write {
 			b.writePayload(port, req.Addr, req.Beats)
-		} else {
-			n := req.Beats * b.size.Bytes()
-			if cap(b.rbuf) < n {
-				b.rbuf = make([]byte, n)
-			}
-			b.rbuf = b.rbuf[:n]
-			b.mem.Read(req.Addr, b.rbuf)
 		}
 	case !inDDR:
 		// Unmapped: single ERROR beat from the default slave.
@@ -407,13 +403,6 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 			} else {
 				b.writePayload(port, req.Addr, req.Beats)
 			}
-		} else {
-			n := req.Beats * b.size.Bytes()
-			if cap(b.rbuf) < n {
-				b.rbuf = make([]byte, n)
-			}
-			b.rbuf = b.rbuf[:n]
-			b.mem.Read(req.Addr, b.rbuf)
 		}
 	}
 
@@ -438,10 +427,12 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 	}
 	b.bus.Masters[port].RecordTxn(req.Write, beats, bytes, wait, lat, violated)
 	b.bus.BusyBeats += uint64(beats)
-	b.tracer.Add(trace.Record{
-		ID: b.txnID, Master: port, Addr: req.Addr, Write: req.Write, Beats: req.Beats,
-		Req: req.Since, Grant: grantVis, FirstData: first, Done: last, Kind: kind,
-	})
+	if b.tracer != nil {
+		b.tracer.Add(trace.Record{
+			ID: b.txnID, Master: port, Addr: req.Addr, Write: req.Write, Beats: req.Beats,
+			Req: req.Since, Grant: grantVis, FirstData: first, Done: last, Kind: kind,
+		})
+	}
 	if last > b.maxDone {
 		b.maxDone = last
 	}
@@ -460,17 +451,7 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 	// because its re-request depends on the queue length at drain end,
 	// which posted writes granted in the meantime can change.
 	if isWB {
-		b.sch.At(last, func(done sim.Cycle) {
-			b.wb.draining = false
-			if len(b.wb.queue) > 0 {
-				b.wb.pending = true
-				// The pseudo-master re-asserts one cycle after both the
-				// drain completion and the front entry's visibility
-				// (its posting transaction's address phase + 1).
-				b.wb.rv = sim.MaxCycle(done, b.wb.queue[0].capA) + 2
-				b.scheduleArb(b.wb.rv)
-			}
-		})
+		b.sch.Post(last, wbDrainDoneFn, b, 0)
 	} else {
 		m := b.masters[port]
 		m.pending = false
@@ -478,16 +459,43 @@ func (b *Bus) grant(t sim.Cycle, port int, req arb.Request) {
 	}
 }
 
+// wbDrainDoneFn is the write-buffer drain-completion event.
+func wbDrainDoneFn(done sim.Cycle, owner any, _ uint64) {
+	b := owner.(*Bus)
+	b.wb.draining = false
+	if len(b.wb.queue) > 0 {
+		b.wb.pending = true
+		// The pseudo-master re-asserts one cycle after both the drain
+		// completion and the front entry's visibility (its posting
+		// transaction's address phase + 1).
+		b.wb.rv = sim.MaxCycle(done, b.wb.queue[0].capA) + 2
+		b.scheduleArb(b.wb.rv)
+	}
+}
+
 // writePayload writes the master's deterministic pattern to memory
 // (datapath abstracted, identical to the pin-accurate model's pattern).
+// Reads have no TLM-side consumer — the model exposes no read-data port
+// — so the read datapath is elided entirely, exactly the "highly
+// abstracted data path" the paper prescribes; write data is kept so
+// cross-model memory-image checks hold.
 func (b *Bus) writePayload(port int, addr uint32, beats int) {
 	n := beats * b.size.Bytes()
 	if cap(b.wbuf) < n {
 		b.wbuf = make([]byte, n)
 	}
 	b.wbuf = b.wbuf[:n]
+	// Incremental form of payloadByte over consecutive addresses: +7 per
+	// byte, +1 extra whenever the address crosses a 256-byte boundary.
+	a := addr
+	v := uint32(port)*31 + a*7 + (a >> 8)
 	for i := 0; i < n; i++ {
-		b.wbuf[i] = payloadByte(port, addr+uint32(i))
+		b.wbuf[i] = byte(v)
+		a++
+		v += 7
+		if a&0xff == 0 {
+			v++
+		}
 	}
 	b.mem.Write(addr, b.wbuf)
 }
