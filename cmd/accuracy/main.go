@@ -8,9 +8,14 @@
 // worker pool (each comparison itself runs its two models in parallel);
 // the printed table stays in deterministic scenario order.
 //
+// The scenario set is declarative data (internal/spec): -spec FILE
+// replaces the built-in Table 1 set with workload specs loaded from a
+// JSON file holding one spec object or an array of them, so new
+// scenario families run through the same harness without a rebuild.
+//
 // Usage:
 //
-//	accuracy [-csv] [-workers N]
+//	accuracy [-csv] [-workers N] [-spec FILE]
 package main
 
 import (
@@ -19,14 +24,47 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 )
+
+// loadSpecs reads one spec or an array of specs from a JSON file and
+// compiles them; decoding is strict in both forms (spec.DecodeList).
+func loadSpecs(path string) ([]core.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := spec.DecodeList(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ws := make([]core.Workload, len(specs))
+	for i, s := range specs {
+		w, err := core.FromSpec(s)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d (%s): %w", i, s.Name, err)
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	workers := flag.Int("workers", 0, "max concurrent scenario comparisons (0 = one per CPU)")
+	specFile := flag.String("spec", "", "JSON workload spec (or array of specs) replacing the built-in Table 1 set")
 	flag.Parse()
 
-	rows, avg := core.CompareAllN(core.Table1Scenarios(), *workers)
+	scenarios := core.Table1Scenarios()
+	if *specFile != "" {
+		var err error
+		scenarios, err = loadSpecs(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "accuracy: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	rows, avg := core.CompareAllN(scenarios, *workers)
 	if *csvOut {
 		fmt.Println("scenario,rtl_cycles,tl_cycles,diff_pct")
 		for _, r := range rows {

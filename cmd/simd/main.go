@@ -1,0 +1,50 @@
+// Command simd serves simulations over HTTP: the declarative workload
+// specs of internal/spec go in, cycle-accurate results come out.
+// Duplicate in-flight requests coalesce into one simulation, repeat
+// requests are answered byte-identically from the content-addressed
+// result cache (simulations are bit-reproducible, so a spec's hash
+// determines its result), and the run queue is bounded — saturation
+// answers 503 + Retry-After instead of queueing without limit.
+//
+// Endpoints:
+//
+//	POST /run       {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
+//	POST /compare   {"spec": {...} | "scenario": "name"}
+//	GET  /scenarios the built-in scenario library with content hashes
+//	GET  /healthz   liveness and load counters
+//
+// Usage:
+//
+//	simd [-addr :8080] [-workers N] [-queue N] [-cache N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/farm"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "run-farm workers (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "bounded job-queue depth (0 = 2x workers)")
+	cache := flag.Int("cache", service.DefaultCacheEntries, "result-cache entries")
+	flag.Parse()
+
+	srv := service.New(service.Options{Workers: *workers, Queue: *queue, CacheEntries: *cache})
+	defer srv.Close()
+
+	w := *workers
+	if w <= 0 {
+		w = farm.DefaultWorkers()
+	}
+	fmt.Printf("simd: serving on %s (%d workers, cache %d entries)\n", *addr, w, *cache)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
+}

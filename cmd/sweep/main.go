@@ -6,26 +6,121 @@
 // internal/farm worker pool, so multi-scenario sweeps scale with cores
 // while the printed tables stay in deterministic order.
 //
+// Every sweep's variants are declarative specs (internal/spec), built
+// once by the per-sweep variant functions that both the simulate path
+// and -dump consume — so `-dump DIR` writes exactly the workloads the
+// sweep simulates, ready to replay through `accuracy -spec` or the
+// simulation service.
+//
 // Usage:
 //
-//	sweep [-which wb|pipelining|bi|filters|pagepolicy|buswidth|all] [-txns N] [-workers N]
+//	sweep [-which wb|pipelining|bi|filters|pagepolicy|buswidth|all] [-txns N] [-workers N] [-dump DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/spec"
 )
 
 // workers is the farm bound shared by every sweep (-workers flag).
 var workers int
 
-// runAll executes the workloads on the farm (TLM, index order results)
-// and exits nonzero if any run failed to drain.
-func runAll(ws []core.Workload) []core.RunResult {
+// variant is one sweep data point: a label for the printed table and
+// the workload spec behind it. The spec's Name doubles as the -dump
+// filename.
+type variant struct {
+	label string
+	s     spec.Spec
+}
+
+// named returns s relabeled with a sweep-scoped name.
+func named(s spec.Spec, name string) spec.Spec {
+	s.Name = name
+	return s
+}
+
+func wbVariants(txns int) []variant {
+	var vs []variant
+	for _, d := range core.AblationWriteBufferDepths() {
+		vs = append(vs, variant{fmt.Sprintf("%d", d),
+			named(spec.SaturatingSpec(d, txns), fmt.Sprintf("ablation/wb/depth%d", d))})
+	}
+	return vs
+}
+
+func pipeliningVariants(txns int) []variant {
+	var vs []variant
+	for _, on := range []bool{true, false} {
+		s := spec.SaturatingSpec(8, txns)
+		s.Params.Pipelining = on
+		vs = append(vs, variant{fmt.Sprintf("%v", on),
+			named(s, fmt.Sprintf("ablation/pipelining/%v", on))})
+	}
+	return vs
+}
+
+func biVariants(txns int) []variant {
+	var vs []variant
+	for _, on := range []bool{true, false} {
+		vs = append(vs, variant{fmt.Sprintf("%v", on),
+			named(spec.InterleavingSpec(on, txns), fmt.Sprintf("ablation/bi/%v", on))})
+	}
+	return vs
+}
+
+func filtersVariants(txns int) []variant {
+	var vs []variant
+	for _, full := range []bool{true, false} {
+		s := spec.AblationSpec(8, txns)
+		label := "all-seven"
+		if !full {
+			label = "rr-only"
+			s.Params.Filters.Urgency = false
+			s.Params.Filters.RealTime = false
+			s.Params.Filters.Bandwidth = false
+			s.Params.Filters.BankAffinity = false
+		}
+		vs = append(vs, variant{label, named(s, "ablation/filters/"+label)})
+	}
+	return vs
+}
+
+func pagePolicyVariants(txns int) []variant {
+	var vs []variant
+	for _, closed := range []bool{false, true} {
+		label := "open-page"
+		if closed {
+			label = "closed-page"
+		}
+		vs = append(vs, variant{label,
+			named(spec.PagePolicySpec(closed, txns), "ablation/pagepolicy/"+label)})
+	}
+	return vs
+}
+
+func busWidthVariants(txns int) []variant {
+	var vs []variant
+	for _, width := range []int{4, 8} {
+		vs = append(vs, variant{fmt.Sprintf("%db", width*8),
+			named(spec.BusWidthSpec(width, txns), fmt.Sprintf("ablation/buswidth/%d", width*8))})
+	}
+	return vs
+}
+
+// runAll compiles and executes the variants on the farm (TLM, index
+// order results) and exits nonzero if any run failed to drain.
+func runAll(vs []variant) []core.RunResult {
+	ws := make([]core.Workload, len(vs))
+	for i, v := range vs {
+		ws[i] = core.MustFromSpec(v.s)
+	}
 	results := farm.Map(workers, len(ws), func(i int) core.RunResult {
 		return core.Run(ws[i], core.TLM, core.Options{})
 	})
@@ -41,14 +136,10 @@ func runAll(ws []core.Workload) []core.RunResult {
 func sweepWB(txns int) {
 	fmt.Println("A1: write-buffer depth sweep (saturating write-heavy 3-master workload)")
 	fmt.Printf("%8s %10s %12s %12s %14s %12s\n", "depth", "cycles", "meanLat(m0)", "meanLat(m1)", "util%", "fullStalls")
-	depths := core.AblationWriteBufferDepths()
-	var ws []core.Workload
-	for _, d := range depths {
-		ws = append(ws, core.SaturatingWorkload(d, txns))
-	}
-	for i, res := range runAll(ws) {
-		fmt.Printf("%8d %10d %12.1f %12.1f %14.1f %12d\n",
-			depths[i], uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
+	vs := wbVariants(txns)
+	for i, res := range runAll(vs) {
+		fmt.Printf("%8s %10d %12.1f %12.1f %14.1f %12d\n",
+			vs[i].label, uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
 			res.Stats.Masters[1].MeanLatency(),
 			100*res.Stats.Utilization(), res.Stats.WBFullStalls)
 	}
@@ -58,15 +149,9 @@ func sweepWB(txns int) {
 func sweepPipelining(txns int) {
 	fmt.Println("A2: request pipelining on/off (saturating 3-master workload)")
 	fmt.Printf("%12s %10s %14s\n", "pipelining", "cycles", "util%")
-	modes := []bool{true, false}
-	var ws []core.Workload
-	for _, on := range modes {
-		w := core.SaturatingWorkload(8, txns)
-		w.Params.Pipelining = on
-		ws = append(ws, w)
-	}
-	for i, res := range runAll(ws) {
-		fmt.Printf("%12v %10d %14.1f\n", modes[i], uint64(res.Cycles), 100*res.Stats.Utilization())
+	vs := pipeliningVariants(txns)
+	for i, res := range runAll(vs) {
+		fmt.Printf("%12s %10d %14.1f\n", vs[i].label, uint64(res.Cycles), 100*res.Stats.Utilization())
 	}
 	fmt.Println()
 }
@@ -74,14 +159,10 @@ func sweepPipelining(txns int) {
 func sweepBI(txns int) {
 	fmt.Println("A3: BI / bank interleaving on/off (bank-striped streams)")
 	fmt.Printf("%6s %10s %12s %12s %12s\n", "BI", "cycles", "rowHit%", "hintActs", "util%")
-	modes := []bool{true, false}
-	var ws []core.Workload
-	for _, on := range modes {
-		ws = append(ws, core.InterleavingWorkload(on, txns))
-	}
-	for i, res := range runAll(ws) {
-		fmt.Printf("%6v %10d %12.1f %12d %12.1f\n",
-			modes[i], uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
+	vs := biVariants(txns)
+	for i, res := range runAll(vs) {
+		fmt.Printf("%6s %10d %12.1f %12d %12.1f\n",
+			vs[i].label, uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
 			res.Stats.DDR.HintActivates, 100*res.Stats.Utilization())
 	}
 	fmt.Println()
@@ -90,25 +171,10 @@ func sweepBI(txns int) {
 func sweepFilters(txns int) {
 	fmt.Println("A4: arbitration filters — full AHB+ set vs round-robin only (RT master m2)")
 	fmt.Printf("%12s %10s %14s %14s %12s\n", "filters", "cycles", "maxLat(RT)", "QoSviolations", "util%")
-	modes := []bool{true, false}
-	var ws []core.Workload
-	for _, full := range modes {
-		w := core.AblationWorkload(8, txns)
-		if !full {
-			w.Params.Filters.Urgency = false
-			w.Params.Filters.RealTime = false
-			w.Params.Filters.Bandwidth = false
-			w.Params.Filters.BankAffinity = false
-		}
-		ws = append(ws, w)
-	}
-	for i, res := range runAll(ws) {
-		label := "all-seven"
-		if !modes[i] {
-			label = "rr-only"
-		}
+	vs := filtersVariants(txns)
+	for i, res := range runAll(vs) {
 		fmt.Printf("%12s %10d %14d %14d %12.1f\n",
-			label, uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
+			vs[i].label, uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
 			res.Stats.TotalViolations(), 100*res.Stats.Utilization())
 	}
 	fmt.Println()
@@ -117,17 +183,9 @@ func sweepFilters(txns int) {
 func sweepPagePolicy(txns int) {
 	fmt.Println("A6: DDRC page policy (row-thrashing single master with think time)")
 	fmt.Printf("%14s %10s %12s\n", "policy", "cycles", "rowHit%")
-	modes := []bool{false, true}
-	var ws []core.Workload
-	for _, closed := range modes {
-		ws = append(ws, core.PagePolicyWorkload(closed, txns))
-	}
-	for i, res := range runAll(ws) {
-		name := "open-page"
-		if modes[i] {
-			name = "closed-page"
-		}
-		fmt.Printf("%14s %10d %12.1f\n", name, uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
+	vs := pagePolicyVariants(txns)
+	for i, res := range runAll(vs) {
+		fmt.Printf("%14s %10d %12.1f\n", vs[i].label, uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
 	}
 	fmt.Println()
 }
@@ -135,22 +193,61 @@ func sweepPagePolicy(txns int) {
 func sweepBusWidth(txns int) {
 	fmt.Println("A7: bus width (streaming DMA pair)")
 	fmt.Printf("%8s %10s %16s\n", "width", "cycles", "bytes/kcycle")
-	widths := []int{4, 8}
-	var ws []core.Workload
-	for _, width := range widths {
-		ws = append(ws, core.BusWidthWorkload(width, txns))
-	}
-	for i, res := range runAll(ws) {
-		fmt.Printf("%6db %10d %16.1f\n", widths[i]*8, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
+	vs := busWidthVariants(txns)
+	for i, res := range runAll(vs) {
+		fmt.Printf("%8s %10d %16.1f\n", vs[i].label, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
 	}
 	fmt.Println()
+}
+
+// allVariants collects every sweep's variants — the single source
+// -dump writes from.
+func allVariants(txns int) []variant {
+	var vs []variant
+	vs = append(vs, wbVariants(txns)...)
+	vs = append(vs, pipeliningVariants(txns)...)
+	vs = append(vs, biVariants(txns)...)
+	vs = append(vs, filtersVariants(txns)...)
+	vs = append(vs, pagePolicyVariants(txns)...)
+	vs = append(vs, busWidthVariants(txns)...)
+	return vs
+}
+
+// dumpSpecs writes every sweep variant's spec to dir as indented
+// JSON, named after the spec (ablation/wb/depth8 -> wb_depth8.json).
+func dumpSpecs(dir string, txns int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	vs := allVariants(txns)
+	for _, v := range vs {
+		b, err := v.s.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		file := strings.ReplaceAll(strings.TrimPrefix(v.s.Name, "ablation/"), "/", "_") + ".json"
+		if err := os.WriteFile(filepath.Join(dir, file), b, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d workload specs to %s\n", len(vs), dir)
+	return nil
 }
 
 func main() {
 	which := flag.String("which", "all", "sweep to run: wb|pipelining|bi|filters|pagepolicy|buswidth|all")
 	txns := flag.Int("txns", 500, "transactions per master")
+	dump := flag.String("dump", "", "write the sweep workload specs as JSON to this directory instead of simulating")
 	flag.IntVar(&workers, "workers", 0, "max concurrent runs (0 = one per CPU)")
 	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpSpecs(*dump, *txns); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *which {
 	case "wb":

@@ -15,9 +15,51 @@ package check
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/sim"
 )
+
+// Errors collects static-configuration problems so a validator can
+// report every defect in one pass instead of panicking on (or stopping
+// at) the first. The zero value is ready to use.
+type Errors struct {
+	list []string
+}
+
+// Addf records one formatted problem.
+func (e *Errors) Addf(format string, args ...any) {
+	e.list = append(e.list, fmt.Sprintf(format, args...))
+}
+
+// Add records err if it is non-nil and returns whether it was.
+func (e *Errors) Add(err error) bool {
+	if err == nil {
+		return false
+	}
+	e.list = append(e.list, err.Error())
+	return true
+}
+
+// Empty reports whether no problems were recorded.
+func (e *Errors) Empty() bool { return len(e.list) == 0 }
+
+// Problems returns the recorded problem messages in insertion order.
+func (e *Errors) Problems() []string { return e.list }
+
+// Err returns nil when no problems were recorded, and otherwise an
+// error whose message lists every problem (semicolon-separated, with a
+// count when there is more than one).
+func (e *Errors) Err() error {
+	switch len(e.list) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("%s", e.list[0])
+	default:
+		return fmt.Errorf("%d problems: %s", len(e.list), strings.Join(e.list, "; "))
+	}
+}
 
 // Violation is one recorded property failure.
 type Violation struct {

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/arb"
+	"repro/internal/check"
 	"repro/internal/ddr"
 	"repro/internal/qos"
 	"repro/internal/sim"
@@ -112,37 +113,58 @@ func Default(masters int) Params {
 	return p
 }
 
-// Validate reports configuration errors.
+// MaxMasters caps the master-port count; an AHB-class arbiter decodes
+// a fixed request/grant vector, and the paper's platforms stay in the
+// single digits.
+const MaxMasters = 16
+
+// Validate reports configuration errors. Unlike a hardware elaboration
+// failure it does not stop at the first defect: every problem in the
+// parameter set is collected and reported in one descriptive error, so
+// a caller submitting a malformed platform (e.g. through the spec
+// service) sees the full repair list at once.
 func (p *Params) Validate() error {
+	var errs check.Errors
 	switch p.BusBytes {
 	case 1, 2, 4, 8, 16:
 	default:
-		return fmt.Errorf("config: bus width %d bytes is not a power of two in [1,16]", p.BusBytes)
+		errs.Addf("config: bus width %d bytes is not a power of two in [1,16]", p.BusBytes)
 	}
-	if len(p.Masters) == 0 {
-		return fmt.Errorf("config: at least one master required")
+	switch {
+	case len(p.Masters) == 0:
+		errs.Addf("config: at least one master required")
+	case len(p.Masters) > MaxMasters:
+		errs.Addf("config: %d masters exceed the %d-port arbiter", len(p.Masters), MaxMasters)
 	}
 	if p.WriteBufferDepth < 0 {
-		return fmt.Errorf("config: negative write buffer depth")
+		errs.Addf("config: negative write buffer depth %d", p.WriteBufferDepth)
 	}
+	names := make(map[string]int, len(p.Masters))
 	for i, m := range p.Masters {
 		if err := m.Reg().Validate(); err != nil {
-			return fmt.Errorf("config: master %d (%s): %w", i, m.Name, err)
+			errs.Addf("config: master %d (%s): %v", i, m.Name, err)
+		}
+		if m.Name != "" {
+			if j, dup := names[m.Name]; dup {
+				errs.Addf("config: masters %d and %d share the name %q", j, i, m.Name)
+			} else {
+				names[m.Name] = i
+			}
 		}
 	}
 	if err := p.DDR.Validate(); err != nil {
-		return fmt.Errorf("config: %w", err)
+		errs.Addf("config: %v", err)
 	}
 	if p.SRAM.Enabled {
 		if p.SRAM.Size == 0 {
-			return fmt.Errorf("config: SRAM enabled with zero size")
+			errs.Addf("config: SRAM enabled with zero size")
 		}
 		if uint64(p.SRAM.Base) < p.AddrMap.Capacity() {
-			return fmt.Errorf("config: SRAM base %#x overlaps the DDR region (capacity %#x)",
+			errs.Addf("config: SRAM base %#x overlaps the DDR region (capacity %#x)",
 				p.SRAM.Base, p.AddrMap.Capacity())
 		}
 	}
-	return nil
+	return errs.Err()
 }
 
 // PlainAHB returns a platform configured as a plain AMBA2.0 AHB: no

@@ -16,6 +16,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/tlm"
 	"repro/internal/trace"
@@ -34,6 +35,40 @@ type Workload struct {
 	Gens func() []traffic.Generator
 	// MaxCycles caps each run (0 = default cap).
 	MaxCycles sim.Cycle
+}
+
+// FromSpec validates and compiles a declarative workload spec into a
+// runnable Workload. The returned workload's Gens builds fresh
+// generators from the spec on every call, so both models replay the
+// identical sequence — a spec-compiled workload is interchangeable
+// with a closure-defined one.
+func FromSpec(s spec.Spec) (Workload, error) {
+	if err := s.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:   s.Name,
+		Params: s.Params,
+		Gens: func() []traffic.Generator {
+			gens, err := s.Gens()
+			if err != nil {
+				// Unreachable: Validate vetted every descriptor above.
+				panic(err)
+			}
+			return gens
+		},
+		MaxCycles: sim.Cycle(s.MaxCycles),
+	}, nil
+}
+
+// MustFromSpec is FromSpec for static (trusted) specs; it panics on a
+// spec that fails validation.
+func MustFromSpec(s spec.Spec) Workload {
+	w, err := FromSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // Model selects the abstraction level.

@@ -1,182 +1,26 @@
 package core
 
 import (
-	"repro/internal/config"
-	"repro/internal/traffic"
+	"repro/internal/spec"
 )
+
+// The experiment workloads are defined as declarative specs in
+// internal/spec and compiled here. The paper's scenario set is data:
+// it can be listed, hashed, served by the simulation service and
+// extended with new families without touching simulator code.
+// Equivalence with the original closure-defined workloads is pinned
+// by spec_equivalence_test.go (identical cycle counts in both
+// models).
 
 // Table1Scenarios returns the accuracy-experiment workloads: the
 // paper's Table 1 varies "the traffic patterns of the masters" on a
 // three-master target system and compares TL against RTL cycle counts
-// per scenario. The twelve scenarios here cover four pattern families
-// (sequential/DMA, random/CPU-like, bursty, real-time stream) in three
-// master-mix variants each (read-dominant, write-heavy, RT-mixed),
-// which spans the same space. Seeds are fixed: every scenario is
-// bit-reproducible.
+// per scenario. The twelve scenarios cover four pattern families
+// (sequential/DMA, random/CPU-like, bursty, real-time stream) in
+// three master-mix variants each (read-dominant, write-heavy,
+// RT-mixed). Seeds are fixed: every scenario is bit-reproducible.
 func Table1Scenarios() []Workload {
-	var ws []Workload
-
-	base := func(rtMaster bool) config.Params {
-		p := config.Default(3)
-		p.Masters[0].Name = "dma0"
-		p.Masters[1].Name = "cpu"
-		p.Masters[2].Name = "disp"
-		if rtMaster {
-			p.Masters[2].RealTime = true
-			p.Masters[2].QoSObjective = 200
-		}
-		return p
-	}
-
-	// Family 1: sequential DMA traffic.
-	ws = append(ws,
-		Workload{
-			Name:   "seq/read-dominant",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Sequential{Base: 0x00000, Beats: 8, Count: 150, Gap: 2},
-					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, Gap: 4},
-					&traffic.Sequential{Base: 0x100000, Beats: 4, Count: 150, Gap: 8},
-				}
-			},
-		},
-		Workload{
-			Name:   "seq/write-heavy",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Sequential{Base: 0x00000, Beats: 8, Count: 150, WriteEvery: 1},
-					&traffic.Sequential{Base: 0x80000, Beats: 4, Count: 150, WriteEvery: 2},
-					&traffic.Sequential{Base: 0x100000, Beats: 8, Count: 150, Gap: 4},
-				}
-			},
-		},
-		Workload{
-			Name:   "seq/rt-mixed",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Sequential{Base: 0x00000, Beats: 16, Count: 150},
-					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, WriteEvery: 3},
-					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 60, Count: 150},
-				}
-			},
-		},
-	)
-
-	// Family 2: random CPU-like traffic.
-	ws = append(ws,
-		Workload{
-			Name:   "rand/read-dominant",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Random{Seed: 101, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.1, MeanGap: 6, Count: 150},
-					&traffic.Random{Seed: 202, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.1, MeanGap: 10, Count: 150},
-					&traffic.Random{Seed: 303, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 4, WriteFrac: 0.0, MeanGap: 14, Count: 150},
-				}
-			},
-		},
-		Workload{
-			Name:   "rand/write-heavy",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Random{Seed: 404, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.7, MeanGap: 4, Count: 150},
-					&traffic.Random{Seed: 505, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 4, WriteFrac: 0.6, MeanGap: 6, Count: 150},
-					&traffic.Random{Seed: 606, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 8, WriteFrac: 0.5, MeanGap: 10, Count: 150},
-				}
-			},
-		},
-		Workload{
-			Name:   "rand/rt-mixed",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Random{Seed: 707, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 16, WriteFrac: 0.3, MeanGap: 5, Count: 150},
-					&traffic.Random{Seed: 808, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.3, MeanGap: 8, Count: 150},
-					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 70, Count: 150},
-				}
-			},
-		},
-	)
-
-	// Family 3: bursty on/off traffic.
-	ws = append(ws,
-		Workload{
-			Name:   "burst/read-dominant",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Bursty{Base: 0x00000, Beats: 8, BurstTxns: 8, IdleGap: 200, Count: 150},
-					&traffic.Bursty{Base: 0x80000, Beats: 8, BurstTxns: 6, IdleGap: 150, Count: 150},
-					&traffic.Sequential{Base: 0x100000, Beats: 4, Count: 150, Gap: 10},
-				}
-			},
-		},
-		Workload{
-			Name:   "burst/write-heavy",
-			Params: base(false),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Bursty{Base: 0x00000, Beats: 8, BurstTxns: 8, IdleGap: 150, Count: 150, Write: true},
-					&traffic.Bursty{Base: 0x80000, Beats: 4, BurstTxns: 10, IdleGap: 100, Count: 150, Write: true},
-					&traffic.Random{Seed: 909, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 4, WriteFrac: 0.2, MeanGap: 8, Count: 150},
-				}
-			},
-		},
-		Workload{
-			Name:   "burst/rt-mixed",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Bursty{Base: 0x00000, Beats: 16, BurstTxns: 4, IdleGap: 250, Count: 150},
-					&traffic.Bursty{Base: 0x80000, Beats: 8, BurstTxns: 6, IdleGap: 150, Count: 150, Write: true},
-					&traffic.Stream{Base: 0x100000, Beats: 8, Period: 90, Count: 150},
-				}
-			},
-		},
-	)
-
-	// Family 4: real-time stream dominated traffic.
-	ws = append(ws,
-		Workload{
-			Name:   "stream/read-dominant",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Stream{Base: 0x00000, Beats: 8, Period: 50, Count: 150},
-					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, Gap: 6},
-					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 80, Count: 150},
-				}
-			},
-		},
-		Workload{
-			Name:   "stream/write-heavy",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Stream{Base: 0x00000, Beats: 8, Period: 60, Count: 150, Write: true},
-					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, WriteEvery: 1},
-					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 70, Count: 150},
-				}
-			},
-		},
-		Workload{
-			Name:   "stream/rt-mixed",
-			Params: base(true),
-			Gens: func() []traffic.Generator {
-				return []traffic.Generator{
-					&traffic.Stream{Base: 0x00000, Beats: 16, Period: 120, Count: 150},
-					&traffic.Random{Seed: 111, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.4, MeanGap: 6, Count: 150},
-					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 60, Count: 150},
-				}
-			},
-		},
-	)
-
-	return ws
+	return compileAll(spec.Table1Specs())
 }
 
 // SpeedWorkloads returns the workload pair of the speed experiment: a
@@ -184,34 +28,8 @@ func Table1Scenarios() []Workload {
 // comparison) and a single-master sequential workload (the 456
 // Kcycles/s "pure bus performance" configuration).
 func SpeedWorkloads(txns int) (multi Workload, single Workload) {
-	if txns <= 0 {
-		txns = 2000
-	}
-	// Duty cycles follow the paper's platform class (DVD-player SoC):
-	// periodic media IPs and a CPU with think time, so the bus idles
-	// between transactions — exactly the cycles a method-based TLM
-	// skips and a pin-accurate simulation must still evaluate.
-	multi = Workload{
-		Name:   "speed/multi",
-		Params: config.Default(3),
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0x00000, Beats: 8, Count: txns, WriteEvery: 3, Gap: 90},
-				&traffic.Random{Seed: 42, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.3, MeanGap: 110, Count: txns},
-				&traffic.Stream{Base: 0x100000, Beats: 4, Period: 120, Count: txns},
-			}
-		},
-	}
-	single = Workload{
-		Name:   "speed/single",
-		Params: config.Default(1),
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0, Beats: 8, Count: 3 * txns, Gap: 100},
-			}
-		},
-	}
-	return multi, single
+	m, s := spec.SpeedSpecs(txns)
+	return MustFromSpec(m), MustFromSpec(s)
 }
 
 // AblationWriteBufferDepths returns the write-buffer ablation sweep
@@ -221,24 +39,7 @@ func AblationWriteBufferDepths() []int { return []int{0, 2, 4, 8, 16} }
 // AblationWorkload returns a write-heavy contended workload used by
 // the A1/A2/A4 ablations.
 func AblationWorkload(depth int, txns int) Workload {
-	if txns <= 0 {
-		txns = 300
-	}
-	p := config.Default(3)
-	p.WriteBufferDepth = depth
-	p.Masters[2].RealTime = true
-	p.Masters[2].QoSObjective = 150
-	return Workload{
-		Name:   "ablation/write-heavy",
-		Params: p,
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0x00000, Beats: 8, Count: txns, WriteEvery: 1},
-				&traffic.Random{Seed: 77, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.6, MeanGap: 3, Count: txns},
-				&traffic.Stream{Base: 0x100000, Beats: 4, Period: 60, Count: txns},
-			}
-		},
-	}
+	return MustFromSpec(spec.AblationSpec(depth, txns))
 }
 
 // PagePolicyWorkload returns the A6 ablation workload: a single master
@@ -247,22 +48,7 @@ func AblationWorkload(depth int, txns int) Workload {
 // hide in idle cycles while the open-page policy pays a demand
 // conflict precharge every access.
 func PagePolicyWorkload(closed bool, txns int) Workload {
-	if txns <= 0 {
-		txns = 300
-	}
-	p := config.Default(1)
-	p.BIEnabled = false // isolate the page policy from the hint path
-	p.ClosedPage = closed
-	rowStride := p.AddrMap.RowBytes() * uint32(p.AddrMap.Banks())
-	return Workload{
-		Name:   "ablation/pagepolicy",
-		Params: p,
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0, Beats: 4, Count: txns, Gap: 12, StrideBytes: rowStride},
-			}
-		},
-	}
+	return MustFromSpec(spec.PagePolicySpec(closed, txns))
 }
 
 // BusWidthWorkload returns the A7 ablation workload: a streaming DMA
@@ -270,27 +56,7 @@ func PagePolicyWorkload(closed bool, txns int) Workload {
 // AHB, 8 = 64-bit). Wider beats move more bytes per data cycle, the
 // §3.7 bus-width parameter made measurable.
 func BusWidthWorkload(busBytes int, txns int) Workload {
-	if txns <= 0 {
-		txns = 300
-	}
-	p := config.Default(2)
-	p.BusBytes = busBytes
-	switch busBytes {
-	case 8:
-		p.AddrMap.BeatBytesLog2 = 3
-	case 4:
-		p.AddrMap.BeatBytesLog2 = 2
-	}
-	return Workload{
-		Name:   "ablation/buswidth",
-		Params: p,
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0, Beats: 8, Count: txns, BeatBytes: busBytes},
-				&traffic.Sequential{Base: 0x80000, Beats: 8, Count: txns, BeatBytes: busBytes},
-			}
-		},
-	}
+	return MustFromSpec(spec.BusWidthSpec(busBytes, txns))
 }
 
 // SaturatingWorkload returns a workload with no pacing master: three
@@ -298,22 +64,7 @@ func BusWidthWorkload(busBytes int, txns int) Workload {
 // then reflects bus efficiency directly, which is what the pipelining
 // (A2) and write-buffer (A1) ablations need to show.
 func SaturatingWorkload(depth int, txns int) Workload {
-	if txns <= 0 {
-		txns = 300
-	}
-	p := config.Default(3)
-	p.WriteBufferDepth = depth
-	return Workload{
-		Name:   "ablation/saturating",
-		Params: p,
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0x00000, Beats: 4, Count: txns},
-				&traffic.Sequential{Base: 0x80000, Beats: 4, Count: txns, WriteEvery: 1},
-				&traffic.Sequential{Base: 0x100000, Beats: 8, Count: txns, WriteEvery: 2},
-			}
-		},
-	}
+	return MustFromSpec(spec.SaturatingSpec(depth, txns))
 }
 
 // InterleavingWorkload returns the A3 bank-interleaving workload: two
@@ -323,21 +74,15 @@ func SaturatingWorkload(depth int, txns int) Workload {
 // current burst streams and prepares the bank early, which is exactly
 // the paper's bank-interleaving scheme.
 func InterleavingWorkload(biOn bool, txns int) Workload {
-	if txns <= 0 {
-		txns = 400
+	return MustFromSpec(spec.InterleavingSpec(biOn, txns))
+}
+
+// compileAll compiles a spec list, panicking on the first invalid
+// entry (the built-in scenario library is static configuration).
+func compileAll(specs []spec.Spec) []Workload {
+	ws := make([]Workload, len(specs))
+	for i, s := range specs {
+		ws[i] = MustFromSpec(s)
 	}
-	p := config.Default(2)
-	p.BIEnabled = biOn
-	rowBytes := p.AddrMap.RowBytes()
-	bankStride := rowBytes * uint32(p.AddrMap.Banks()) // next row, same bank
-	return Workload{
-		Name:   "ablation/interleaving",
-		Params: p,
-		Gens: func() []traffic.Generator {
-			return []traffic.Generator{
-				&traffic.Sequential{Base: 0, Beats: 8, Count: txns, StrideBytes: bankStride},
-				&traffic.Sequential{Base: rowBytes, Beats: 8, Count: txns, StrideBytes: bankStride},
-			}
-		},
-	}
+	return ws
 }

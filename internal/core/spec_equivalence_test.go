@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/spec"
+	"repro/internal/traffic"
+)
+
+// closureTable1 is the original closure-defined Table 1 scenario set,
+// kept verbatim from before the workloads became declarative specs.
+// The production set (Table1Scenarios) is compiled from
+// spec.Table1Specs; this copy pins the equivalence: spec-compiled and
+// closure-defined workloads must produce identical cycle counts in
+// both models, scenario by scenario.
+func closureTable1() []Workload {
+	var ws []Workload
+
+	base := func(rtMaster bool) config.Params {
+		p := config.Default(3)
+		p.Masters[0].Name = "dma0"
+		p.Masters[1].Name = "cpu"
+		p.Masters[2].Name = "disp"
+		if rtMaster {
+			p.Masters[2].RealTime = true
+			p.Masters[2].QoSObjective = 200
+		}
+		return p
+	}
+
+	ws = append(ws,
+		Workload{
+			Name:   "seq/read-dominant",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Sequential{Base: 0x00000, Beats: 8, Count: 150, Gap: 2},
+					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, Gap: 4},
+					&traffic.Sequential{Base: 0x100000, Beats: 4, Count: 150, Gap: 8},
+				}
+			},
+		},
+		Workload{
+			Name:   "seq/write-heavy",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Sequential{Base: 0x00000, Beats: 8, Count: 150, WriteEvery: 1},
+					&traffic.Sequential{Base: 0x80000, Beats: 4, Count: 150, WriteEvery: 2},
+					&traffic.Sequential{Base: 0x100000, Beats: 8, Count: 150, Gap: 4},
+				}
+			},
+		},
+		Workload{
+			Name:   "seq/rt-mixed",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Sequential{Base: 0x00000, Beats: 16, Count: 150},
+					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, WriteEvery: 3},
+					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 60, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "rand/read-dominant",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Random{Seed: 101, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.1, MeanGap: 6, Count: 150},
+					&traffic.Random{Seed: 202, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.1, MeanGap: 10, Count: 150},
+					&traffic.Random{Seed: 303, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 4, WriteFrac: 0.0, MeanGap: 14, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "rand/write-heavy",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Random{Seed: 404, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.7, MeanGap: 4, Count: 150},
+					&traffic.Random{Seed: 505, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 4, WriteFrac: 0.6, MeanGap: 6, Count: 150},
+					&traffic.Random{Seed: 606, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 8, WriteFrac: 0.5, MeanGap: 10, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "rand/rt-mixed",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Random{Seed: 707, Base: 0x00000, WindowBytes: 1 << 18, MaxBeats: 16, WriteFrac: 0.3, MeanGap: 5, Count: 150},
+					&traffic.Random{Seed: 808, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.3, MeanGap: 8, Count: 150},
+					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 70, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "burst/read-dominant",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Bursty{Base: 0x00000, Beats: 8, BurstTxns: 8, IdleGap: 200, Count: 150},
+					&traffic.Bursty{Base: 0x80000, Beats: 8, BurstTxns: 6, IdleGap: 150, Count: 150},
+					&traffic.Sequential{Base: 0x100000, Beats: 4, Count: 150, Gap: 10},
+				}
+			},
+		},
+		Workload{
+			Name:   "burst/write-heavy",
+			Params: base(false),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Bursty{Base: 0x00000, Beats: 8, BurstTxns: 8, IdleGap: 150, Count: 150, Write: true},
+					&traffic.Bursty{Base: 0x80000, Beats: 4, BurstTxns: 10, IdleGap: 100, Count: 150, Write: true},
+					&traffic.Random{Seed: 909, Base: 0x100000, WindowBytes: 1 << 16, MaxBeats: 4, WriteFrac: 0.2, MeanGap: 8, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "burst/rt-mixed",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Bursty{Base: 0x00000, Beats: 16, BurstTxns: 4, IdleGap: 250, Count: 150},
+					&traffic.Bursty{Base: 0x80000, Beats: 8, BurstTxns: 6, IdleGap: 150, Count: 150, Write: true},
+					&traffic.Stream{Base: 0x100000, Beats: 8, Period: 90, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "stream/read-dominant",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Stream{Base: 0x00000, Beats: 8, Period: 50, Count: 150},
+					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, Gap: 6},
+					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 80, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "stream/write-heavy",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Stream{Base: 0x00000, Beats: 8, Period: 60, Count: 150, Write: true},
+					&traffic.Sequential{Base: 0x80000, Beats: 8, Count: 150, WriteEvery: 1},
+					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 70, Count: 150},
+				}
+			},
+		},
+		Workload{
+			Name:   "stream/rt-mixed",
+			Params: base(true),
+			Gens: func() []traffic.Generator {
+				return []traffic.Generator{
+					&traffic.Stream{Base: 0x00000, Beats: 16, Period: 120, Count: 150},
+					&traffic.Random{Seed: 111, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.4, MeanGap: 6, Count: 150},
+					&traffic.Stream{Base: 0x100000, Beats: 4, Period: 60, Count: 150},
+				}
+			},
+		},
+	)
+	return ws
+}
+
+// TestSpecCompiledTable1MatchesClosures is the acceptance criterion
+// for the declarative spec layer: every Table 1 scenario, compiled
+// from its spec, must produce the cycle counts of the original
+// closure-defined workload in BOTH models.
+func TestSpecCompiledTable1MatchesClosures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 48 simulations")
+	}
+	closures := closureTable1()
+	compiled := Table1Scenarios()
+	if len(closures) != len(compiled) {
+		t.Fatalf("scenario counts differ: %d closures vs %d specs", len(closures), len(compiled))
+	}
+	cRows, cAvg := CompareAll(closures)
+	sRows, sAvg := CompareAll(compiled)
+	for i := range cRows {
+		c, s := cRows[i], sRows[i]
+		if c.Name != s.Name {
+			t.Fatalf("scenario %d name: closure %q vs spec %q", i, c.Name, s.Name)
+		}
+		if c.RTLCycles != s.RTLCycles || c.TLMCycles != s.TLMCycles {
+			t.Errorf("%s: closure RTL=%d TL=%d, spec RTL=%d TL=%d",
+				c.Name, uint64(c.RTLCycles), uint64(c.TLMCycles), uint64(s.RTLCycles), uint64(s.TLMCycles))
+		}
+		if !s.Completed {
+			t.Errorf("%s: spec-compiled run incomplete", s.Name)
+		}
+	}
+	if cAvg != sAvg {
+		t.Errorf("average error differs: closure %.6f vs spec %.6f", cAvg, sAvg)
+	}
+}
+
+// TestSpeedWorkloadsSpecBacked pins the speed pair's spec compilation
+// to the closure originals at a reduced size.
+func TestSpeedWorkloadsSpecBacked(t *testing.T) {
+	multiSpec, singleSpec := spec.SpeedSpecs(60)
+	multi := MustFromSpec(multiSpec)
+	single := MustFromSpec(singleSpec)
+
+	closureMulti := Workload{
+		Name:   "speed/multi",
+		Params: config.Default(3),
+		Gens: func() []traffic.Generator {
+			return []traffic.Generator{
+				&traffic.Sequential{Base: 0x00000, Beats: 8, Count: 60, WriteEvery: 3, Gap: 90},
+				&traffic.Random{Seed: 42, Base: 0x80000, WindowBytes: 1 << 18, MaxBeats: 8, WriteFrac: 0.3, MeanGap: 110, Count: 60},
+				&traffic.Stream{Base: 0x100000, Beats: 4, Period: 120, Count: 60},
+			}
+		},
+	}
+	closureSingle := Workload{
+		Name:   "speed/single",
+		Params: config.Default(1),
+		Gens: func() []traffic.Generator {
+			return []traffic.Generator{
+				&traffic.Sequential{Base: 0, Beats: 8, Count: 180, Gap: 100},
+			}
+		},
+	}
+	for _, pair := range []struct {
+		name            string
+		specW, closureW Workload
+	}{
+		{"multi", multi, closureMulti},
+		{"single", single, closureSingle},
+	} {
+		a := Run(pair.specW, TLM, Options{})
+		b := Run(pair.closureW, TLM, Options{})
+		if a.Cycles != b.Cycles || !a.Completed {
+			t.Errorf("%s: spec %d cycles (completed=%v) vs closure %d",
+				pair.name, uint64(a.Cycles), a.Completed, uint64(b.Cycles))
+		}
+	}
+}
+
+// TestFromSpecRejectsInvalid confirms the error path surfaces the
+// validator's message instead of panicking.
+func TestFromSpecRejectsInvalid(t *testing.T) {
+	s := spec.Table1Specs()[0]
+	s.Masters[0].Count = 0
+	if _, err := FromSpec(s); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+	s2 := spec.Table1Specs()[0]
+	if w, err := FromSpec(s2); err != nil || w.Name != s2.Name {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}

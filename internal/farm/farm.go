@@ -13,6 +13,7 @@
 package farm
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -99,4 +100,92 @@ func Pair(a, b func()) {
 			b()
 		}
 	})
+}
+
+// ErrSaturated is returned by Pool.Submit when the bounded job queue
+// is full — the backpressure signal a service translates into "try
+// again later" instead of queueing unboundedly.
+var ErrSaturated = errors.New("farm: job queue saturated")
+
+// Pool is a long-lived worker pool with a bounded job queue. Unlike
+// Do/Map — which are built for a fixed batch known up front — a Pool
+// serves jobs that arrive one at a time (the simulation service's
+// request stream), applying backpressure once the queue fills.
+//
+// A panic inside a job is recovered and rethrown on the goroutine
+// that waits on the job's done function, not the worker, so one bad
+// job cannot take a worker out of the pool.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+	// mu serializes Submit's closed-check-then-send against Close's
+	// flag-set-then-close so a late Submit can never send on a closed
+	// channel. Submitters share a read lock (the send itself is
+	// non-blocking); Close takes the write lock.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (<= 0 selects
+// DefaultWorkers) and queue capacity (<= 0 selects 2x the workers).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job and returns a wait function that blocks until
+// the job finishes (rethrowing the job's panic, if any). It returns
+// ErrSaturated without enqueueing when the queue is full, and an
+// error after Close.
+func (p *Pool) Submit(job func()) (wait func(), err error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, errors.New("farm: pool closed")
+	}
+	done := make(chan any, 1)
+	wrapped := func() {
+		defer func() { done <- recover() }()
+		job()
+	}
+	select {
+	case p.jobs <- wrapped:
+		return func() {
+			if r := <-done; r != nil {
+				panic(r)
+			}
+		}, nil
+	default:
+		return nil, ErrSaturated
+	}
+}
+
+// Queued returns the number of jobs waiting in the queue (not yet
+// picked up by a worker).
+func (p *Pool) Queued() int { return len(p.jobs) }
+
+// Close stops accepting jobs and waits for queued ones to drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
 }

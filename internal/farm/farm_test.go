@@ -83,3 +83,85 @@ func TestPairRunsBoth(t *testing.T) {
 		t.Fatalf("a=%v b=%v", a, b)
 	}
 }
+
+func TestPoolRunsSubmittedJobs(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+	var ran atomic.Int64
+	var waits []func()
+	for i := 0; i < 8; i++ {
+		wait, err := p.Submit(func() { ran.Add(1) })
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waits = append(waits, wait)
+	}
+	for _, w := range waits {
+		w()
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d of 8", ran.Load())
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	w1, err := p.Submit(func() { close(started); <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the single queue slot...
+	w2, err := p.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission must be refused, not queued.
+	if _, err := p.Submit(func() {}); err != ErrSaturated {
+		t.Fatalf("saturated submit: %v", err)
+	}
+	close(block)
+	w1()
+	w2()
+	// Capacity freed: submissions flow again.
+	w3, err := p.Submit(func() {})
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	w3()
+}
+
+func TestPoolJobPanicSurfacesOnWait(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	wait, err := p.Submit(func() { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "kaboom") {
+				t.Errorf("recovered %v", r)
+			}
+		}()
+		wait()
+	}()
+	// The worker survived the panic.
+	w2, err := p.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2()
+}
+
+func TestPoolCloseRejectsNewJobs(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if _, err := p.Submit(func() {}); err == nil {
+		t.Fatal("closed pool accepted a job")
+	}
+}

@@ -44,10 +44,18 @@ type Reg struct {
 	Quota float64
 }
 
+// MaxObjective bounds the latency objective a QoS register accepts.
+// An objective beyond it cannot be met by any realizable platform and
+// almost certainly indicates a units mistake in the configuration.
+const MaxObjective sim.Cycle = 1 << 30
+
 // Validate reports nonsensical register settings.
 func (r Reg) Validate() error {
 	if r.Class == RT && r.Objective == 0 {
 		return fmt.Errorf("qos: RT master requires a nonzero objective")
+	}
+	if r.Objective > MaxObjective {
+		return fmt.Errorf("qos: objective %d cycles out of range (max %d)", r.Objective, MaxObjective)
 	}
 	if r.Quota < 0 || r.Quota > 1 {
 		return fmt.Errorf("qos: quota %f outside [0,1]", r.Quota)

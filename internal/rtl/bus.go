@@ -63,13 +63,25 @@ type Bus struct {
 
 // New assembles the platform. It panics on invalid configuration
 // (static setup errors are programming mistakes, mirroring hardware
-// elaboration failure).
+// elaboration failure); callers holding untrusted configuration use
+// NewChecked.
 func New(cfg Config) *Bus {
-	if err := cfg.Params.Validate(); err != nil {
+	b, err := NewChecked(cfg)
+	if err != nil {
 		panic(err)
 	}
+	return b
+}
+
+// NewChecked assembles the platform, reporting invalid configuration
+// as a descriptive error instead of panicking — the entry point for
+// externally submitted platforms (spec service, config files).
+func NewChecked(cfg Config) (*Bus, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
 	if len(cfg.Gens) != len(cfg.Params.Masters) {
-		panic(fmt.Sprintf("rtl: %d generators for %d masters", len(cfg.Gens), len(cfg.Params.Masters)))
+		return nil, fmt.Errorf("rtl: %d generators for %d masters", len(cfg.Gens), len(cfg.Params.Masters))
 	}
 	n := len(cfg.Gens)
 	size := amba.SizeForBytes(cfg.Params.BusBytes)
@@ -144,7 +156,7 @@ func New(cfg Config) *Bus {
 	w.GrantIdx.Notify(fabW)
 	w.GrantIdx.Notify(ddrW)
 	w.WBUsed.Notify(b.kernel.Waker(b.wbm))
-	return b
+	return b, nil
 }
 
 // done reports whether all workloads drained and the bus quiesced.

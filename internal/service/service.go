@@ -1,0 +1,504 @@
+// Package service is the simulation service: an HTTP JSON API that
+// accepts declarative workload specs (internal/spec), runs them on
+// the simulation kernels, and serves results at scale.
+//
+// Three mechanisms carry the load so the simulators don't have to:
+//
+//   - Content-addressed result cache. Every simulation here is
+//     bit-reproducible, so a spec's SHA-256 content hash fully
+//     determines its result; repeat requests are answered from an LRU
+//     cache with the byte-identical body of the first response,
+//     without re-simulation.
+//   - Request coalescing (singleflight). Duplicate requests that
+//     arrive while the first is still simulating attach to the
+//     in-flight job and all receive its result — N identical
+//     submissions cost one simulation.
+//   - Bounded run queue with backpressure. Jobs execute on a
+//     farm.Pool sized to the host's cores; once its queue fills,
+//     submissions are rejected with 503 + Retry-After instead of
+//     queueing unboundedly.
+//
+// Endpoints: POST /run, POST /compare, GET /scenarios, GET /healthz.
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Options sizes a server.
+type Options struct {
+	// Workers is the run-farm worker count (<= 0: one per CPU).
+	Workers int
+	// Queue is the bounded job-queue depth (<= 0: 2x workers).
+	Queue int
+	// CacheEntries caps the result cache (<= 0: DefaultCacheEntries).
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the default result-cache capacity.
+const DefaultCacheEntries = 1024
+
+// Counters is a snapshot of the server's load counters.
+type Counters struct {
+	// Jobs is the number of simulation jobs executed (a /compare
+	// counts once; it runs both models inside one job).
+	Jobs uint64 `json:"jobs"`
+	// CacheHits counts requests answered from the result cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// Coalesced counts requests that attached to an in-flight job.
+	Coalesced uint64 `json:"coalesced"`
+	// Rejected counts requests refused with 503 under backpressure.
+	Rejected uint64 `json:"rejected"`
+}
+
+// Server is the simulation service.
+type Server struct {
+	pool  *farm.Pool
+	mux   *http.ServeMux
+	cache *lru
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	jobs, hits, coalesced, rejected atomic.Uint64
+	workers, queue                  int
+
+	// The scenario library is immutable for the server's lifetime:
+	// the /scenarios body and the by-name index are built once in New
+	// instead of re-hashing every spec per request.
+	scenariosBody  []byte
+	scenarioByName map[string]spec.Spec
+}
+
+// flight is one in-progress simulation job; duplicate requests wait
+// on done and read body/status.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+}
+
+// New starts a server (its worker pool runs until Close).
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = farm.DefaultWorkers()
+	}
+	if opt.Queue <= 0 {
+		opt.Queue = 2 * opt.Workers
+	}
+	if opt.CacheEntries <= 0 {
+		opt.CacheEntries = DefaultCacheEntries
+	}
+	s := &Server{
+		pool:    farm.NewPool(opt.Workers, opt.Queue),
+		cache:   newLRU(opt.CacheEntries),
+		flights: make(map[string]*flight),
+		workers: opt.Workers,
+		queue:   opt.Queue,
+	}
+	s.buildScenarioLibrary()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/compare", s.handleCompare)
+	s.mux.HandleFunc("/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// buildScenarioLibrary hashes and indexes the built-in scenario set
+// once. The library is static configuration, so a failure here is a
+// programming error, not a request error.
+func (s *Server) buildScenarioLibrary() {
+	scenarios := spec.Scenarios()
+	infos := make([]ScenarioInfo, 0, len(scenarios))
+	s.scenarioByName = make(map[string]spec.Spec, len(scenarios))
+	for _, sp := range scenarios {
+		hash, err := sp.Hash()
+		if err != nil {
+			panic(fmt.Sprintf("service: hashing library scenario %s: %v", sp.Name, err))
+		}
+		kinds := make([]string, len(sp.Masters))
+		for i, g := range sp.Masters {
+			kinds[i] = g.Kind
+		}
+		infos = append(infos, ScenarioInfo{Name: sp.Name, Hash: hash, Masters: len(sp.Masters), Kinds: kinds})
+		s.scenarioByName[sp.Name] = sp
+	}
+	body, err := json.Marshal(infos)
+	if err != nil {
+		panic(fmt.Sprintf("service: encoding scenario library: %v", err))
+	}
+	s.scenariosBody = body
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the run queue and stops the workers.
+func (s *Server) Close() { s.pool.Close() }
+
+// CountersSnapshot returns the current load counters.
+func (s *Server) CountersSnapshot() Counters {
+	return Counters{
+		Jobs:      s.jobs.Load(),
+		CacheHits: s.hits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Rejected:  s.rejected.Load(),
+	}
+}
+
+// runRequest is the body of POST /run and POST /compare. Exactly one
+// of Spec and Scenario selects the workload.
+type runRequest struct {
+	// Spec is an inline workload spec.
+	Spec *spec.Spec `json:"spec,omitempty"`
+	// Scenario names a spec from the built-in library (GET /scenarios).
+	Scenario string `json:"scenario,omitempty"`
+	// Model selects the abstraction level for /run: "tl" (default) or
+	// "rtl". Ignored by /compare, which always runs both.
+	Model string `json:"model,omitempty"`
+}
+
+// RunResponse is the deterministic body of POST /run. Wall-clock time
+// is deliberately absent: the body is a pure function of the spec, so
+// cached replays are byte-identical to the first response.
+type RunResponse struct {
+	Name       string     `json:"name"`
+	Hash       string     `json:"hash"`
+	Model      string     `json:"model"`
+	Cycles     uint64     `json:"cycles"`
+	Completed  bool       `json:"completed"`
+	Violations uint64     `json:"violations"`
+	Stats      *stats.Bus `json:"stats,omitempty"`
+}
+
+// CompareResponse is the deterministic body of POST /compare: one
+// Table 1 accuracy row.
+type CompareResponse struct {
+	Name      string  `json:"name"`
+	Hash      string  `json:"hash"`
+	RTLCycles uint64  `json:"rtl_cycles"`
+	TLMCycles uint64  `json:"tl_cycles"`
+	DiffPct   float64 `json:"diff_pct"`
+	Completed bool    `json:"completed"`
+}
+
+// ScenarioInfo is one entry of GET /scenarios.
+type ScenarioInfo struct {
+	Name    string   `json:"name"`
+	Hash    string   `json:"hash"`
+	Masters int      `json:"masters"`
+	Kinds   []string `json:"kinds"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds a request body; a spec is small.
+const maxBodyBytes = 1 << 20
+
+// decodeRequest parses and validates the request, resolving a library
+// scenario name if used. It returns the decoded request (for the
+// model selector), the workload spec, its content hash and the
+// compiled workload.
+func (s *Server) decodeRequest(r *http.Request) (runRequest, spec.Spec, string, core.Workload, error) {
+	var req runRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, spec.Spec{}, "", core.Workload{}, fmt.Errorf("parsing request: %w", err)
+	}
+	var sp spec.Spec
+	switch {
+	case req.Spec != nil && req.Scenario != "":
+		return req, sp, "", core.Workload{}, fmt.Errorf("request has both spec and scenario; send one")
+	case req.Spec != nil:
+		sp = *req.Spec
+	case req.Scenario != "":
+		found, ok := s.scenarioByName[req.Scenario]
+		if !ok {
+			return req, sp, "", core.Workload{}, fmt.Errorf("unknown scenario %q", req.Scenario)
+		}
+		sp = found
+	default:
+		return req, sp, "", core.Workload{}, fmt.Errorf("request needs a spec or a scenario name")
+	}
+	w, err := core.FromSpec(sp)
+	if err != nil {
+		return req, sp, "", core.Workload{}, err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return req, sp, "", core.Workload{}, err
+	}
+	return req, sp, hash, w, nil
+}
+
+// handleRun serves POST /run: one workload through one model.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, sp, hash, wl, err := s.decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model := core.TLM
+	switch req.Model {
+	case "", "tl", "tlm":
+	case "rtl":
+		model = core.RTL
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown model %q (want tl or rtl)", req.Model)
+		return
+	}
+	key := "run:" + model.String() + ":" + hash
+	s.serveCached(w, r, key, hash, func() ([]byte, error) {
+		res := core.Run(wl, model, core.Options{})
+		return json.Marshal(RunResponse{
+			Name:       sp.Name,
+			Hash:       hash,
+			Model:      model.String(),
+			Cycles:     uint64(res.Cycles),
+			Completed:  res.Completed,
+			Violations: res.Violations,
+			Stats:      res.Stats,
+		})
+	})
+}
+
+// handleCompare serves POST /compare: both models, one accuracy row.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	_, sp, hash, wl, err := s.decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := "compare:" + hash
+	s.serveCached(w, r, key, hash, func() ([]byte, error) {
+		row := core.Compare(wl)
+		return json.Marshal(CompareResponse{
+			Name:      sp.Name,
+			Hash:      hash,
+			RTLCycles: uint64(row.RTLCycles),
+			TLMCycles: uint64(row.TLMCycles),
+			DiffPct:   row.ErrPct,
+			Completed: row.Completed,
+		})
+	})
+}
+
+// serveCached answers from the result cache, attaches to an in-flight
+// duplicate, or submits a new job to the bounded pool — in that
+// order. compute runs on a pool worker and must be deterministic in
+// its output bytes; those exact bytes are cached and replayed.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func() ([]byte, error)) {
+	if body, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		s.writeBody(w, http.StatusOK, body, "hit", hash)
+		return
+	}
+
+	s.mu.Lock()
+	// Re-check under the lock: the in-flight job for this key may have
+	// filled the cache and retired its flight between the lock-free
+	// cache probe above and here — without this, that race starts a
+	// duplicate simulation.
+	if body, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		s.writeBody(w, http.StatusOK, body, "hit", hash)
+		return
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+			s.writeBody(w, f.status, f.body, "coalesced", hash)
+		case <-r.Context().Done():
+			// Client gave up; the job still completes and fills the cache.
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	_, err := s.pool.Submit(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				f.status = http.StatusInternalServerError
+				f.body, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("simulation failed: %v", p)})
+			}
+			if f.status == http.StatusOK {
+				s.cache.put(key, f.body)
+			}
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+			close(f.done)
+		}()
+		s.jobs.Add(1)
+		body, err := compute()
+		if err != nil {
+			panic(err)
+		}
+		f.status = http.StatusOK
+		f.body = body
+	})
+	if err != nil {
+		// Fill the flight before closing it: requests that already
+		// coalesced onto this key must read a real 503, not a
+		// zero-valued response.
+		f.status = http.StatusServiceUnavailable
+		f.body, _ = json.Marshal(errorResponse{Error: "run queue saturated; retry"})
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		s.rejected.Add(1)
+		s.writeBody(w, f.status, f.body, "", hash)
+		return
+	}
+	select {
+	case <-f.done:
+		s.writeBody(w, f.status, f.body, "miss", hash)
+	case <-r.Context().Done():
+	}
+}
+
+// handleScenarios serves GET /scenarios: the built-in spec library,
+// prebuilt in New.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeBody(w, http.StatusOK, s.scenariosBody, "", "")
+}
+
+// handleHealthz serves GET /healthz: liveness plus load counters.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	body, err := json.Marshal(struct {
+		OK           bool `json:"ok"`
+		Workers      int  `json:"workers"`
+		QueueCap     int  `json:"queue_capacity"`
+		Queued       int  `json:"queued"`
+		CacheEntries int  `json:"cache_entries"`
+		Counters
+	}{
+		OK: true, Workers: s.workers, QueueCap: s.queue,
+		Queued: s.pool.Queued(), CacheEntries: s.cache.len(),
+		Counters: s.CountersSnapshot(),
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeBody(w, http.StatusOK, body, "", "")
+}
+
+// writeBody sends a JSON body with the cache-disposition and
+// spec-hash headers. Backpressure responses (503) always carry
+// Retry-After, whether served directly or through a coalesced flight.
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache, hash string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cache != "" {
+		w.Header().Set("X-Cache", cache)
+	}
+	if hash != "" {
+		w.Header().Set("X-Spec-Hash", hash)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError sends a JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	s.writeBody(w, status, body, "", "")
+}
+
+// lru is a mutex-guarded LRU byte cache: spec hash key -> response
+// body. Bounded by entry count; simulation responses are small and
+// uniform, so entry count is an adequate proxy for bytes.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+// lruEntry is one cached response.
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns an empty cache bounded to cap entries.
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and refreshes its recency.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put stores a body, evicting the least-recently-used entry at cap.
+func (c *lru) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -131,13 +131,26 @@ type Bus struct {
 	portsBuf []int
 }
 
-// New assembles the TLM platform. It panics on invalid configuration.
+// New assembles the TLM platform. It panics on invalid configuration;
+// callers holding untrusted configuration use NewChecked.
 func New(cfg Config) *Bus {
-	if err := cfg.Params.Validate(); err != nil {
+	b, err := NewChecked(cfg)
+	if err != nil {
 		panic(err)
 	}
+	return b
+}
+
+// NewChecked assembles the TLM platform, reporting invalid
+// configuration as a descriptive error instead of panicking — the
+// entry point for externally submitted platforms (spec service, config
+// files).
+func NewChecked(cfg Config) (*Bus, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
 	if len(cfg.Gens) != len(cfg.Params.Masters) {
-		panic(fmt.Sprintf("tlm: %d generators for %d masters", len(cfg.Gens), len(cfg.Params.Masters)))
+		return nil, fmt.Errorf("tlm: %d generators for %d masters", len(cfg.Gens), len(cfg.Params.Masters))
 	}
 	n := len(cfg.Gens)
 	link := bi.NewLink(sim.Cycle(cfg.Params.BILatency))
@@ -188,7 +201,7 @@ func New(cfg Config) *Bus {
 	}
 	// Arm the first arbitration round for the earliest initial request.
 	b.rescheduleForPending(0)
-	return b
+	return b, nil
 }
 
 // wbIndex is the write-buffer pseudo-master port number.

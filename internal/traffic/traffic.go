@@ -50,6 +50,11 @@ func beatsFor(beats int) amba.Burst {
 	return amba.FixedBurstFor(beats, false)
 }
 
+// BurstFor returns the burst kind a generator emits for a beats-long
+// fixed request. External workload compilers (internal/spec) use it so
+// scripted requests carry the same encoding the generators produce.
+func BurstFor(beats int) amba.Burst { return beatsFor(beats) }
+
 // Sequential walks an address range with a fixed stride, the classic
 // DMA/streaming pattern.
 type Sequential struct {
