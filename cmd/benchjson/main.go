@@ -1,0 +1,181 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, and doubles as CI's benchmark gate:
+// it fails when the stream contains fewer benchmarks than expected
+// (a silently skipped bench job would otherwise look green) or when a
+// benchmark required to be allocation-free reports allocations
+// (guarding the zero-alloc scheduler hot path). CI uploads the JSON
+// as the per-commit perf-trajectory artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-o FILE] [-min N] [-zero-allocs Name,Name]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Package is the import path from the preceding "pkg:" header.
+	Package string `json:"package"`
+	// Name is the benchmark name without the -procs suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 if the line had none).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value ("ns/op", "B/op", "allocs/op", and
+	// any custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes a `go test -bench` text stream.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return rep, err
+			}
+			if ok {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-P  N  v unit  v unit..." line.
+// ok=false for Benchmark-prefixed lines that aren't results (e.g. a
+// bare name echoed with -v).
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false, nil
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // status line, not a result
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return b, false, fmt.Errorf("benchjson: odd metric list in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return b, false, fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true, nil
+}
+
+// splitProcs splits the trailing -GOMAXPROCS off a benchmark name.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 0
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 0
+	}
+	return s[:i], p
+}
+
+// gate applies the CI assertions to a parsed report.
+func gate(rep Report, minBenchmarks int, zeroAllocs []string) error {
+	if len(rep.Benchmarks) < minBenchmarks {
+		return fmt.Errorf("benchjson: parsed %d benchmarks, want >= %d (did the bench run execute?)",
+			len(rep.Benchmarks), minBenchmarks)
+	}
+	for _, want := range zeroAllocs {
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range rep.Benchmarks {
+			if b.Name != want {
+				continue
+			}
+			found = true
+			allocs, ok := b.Metrics["allocs/op"]
+			if !ok {
+				return fmt.Errorf("benchjson: %s has no allocs/op metric (run with -benchmem)", want)
+			}
+			if allocs != 0 {
+				return fmt.Errorf("benchjson: %s allocates %.0f allocs/op, required 0", want, allocs)
+			}
+		}
+		if !found {
+			return fmt.Errorf("benchjson: required benchmark %s not in the stream", want)
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout)")
+	minB := flag.Int("min", 1, "fail unless at least this many benchmarks parsed")
+	zero := flag.String("zero-allocs", "", "comma-separated benchmark names that must report 0 allocs/op")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if err := gate(rep, *minB, strings.Split(*zero, ",")); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(rep.Benchmarks), *out)
+}

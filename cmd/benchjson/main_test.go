@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkTLMSimulation-8   	     100	    680123 ns/op	   21040 B/op	      76 allocs/op
+BenchmarkRTLSimulation-8   	      10	  12345678 ns/op
+PASS
+ok  	repro	2.345s
+pkg: repro/internal/sim
+BenchmarkSchedulerPostDispatch-8	 5000000	       2.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelTick/gated-8     	 1000000	      55.5 ns/op
+PASS
+ok  	repro/internal/sim	1.234s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Package != "repro" || b.Name != "BenchmarkTLMSimulation" || b.Procs != 8 || b.Iterations != 100 {
+		t.Fatalf("first %+v", b)
+	}
+	if b.Metrics["ns/op"] != 680123 || b.Metrics["allocs/op"] != 76 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+	sched := rep.Benchmarks[2]
+	if sched.Package != "repro/internal/sim" || sched.Metrics["ns/op"] != 2.31 {
+		t.Fatalf("sched %+v", sched)
+	}
+	sub := rep.Benchmarks[3]
+	if sub.Name != "BenchmarkKernelTick/gated" || sub.Procs != 8 {
+		t.Fatalf("subbench %+v", sub)
+	}
+}
+
+func TestGate(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate(rep, 4, []string{"BenchmarkSchedulerPostDispatch"}); err != nil {
+		t.Fatalf("healthy gate failed: %v", err)
+	}
+	if err := gate(rep, 5, nil); err == nil || !strings.Contains(err.Error(), "want >= 5") {
+		t.Fatalf("min gate: %v", err)
+	}
+	if err := gate(rep, 1, []string{"BenchmarkMissing"}); err == nil || !strings.Contains(err.Error(), "not in the stream") {
+		t.Fatalf("missing gate: %v", err)
+	}
+	// A benchmark with allocations cannot pass the zero-alloc gate...
+	if err := gate(rep, 1, []string{"BenchmarkTLMSimulation"}); err == nil || !strings.Contains(err.Error(), "allocates") {
+		t.Fatalf("alloc gate: %v", err)
+	}
+	// ...and one without -benchmem data is an explicit error, not a pass.
+	if err := gate(rep, 1, []string{"BenchmarkRTLSimulation"}); err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("no-metric gate: %v", err)
+	}
+}
+
+func TestParseRejectsMalformedMetrics(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 100 5 ns/op 3\n")); err == nil {
+		t.Fatal("odd metric list accepted")
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX\nBenchmarkY-8 notanumber\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d from noise", len(rep.Benchmarks))
+	}
+}

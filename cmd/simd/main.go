@@ -6,16 +6,23 @@
 // determines its result), and the run queue is bounded — saturation
 // answers 503 + Retry-After instead of queueing without limit.
 //
+// With -store DIR the result cache is two-tier: an in-memory LRU in
+// front of a disk-backed store, so a restarted simd serves previously
+// computed specs byte-identically (X-Cache: hit) without
+// re-simulating. The store is size-bounded (-store-max-bytes) and
+// evicts by least-recent access.
+//
 // Endpoints:
 //
 //	POST /run       {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
 //	POST /compare   {"spec": {...} | "scenario": "name"}
+//	POST /sweep     {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
 //	GET  /scenarios the built-in scenario library with content hashes
 //	GET  /healthz   liveness and load counters
 //
 // Usage:
 //
-//	simd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
 package main
 
 import (
@@ -32,17 +39,30 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "run-farm workers (0 = one per CPU)")
 	queue := flag.Int("queue", 0, "bounded job-queue depth (0 = 2x workers)")
-	cache := flag.Int("cache", service.DefaultCacheEntries, "result-cache entries")
+	cache := flag.Int("cache", service.DefaultCacheEntries, "in-memory result-cache entries")
+	storeDir := flag.String("store", "", "disk result-store directory (empty = memory-only)")
+	storeMax := flag.Int64("store-max-bytes", 0, "disk store payload budget (0 = default)")
 	flag.Parse()
 
-	srv := service.New(service.Options{Workers: *workers, Queue: *queue, CacheEntries: *cache})
+	srv, err := service.New(service.Options{
+		Workers: *workers, Queue: *queue, CacheEntries: *cache,
+		StoreDir: *storeDir, StoreMaxBytes: *storeMax,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
 	defer srv.Close()
 
 	w := *workers
 	if w <= 0 {
 		w = farm.DefaultWorkers()
 	}
-	fmt.Printf("simd: serving on %s (%d workers, cache %d entries)\n", *addr, w, *cache)
+	persistence := "memory-only"
+	if *storeDir != "" {
+		persistence = "store " + *storeDir
+	}
+	fmt.Printf("simd: serving on %s (%d workers, cache %d entries, %s)\n", *addr, w, *cache, persistence)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		os.Exit(1)

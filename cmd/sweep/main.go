@@ -6,11 +6,12 @@
 // internal/farm worker pool, so multi-scenario sweeps scale with cores
 // while the printed tables stay in deterministic order.
 //
-// Every sweep's variants are declarative specs (internal/spec), built
-// once by the per-sweep variant functions that both the simulate path
-// and -dump consume — so `-dump DIR` writes exactly the workloads the
-// sweep simulates, ready to replay through `accuracy -spec` or the
-// simulation service.
+// Every sweep is a declarative parameter grid (internal/sweep): a
+// base spec plus one axis, expanded by the same engine the service's
+// POST /sweep endpoint uses. Both the simulate path and -dump consume
+// the expanded variants — so `-dump DIR` writes exactly the workloads
+// the sweep simulates, ready to replay through `accuracy -spec` or
+// the simulation service.
 //
 // Usage:
 //
@@ -27,99 +28,70 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/spec"
+	"repro/internal/sweep"
 )
 
 // workers is the farm bound shared by every sweep (-workers flag).
 var workers int
 
-// variant is one sweep data point: a label for the printed table and
-// the workload spec behind it. The spec's Name doubles as the -dump
-// filename.
-type variant struct {
-	label string
-	s     spec.Spec
+// grid expands a single-axis sweep over the base spec.
+func grid(name string, base spec.Spec, param string, values []sweep.Value) []sweep.Variant {
+	return sweep.MustExpand(sweep.Grid{
+		Name: name, Base: base,
+		Axes: []sweep.Axis{{Param: param, Values: values}},
+	})
 }
 
-// named returns s relabeled with a sweep-scoped name.
-func named(s spec.Spec, name string) spec.Spec {
-	s.Name = name
-	return s
-}
-
-func wbVariants(txns int) []variant {
-	var vs []variant
+func wbVariants(txns int) []sweep.Variant {
+	var vals []sweep.Value
 	for _, d := range core.AblationWriteBufferDepths() {
-		vs = append(vs, variant{fmt.Sprintf("%d", d),
-			named(spec.SaturatingSpec(d, txns), fmt.Sprintf("ablation/wb/depth%d", d))})
+		vals = append(vals, sweep.Value{
+			Label: fmt.Sprintf("%d", d), Slug: fmt.Sprintf("depth%d", d), V: d,
+		})
 	}
-	return vs
+	return grid("ablation/wb", spec.SaturatingSpec(8, txns), sweep.ParamWriteBufferDepth, vals)
 }
 
-func pipeliningVariants(txns int) []variant {
-	var vs []variant
-	for _, on := range []bool{true, false} {
-		s := spec.SaturatingSpec(8, txns)
-		s.Params.Pipelining = on
-		vs = append(vs, variant{fmt.Sprintf("%v", on),
-			named(s, fmt.Sprintf("ablation/pipelining/%v", on))})
-	}
-	return vs
+func pipeliningVariants(txns int) []sweep.Variant {
+	return grid("ablation/pipelining", spec.SaturatingSpec(8, txns), sweep.ParamPipelining,
+		[]sweep.Value{{V: true}, {V: false}})
 }
 
-func biVariants(txns int) []variant {
-	var vs []variant
-	for _, on := range []bool{true, false} {
-		vs = append(vs, variant{fmt.Sprintf("%v", on),
-			named(spec.InterleavingSpec(on, txns), fmt.Sprintf("ablation/bi/%v", on))})
-	}
-	return vs
+func biVariants(txns int) []sweep.Variant {
+	return grid("ablation/bi", spec.InterleavingSpec(true, txns), sweep.ParamBIEnabled,
+		[]sweep.Value{{V: true}, {V: false}})
 }
 
-func filtersVariants(txns int) []variant {
-	var vs []variant
-	for _, full := range []bool{true, false} {
-		s := spec.AblationSpec(8, txns)
-		label := "all-seven"
-		if !full {
-			label = "rr-only"
-			s.Params.Filters.Urgency = false
-			s.Params.Filters.RealTime = false
-			s.Params.Filters.Bandwidth = false
-			s.Params.Filters.BankAffinity = false
-		}
-		vs = append(vs, variant{label, named(s, "ablation/filters/"+label)})
-	}
-	return vs
+func filtersVariants(txns int) []sweep.Variant {
+	return grid("ablation/filters", spec.AblationSpec(8, txns), sweep.ParamFilters,
+		[]sweep.Value{
+			{Label: "all-seven", V: "all"},
+			{Label: "rr-only", V: "rr-only"},
+		})
 }
 
-func pagePolicyVariants(txns int) []variant {
-	var vs []variant
-	for _, closed := range []bool{false, true} {
-		label := "open-page"
-		if closed {
-			label = "closed-page"
-		}
-		vs = append(vs, variant{label,
-			named(spec.PagePolicySpec(closed, txns), "ablation/pagepolicy/"+label)})
-	}
-	return vs
+func pagePolicyVariants(txns int) []sweep.Variant {
+	return grid("ablation/pagepolicy", spec.PagePolicySpec(false, txns), sweep.ParamClosedPage,
+		[]sweep.Value{
+			{Label: "open-page", V: false},
+			{Label: "closed-page", V: true},
+		})
 }
 
-func busWidthVariants(txns int) []variant {
-	var vs []variant
-	for _, width := range []int{4, 8} {
-		vs = append(vs, variant{fmt.Sprintf("%db", width*8),
-			named(spec.BusWidthSpec(width, txns), fmt.Sprintf("ablation/buswidth/%d", width*8))})
-	}
-	return vs
+func busWidthVariants(txns int) []sweep.Variant {
+	return grid("ablation/buswidth", spec.BusWidthSpec(4, txns), sweep.ParamBusBytes,
+		[]sweep.Value{
+			{Label: "32b", Slug: "32", V: 4},
+			{Label: "64b", Slug: "64", V: 8},
+		})
 }
 
 // runAll compiles and executes the variants on the farm (TLM, index
 // order results) and exits nonzero if any run failed to drain.
-func runAll(vs []variant) []core.RunResult {
+func runAll(vs []sweep.Variant) []core.RunResult {
 	ws := make([]core.Workload, len(vs))
 	for i, v := range vs {
-		ws[i] = core.MustFromSpec(v.s)
+		ws[i] = core.MustFromSpec(v.Spec)
 	}
 	results := farm.Map(workers, len(ws), func(i int) core.RunResult {
 		return core.Run(ws[i], core.TLM, core.Options{})
@@ -139,7 +111,7 @@ func sweepWB(txns int) {
 	vs := wbVariants(txns)
 	for i, res := range runAll(vs) {
 		fmt.Printf("%8s %10d %12.1f %12.1f %14.1f %12d\n",
-			vs[i].label, uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
+			vs[i].Labels[0], uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
 			res.Stats.Masters[1].MeanLatency(),
 			100*res.Stats.Utilization(), res.Stats.WBFullStalls)
 	}
@@ -151,7 +123,7 @@ func sweepPipelining(txns int) {
 	fmt.Printf("%12s %10s %14s\n", "pipelining", "cycles", "util%")
 	vs := pipeliningVariants(txns)
 	for i, res := range runAll(vs) {
-		fmt.Printf("%12s %10d %14.1f\n", vs[i].label, uint64(res.Cycles), 100*res.Stats.Utilization())
+		fmt.Printf("%12s %10d %14.1f\n", vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.Utilization())
 	}
 	fmt.Println()
 }
@@ -162,7 +134,7 @@ func sweepBI(txns int) {
 	vs := biVariants(txns)
 	for i, res := range runAll(vs) {
 		fmt.Printf("%6s %10d %12.1f %12d %12.1f\n",
-			vs[i].label, uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
+			vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
 			res.Stats.DDR.HintActivates, 100*res.Stats.Utilization())
 	}
 	fmt.Println()
@@ -174,7 +146,7 @@ func sweepFilters(txns int) {
 	vs := filtersVariants(txns)
 	for i, res := range runAll(vs) {
 		fmt.Printf("%12s %10d %14d %14d %12.1f\n",
-			vs[i].label, uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
+			vs[i].Labels[0], uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
 			res.Stats.TotalViolations(), 100*res.Stats.Utilization())
 	}
 	fmt.Println()
@@ -185,7 +157,7 @@ func sweepPagePolicy(txns int) {
 	fmt.Printf("%14s %10s %12s\n", "policy", "cycles", "rowHit%")
 	vs := pagePolicyVariants(txns)
 	for i, res := range runAll(vs) {
-		fmt.Printf("%14s %10d %12.1f\n", vs[i].label, uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
+		fmt.Printf("%14s %10d %12.1f\n", vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
 	}
 	fmt.Println()
 }
@@ -195,15 +167,15 @@ func sweepBusWidth(txns int) {
 	fmt.Printf("%8s %10s %16s\n", "width", "cycles", "bytes/kcycle")
 	vs := busWidthVariants(txns)
 	for i, res := range runAll(vs) {
-		fmt.Printf("%8s %10d %16.1f\n", vs[i].label, uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
+		fmt.Printf("%8s %10d %16.1f\n", vs[i].Labels[0], uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
 	}
 	fmt.Println()
 }
 
 // allVariants collects every sweep's variants — the single source
 // -dump writes from.
-func allVariants(txns int) []variant {
-	var vs []variant
+func allVariants(txns int) []sweep.Variant {
+	var vs []sweep.Variant
 	vs = append(vs, wbVariants(txns)...)
 	vs = append(vs, pipeliningVariants(txns)...)
 	vs = append(vs, biVariants(txns)...)
@@ -221,11 +193,11 @@ func dumpSpecs(dir string, txns int) error {
 	}
 	vs := allVariants(txns)
 	for _, v := range vs {
-		b, err := v.s.MarshalIndent()
+		b, err := v.Spec.MarshalIndent()
 		if err != nil {
 			return err
 		}
-		file := strings.ReplaceAll(strings.TrimPrefix(v.s.Name, "ablation/"), "/", "_") + ".json"
+		file := strings.ReplaceAll(strings.TrimPrefix(v.Spec.Name, "ablation/"), "/", "_") + ".json"
 		if err := os.WriteFile(filepath.Join(dir, file), b, 0o644); err != nil {
 			return err
 		}

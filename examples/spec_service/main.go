@@ -1,15 +1,21 @@
-// Spec service walkthrough: start the simulation service in-process,
-// submit the declarative workload spec in spec.json, and watch the
-// content-addressed cache work — the second submission returns the
-// byte-identical body without re-simulating.
+// Spec service walkthrough and smoke check: start the simulation
+// service in-process, submit the declarative workload spec in
+// spec.json, and watch the content-addressed cache work — the second
+// submission returns the byte-identical body without re-simulating.
+// Then sweep a parameter grid through POST /sweep (rows stream as
+// NDJSON), restart the server over the same disk store, and confirm
+// the whole sweep replays from disk as hits.
 //
 //	go run ./examples/spec_service
 //
-// The same requests work against a standalone server
-// (`go run ./cmd/simd` + curl); see the README's service section.
+// The walkthrough asserts each step and exits nonzero on any
+// violation, so CI runs it as the service smoke test. The same
+// requests work against a standalone server (`go run ./cmd/simd
+// -store DIR` + curl); see the README's service section.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -23,6 +29,13 @@ import (
 	"repro/internal/spec"
 )
 
+// fail aborts the walkthrough; CI treats any nonzero exit as a smoke
+// failure.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spec_service: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 // post submits body to url and returns the status, X-Cache header and
 // response body.
 func post(url string, body []byte) (int, string, []byte, error) {
@@ -35,62 +48,119 @@ func post(url string, body []byte) (int, string, []byte, error) {
 	return resp.StatusCode, resp.Header.Get("X-Cache"), out, err
 }
 
+// sweepGrid is the small demonstration grid: write-buffer depth ×
+// bank interleaving over the spec.json workload, 8 variants.
+func sweepGrid(sp spec.Spec) []byte {
+	req, err := json.Marshal(map[string]any{
+		"base":  sp,
+		"name":  "demo/grid",
+		"model": "tl",
+		"axes": []map[string]any{
+			{"param": "write_buffer_depth", "values": []int{0, 2, 8, 16}},
+			{"param": "bi_enabled", "values": []bool{true, false}},
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	return req
+}
+
+// runSweep posts the grid and returns every streamed NDJSON row plus
+// the per-disposition counts.
+func runSweep(url string, req []byte) (rows []service.SweepRow, byCache map[string]int) {
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(req))
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fail("sweep: status %d: %s", resp.StatusCode, body)
+	}
+	byCache = map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row service.SweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			fail("sweep row: %v (%q)", err, sc.Text())
+		}
+		if row.Error != "" {
+			fail("sweep row %s: %s", row.Name, row.Error)
+		}
+		rows = append(rows, row)
+		byCache[row.Cache]++
+	}
+	if err := sc.Err(); err != nil {
+		fail("sweep stream: %v", err)
+	}
+	return rows, byCache
+}
+
 func main() {
 	// 1. Load and validate the declarative workload spec. The spec is
 	// data: it could as well have arrived over the wire or from a
 	// scenario store.
 	raw, err := os.ReadFile(filepath.Join("examples", "spec_service", "spec.json"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "run from the repository root: %v\n", err)
-		os.Exit(1)
+		fail("run from the repository root: %v", err)
 	}
 	sp, err := spec.Decode(raw)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	if err := sp.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	hash, _ := sp.Hash()
 	fmt.Printf("spec %q — content hash %s\n", sp.Name, hash[:16])
 
-	// 2. Start the service. In production this is `go run ./cmd/simd`;
-	// here it runs in-process on an ephemeral port.
-	srv := service.New(service.Options{})
-	defer srv.Close()
+	// 2. Start the service with a disk-backed result store. In
+	// production this is `go run ./cmd/simd -store DIR`; here it runs
+	// in-process on an ephemeral port over a temp directory.
+	storeDir, err := os.MkdirTemp("", "simstore")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(storeDir)
+	srv, err := service.New(service.Options{StoreDir: storeDir})
+	if err != nil {
+		fail("%v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
 
 	// 3. Compare the spec on both models. First submission simulates.
 	req, _ := json.Marshal(map[string]any{"spec": sp})
 	status, cache, body, err := post(ts.URL+"/compare", req)
 	if err != nil || status != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "compare: status %d err %v: %s\n", status, err, body)
-		os.Exit(1)
+		fail("compare: status %d err %v: %s", status, err, body)
 	}
 	var row service.CompareResponse
 	json.Unmarshal(body, &row)
 	fmt.Printf("first  /compare: X-Cache=%-5s RTL=%d TL=%d diff=%.2f%%\n",
 		cache, row.RTLCycles, row.TLMCycles, row.DiffPct)
+	if cache != "miss" {
+		fail("first compare X-Cache = %q, want miss", cache)
+	}
 
 	// 4. Submit the identical spec again: served from the cache,
 	// byte-identical, no second simulation.
 	_, cache2, body2, _ := post(ts.URL+"/compare", req)
 	fmt.Printf("second /compare: X-Cache=%-5s byte-identical=%v\n", cache2, bytes.Equal(body, body2))
+	if cache2 != "hit" || !bytes.Equal(body, body2) {
+		fail("cached replay broken: X-Cache=%q identical=%v", cache2, bytes.Equal(body, body2))
+	}
 	c := srv.CountersSnapshot()
 	fmt.Printf("service counters: jobs=%d cache_hits=%d coalesced=%d\n", c.Jobs, c.CacheHits, c.Coalesced)
 
 	// 5. The built-in scenario library is served by name.
 	resp, err := http.Get(ts.URL + "/scenarios")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	defer resp.Body.Close()
 	var infos []service.ScenarioInfo
 	json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
 	fmt.Printf("%d library scenarios; e.g. %s (%s)\n", len(infos), infos[0].Name, infos[0].Hash[:16])
 
 	nameReq, _ := json.Marshal(map[string]any{"scenario": infos[0].Name, "model": "tl"})
@@ -98,4 +168,58 @@ func main() {
 	var run service.RunResponse
 	json.Unmarshal(body3, &run)
 	fmt.Printf("ran %q by name on %s: %d cycles, completed=%v\n", run.Name, run.Model, run.Cycles, run.Completed)
+	if run.Cycles == 0 || !run.Completed {
+		fail("library run implausible: %+v", run)
+	}
+
+	// 6. Sweep a 4×2 parameter grid (write-buffer depth × bank
+	// interleaving). Rows stream back as NDJSON while the grid
+	// simulates on the farm.
+	gridReq := sweepGrid(sp)
+	rows, byCache := runSweep(ts.URL, gridReq)
+	fmt.Printf("swept %d variants: dispositions %v\n", len(rows), byCache)
+	if len(rows) != 8 {
+		fail("sweep produced %d rows, want 8", len(rows))
+	}
+	if byCache["miss"] != 8 {
+		fail("cold sweep dispositions %v, want 8 misses", byCache)
+	}
+
+	// 7. Restart the service over the same store directory: the whole
+	// grid — and the earlier compare — replay from disk, byte-identical,
+	// with zero new simulations.
+	ts.Close()
+	srv.Close()
+	srv2, err := service.New(service.Options{StoreDir: storeDir})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	rows2, byCache2 := runSweep(ts2.URL, gridReq)
+	_, cache3, body4, _ := post(ts2.URL+"/compare", req)
+	fmt.Printf("after restart: sweep dispositions %v, /compare X-Cache=%s\n", byCache2, cache3)
+	if len(rows2) != 8 || byCache2["hit"] != 8 {
+		fail("restarted sweep dispositions %v, want 8 hits", byCache2)
+	}
+	// Cold rows arrive in completion order, warm rows in grid order;
+	// match them by spec hash.
+	coldByHash := map[string]json.RawMessage{}
+	for _, r := range rows {
+		coldByHash[r.Hash] = r.Result
+	}
+	for _, r := range rows2 {
+		if !bytes.Equal(r.Result, coldByHash[r.Hash]) {
+			fail("restarted sweep row %s differs", r.Name)
+		}
+	}
+	if cache3 != "hit" || !bytes.Equal(body4, body) {
+		fail("restarted compare not served from store: X-Cache=%q", cache3)
+	}
+	if jobs := srv2.CountersSnapshot().Jobs; jobs != 0 {
+		fail("restarted server re-simulated %d jobs", jobs)
+	}
+	fmt.Println("smoke OK: streaming sweep + disk store replay verified")
 }

@@ -2,6 +2,7 @@ package farm
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -163,5 +164,90 @@ func TestPoolCloseRejectsNewJobs(t *testing.T) {
 	p.Close()
 	if _, err := p.Submit(func() {}); err == nil {
 		t.Fatal("closed pool accepted a job")
+	}
+}
+
+// TestPoolCloseWhileSaturated races Close against a crowd of
+// submitters hammering a fully saturated pool. The invariants, best
+// exercised under -race: no Submit ever panics (the closed-channel
+// send Close guards against), every accepted job eventually runs
+// (waits return), and Close itself returns. Run with -race.
+func TestPoolCloseWhileSaturated(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the worker and fill the queue so every submitter below
+	// lands on the saturated path while Close races them.
+	w1, err := p.Submit(func() { close(started); <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	w2, err := p.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submitters = 8
+	var (
+		wg       sync.WaitGroup
+		rejected atomic.Int64
+		mu       sync.Mutex
+		waits    []func()
+	)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Bounded spin: enough iterations to straddle the
+			// saturated phase, the drain and the Close, without
+			// soaking the race detector for seconds.
+			for n := 0; n < 5000; n++ {
+				wait, err := p.Submit(func() {})
+				switch {
+				case err == nil:
+					mu.Lock()
+					waits = append(waits, wait)
+					mu.Unlock()
+				case err == ErrSaturated:
+					rejected.Add(1)
+				default:
+					// Pool closed: the terminal state every submitter
+					// lands in once Close wins the race.
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(10 * time.Millisecond) // submitters hammer the full queue
+	close(block)                      // free the worker
+	// Guarantee at least one post-drain acceptance before Close joins
+	// the race.
+	for {
+		if wait, err := p.Submit(func() {}); err == nil {
+			mu.Lock()
+			waits = append(waits, wait)
+			mu.Unlock()
+			break
+		}
+	}
+	p.Close()
+	wg.Wait()
+
+	// Every job the pool accepted must have run; its wait returns
+	// instead of deadlocking on a dropped job.
+	w1()
+	w2()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, wait := range waits {
+		wait()
+	}
+	if rejected.Load() == 0 {
+		t.Error("saturation path never exercised")
+	}
+	if len(waits) == 0 {
+		t.Error("acceptance path never exercised")
 	}
 }

@@ -8,7 +8,10 @@
 //     bit-reproducible, so a spec's SHA-256 content hash fully
 //     determines its result; repeat requests are answered from an LRU
 //     cache with the byte-identical body of the first response,
-//     without re-simulation.
+//     without re-simulation. With a store directory configured, the
+//     cache is two-tier: an in-memory LRU in front of a disk-backed
+//     result store (internal/store), so cached replays survive
+//     process restarts byte-identically.
 //   - Request coalescing (singleflight). Duplicate requests that
 //     arrive while the first is still simulating attach to the
 //     in-flight job and all receive its result — N identical
@@ -18,12 +21,15 @@
 //     submissions are rejected with 503 + Retry-After instead of
 //     queueing unboundedly.
 //
-// Endpoints: POST /run, POST /compare, GET /scenarios, GET /healthz.
+// Endpoints: POST /run, POST /compare, POST /sweep (NDJSON parameter
+// grids; see sweep.go), GET /scenarios, GET /healthz.
 package service
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -34,6 +40,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Options sizes a server.
@@ -42,8 +49,15 @@ type Options struct {
 	Workers int
 	// Queue is the bounded job-queue depth (<= 0: 2x workers).
 	Queue int
-	// CacheEntries caps the result cache (<= 0: DefaultCacheEntries).
+	// CacheEntries caps the in-memory result cache (<= 0:
+	// DefaultCacheEntries).
 	CacheEntries int
+	// StoreDir roots the disk-backed result store; empty runs the
+	// server memory-only (results die with the process).
+	StoreDir string
+	// StoreMaxBytes bounds the disk store's payload (<= 0:
+	// store.DefaultMaxBytes). Ignored without StoreDir.
+	StoreMaxBytes int64
 }
 
 // DefaultCacheEntries is the default result-cache capacity.
@@ -60,6 +74,9 @@ type Counters struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Rejected counts requests refused with 503 under backpressure.
 	Rejected uint64 `json:"rejected"`
+	// StoreHits counts the cache hits served from the disk store
+	// (a subset of CacheHits).
+	StoreHits uint64 `json:"store_hits"`
 }
 
 // Server is the simulation service.
@@ -67,12 +84,15 @@ type Server struct {
 	pool  *farm.Pool
 	mux   *http.ServeMux
 	cache *lru
+	// disk is the persistent result tier behind the memory LRU; nil
+	// when the server runs memory-only.
+	disk *store.Store
 
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	jobs, hits, coalesced, rejected atomic.Uint64
-	workers, queue                  int
+	jobs, hits, coalesced, rejected, storeHits atomic.Uint64
+	workers, queue                             int
 
 	// The scenario library is immutable for the server's lifetime:
 	// the /scenarios body and the by-name index are built once in New
@@ -89,8 +109,17 @@ type flight struct {
 	status int
 }
 
-// New starts a server (its worker pool runs until Close).
-func New(opt Options) *Server {
+// dispositionClosed marks a 503 produced by a closed (shutting-down)
+// pool rather than a saturated one — terminal, never worth retrying.
+// It is internal routing state, not an X-Cache value: writeBody never
+// emits a disposition for 503s.
+const dispositionClosed = "closed"
+
+// New starts a server (its worker pool runs until Close). With a
+// StoreDir it opens (or resumes) the disk-backed result store there,
+// so a restarted server replays previously computed results
+// byte-identically.
+func New(opt Options) (*Server, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = farm.DefaultWorkers()
 	}
@@ -100,9 +129,18 @@ func New(opt Options) *Server {
 	if opt.CacheEntries <= 0 {
 		opt.CacheEntries = DefaultCacheEntries
 	}
+	var disk *store.Store
+	if opt.StoreDir != "" {
+		var err error
+		disk, err = store.Open(opt.StoreDir, opt.StoreMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
 	s := &Server{
 		pool:    farm.NewPool(opt.Workers, opt.Queue),
 		cache:   newLRU(opt.CacheEntries),
+		disk:    disk,
 		flights: make(map[string]*flight),
 		workers: opt.Workers,
 		queue:   opt.Queue,
@@ -111,9 +149,10 @@ func New(opt Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/compare", s.handleCompare)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // buildScenarioLibrary hashes and indexes the built-in scenario set
@@ -155,6 +194,7 @@ func (s *Server) CountersSnapshot() Counters {
 		CacheHits: s.hits.Load(),
 		Coalesced: s.coalesced.Load(),
 		Rejected:  s.rejected.Load(),
+		StoreHits: s.storeHits.Load(),
 	}
 }
 
@@ -267,8 +307,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "unknown model %q (want tl or rtl)", req.Model)
 		return
 	}
-	key := "run:" + model.String() + ":" + hash
-	s.serveCached(w, r, key, hash, func() ([]byte, error) {
+	s.serveCached(w, r, runKey(model, hash), hash, computeRun(sp, hash, model, wl))
+}
+
+// runKey is the cache key of a single-model run result.
+func runKey(model core.Model, hash string) string {
+	return "run:" + model.String() + ":" + hash
+}
+
+// computeRun returns the deterministic body builder for one
+// single-model run; it executes on a pool worker.
+func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) func() ([]byte, error) {
+	return func() ([]byte, error) {
 		res := core.Run(wl, model, core.Options{})
 		return json.Marshal(RunResponse{
 			Name:       sp.Name,
@@ -279,7 +329,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Violations: res.Violations,
 			Stats:      res.Stats,
 		})
-	})
+	}
 }
 
 // handleCompare serves POST /compare: both models, one accuracy row.
@@ -293,8 +343,16 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := "compare:" + hash
-	s.serveCached(w, r, key, hash, func() ([]byte, error) {
+	s.serveCached(w, r, compareKey(hash), hash, computeCompare(sp, hash, wl))
+}
+
+// compareKey is the cache key of a two-model accuracy row.
+func compareKey(hash string) string { return "compare:" + hash }
+
+// computeCompare returns the deterministic body builder for one
+// accuracy row; it executes on a pool worker.
+func computeCompare(sp spec.Spec, hash string, wl core.Workload) func() ([]byte, error) {
+	return func() ([]byte, error) {
 		row := core.Compare(wl)
 		return json.Marshal(CompareResponse{
 			Name:      sp.Name,
@@ -304,54 +362,135 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			DiffPct:   row.ErrPct,
 			Completed: row.Completed,
 		})
-	})
+	}
 }
 
-// serveCached answers from the result cache, attaches to an in-flight
-// duplicate, or submits a new job to the bounded pool — in that
-// order. compute runs on a pool worker and must be deterministic in
-// its output bytes; those exact bytes are cached and replayed.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func() ([]byte, error)) {
+// lookup probes the two cache tiers for key: the in-memory LRU, then
+// the disk store. A disk hit is promoted into the LRU so the next
+// probe stays off the filesystem. Either tier's hit is the
+// byte-identical body of the original computation.
+func (s *Server) lookup(key string) ([]byte, bool) {
+	if body, ok := s.lookupMemory(key); ok {
+		return body, true
+	}
+	if s.disk != nil {
+		if body, ok := s.disk.Get(key); ok {
+			s.cache.put(key, body)
+			s.hits.Add(1)
+			s.storeHits.Add(1)
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// lookupMemory probes only the in-memory tier. The sweep first pass
+// and executeOnce's re-checks use it: disk-held bodies resolve
+// through executeOnce's own disk probes, so the store's hit/miss
+// counters stay one-probe-per-request. A memory hit still refreshes
+// the disk entry's LRU recency — without the Touch, results served
+// from memory look cold on disk and are the first evicted, exactly
+// the entries a restart most wants back.
+func (s *Server) lookupMemory(key string) ([]byte, bool) {
 	if body, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
-		s.writeBody(w, http.StatusOK, body, "hit", hash)
-		return
+		if s.disk != nil {
+			s.disk.Touch(key)
+		}
+		return body, true
+	}
+	return nil, false
+}
+
+// persist writes a computed body into both cache tiers.
+func (s *Server) persist(key string, body []byte) {
+	s.cache.put(key, body)
+	if s.disk != nil {
+		// Best-effort: a full disk degrades the store to memory-only
+		// behavior rather than failing the request that computed the
+		// result.
+		_ = s.disk.Put(key, body)
+	}
+}
+
+// executeOnce resolves one cache key to a response: served from a
+// cache tier ("hit"), attached to an in-flight duplicate
+// ("coalesced"), or computed as a new job on the bounded pool
+// ("miss") — in that order. compute runs on a pool worker and must be
+// deterministic in its output bytes; those exact bytes are cached,
+// persisted and replayed. A saturated pool yields a 503 status (with
+// disposition "" for the request that hit the full queue, "coalesced"
+// for duplicates that had attached to it); the caller chooses whether
+// that is terminal (HTTP request path) or retryable (sweep rows,
+// which pass recheck=true on retries so the disk tier isn't
+// hit/miss-counted once per backoff round — the silent flight-leader
+// re-probe below still rescues a disk-resident result). A non-nil
+// error means ctx ended before the result was ready — the job itself
+// still completes and fills the cache.
+func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]byte, error), recheck bool) (status int, body []byte, disposition string, err error) {
+	probe := s.lookup
+	if recheck {
+		probe = s.lookupMemory
+	}
+	if body, ok := probe(key); ok {
+		return http.StatusOK, body, "hit", nil
 	}
 
 	s.mu.Lock()
-	// Re-check under the lock: the in-flight job for this key may have
-	// filled the cache and retired its flight between the lock-free
-	// cache probe above and here — without this, that race starts a
-	// duplicate simulation.
-	if body, ok := s.cache.get(key); ok {
+	// Re-check the memory tier under the lock: the in-flight job for
+	// this key may have filled the cache and retired its flight
+	// between the lock-free probe above and here — without this, that
+	// race starts a duplicate simulation. Memory only: no disk IO
+	// ever runs under s.mu, which serializes flight creation across
+	// ALL keys.
+	if body, ok := s.lookupMemory(key); ok {
 		s.mu.Unlock()
-		s.hits.Add(1)
-		s.writeBody(w, http.StatusOK, body, "hit", hash)
-		return
+		return http.StatusOK, body, "hit", nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
 		select {
 		case <-f.done:
-			s.writeBody(w, f.status, f.body, "coalesced", hash)
-		case <-r.Context().Done():
-			// Client gave up; the job still completes and fills the cache.
+			return f.status, f.body, "coalesced", nil
+		case <-ctx.Done():
+			return 0, nil, "", ctx.Err()
 		}
-		return
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
 	s.mu.Unlock()
 
-	_, err := s.pool.Submit(func() {
+	// This request now leads the flight for key, so it can re-probe
+	// the disk tier outside every lock: if a tiny LRU evicted what a
+	// retired flight persisted (or a restart left the result on disk
+	// only), the stored body is rescued here instead of re-simulated,
+	// and any duplicates that coalesced meanwhile read it from the
+	// flight. Silent probe (Peek): this request's store miss was
+	// already counted by the primary lookup.
+	if s.disk != nil {
+		if body, ok := s.disk.Peek(key); ok {
+			s.cache.put(key, body)
+			s.hits.Add(1)
+			s.storeHits.Add(1)
+			f.status = http.StatusOK
+			f.body = body
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+			close(f.done)
+			return http.StatusOK, body, "hit", nil
+		}
+	}
+
+	_, serr := s.pool.Submit(func() {
 		defer func() {
 			if p := recover(); p != nil {
 				f.status = http.StatusInternalServerError
 				f.body, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("simulation failed: %v", p)})
 			}
 			if f.status == http.StatusOK {
-				s.cache.put(key, f.body)
+				s.persist(key, f.body)
 			}
 			s.mu.Lock()
 			delete(s.flights, key)
@@ -366,25 +505,58 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash s
 		f.status = http.StatusOK
 		f.body = body
 	})
-	if err != nil {
+	if serr != nil {
 		// Fill the flight before closing it: requests that already
 		// coalesced onto this key must read a real 503, not a
-		// zero-valued response.
+		// zero-valued response. A saturated queue is transient
+		// (disposition "", the retryable signal); a closed pool is
+		// terminal (disposition dispositionClosed) so retry loops
+		// don't spin against a server that is shutting down.
+		disposition := ""
+		msg := "run queue saturated; retry"
+		if !errors.Is(serr, farm.ErrSaturated) {
+			disposition = dispositionClosed
+			msg = "service shutting down"
+		}
 		f.status = http.StatusServiceUnavailable
-		f.body, _ = json.Marshal(errorResponse{Error: "run queue saturated; retry"})
+		f.body, _ = json.Marshal(errorResponse{Error: msg})
 		s.mu.Lock()
 		delete(s.flights, key)
 		s.mu.Unlock()
 		close(f.done)
-		s.rejected.Add(1)
-		s.writeBody(w, f.status, f.body, "", hash)
-		return
+		// Rejected counts 503 *responses*, so it is incremented by
+		// serveCached, not here: a sweep row retrying this same
+		// saturation dozens of times sends no 503 and must not move
+		// the backpressure metric.
+		return f.status, f.body, disposition, nil
 	}
 	select {
 	case <-f.done:
-		s.writeBody(w, f.status, f.body, "miss", hash)
-	case <-r.Context().Done():
+		return f.status, f.body, "miss", nil
+	case <-ctx.Done():
+		return 0, nil, "", ctx.Err()
 	}
+}
+
+// serveCached is the HTTP face of executeOnce: the resolved response
+// is written with its cache-disposition header, a client that gave up
+// gets nothing (the job still completes and fills the cache).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func() ([]byte, error)) {
+	status, body, disposition, err := s.executeOnce(r.Context(), key, compute, false)
+	if err != nil {
+		return
+	}
+	if status == http.StatusServiceUnavailable {
+		if disposition == "" {
+			// This request led the refused flight and is about to
+			// receive a saturation 503 — the one event Rejected counts
+			// (coalesced waiters and shutdown 503s don't).
+			s.rejected.Add(1)
+		}
+		// Backpressure responses carry no cache disposition.
+		disposition = ""
+	}
+	s.writeBody(w, status, body, disposition, hash)
 }
 
 // handleScenarios serves GET /scenarios: the built-in spec library,
@@ -403,16 +575,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	var diskStats *store.Stats
+	if s.disk != nil {
+		st := s.disk.StatsSnapshot()
+		diskStats = &st
+	}
 	body, err := json.Marshal(struct {
-		OK           bool `json:"ok"`
-		Workers      int  `json:"workers"`
-		QueueCap     int  `json:"queue_capacity"`
-		Queued       int  `json:"queued"`
-		CacheEntries int  `json:"cache_entries"`
+		OK           bool         `json:"ok"`
+		Workers      int          `json:"workers"`
+		QueueCap     int          `json:"queue_capacity"`
+		Queued       int          `json:"queued"`
+		CacheEntries int          `json:"cache_entries"`
+		Store        *store.Stats `json:"store,omitempty"`
 		Counters
 	}{
 		OK: true, Workers: s.workers, QueueCap: s.queue,
 		Queued: s.pool.Queued(), CacheEntries: s.cache.len(),
+		Store:    diskStats,
 		Counters: s.CountersSnapshot(),
 	})
 	if err != nil {

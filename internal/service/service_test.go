@@ -32,7 +32,10 @@ func testSpec(salt int) spec.Spec {
 // newTestServer returns a server plus its httptest frontend.
 func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(opt)
+	srv, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,292 @@
+// POST /sweep: parameter-grid sweeps with per-row streaming.
+//
+// The request names a base workload (inline spec or library scenario)
+// plus axis descriptors; the grid engine (internal/sweep) expands
+// them into a deduplicated variant list, and the response streams one
+// NDJSON row per variant as its simulation completes — not when the
+// whole grid is done. Every variant consults the full cache path
+// (memory LRU, disk store, in-flight coalescing) before costing a
+// simulation, and runs on the same bounded pool as /run and /compare:
+// under saturation a sweep row waits and retries instead of failing
+// the stream, so sweeps apply backpressure to themselves rather than
+// starving interactive requests of their 503 signal.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// MaxSweepVariants bounds one sweep request's expanded grid; the
+// engine's own cap (sweep.MaxVariants) is an upper bound on top.
+const MaxSweepVariants = 256
+
+// sweepRequest is the body of POST /sweep. Exactly one of Base and
+// Scenario selects the base workload the axes are applied to.
+type sweepRequest struct {
+	// Base is an inline base workload spec.
+	Base *spec.Spec `json:"base,omitempty"`
+	// Scenario names a base spec from the built-in library.
+	Scenario string `json:"scenario,omitempty"`
+	// Name prefixes variant names (default: the base spec's name).
+	Name string `json:"name,omitempty"`
+	// Model selects what each variant runs: "tl" (default), "rtl", or
+	// "compare" (both models, one accuracy row per variant).
+	Model string `json:"model,omitempty"`
+	// Axes are the swept dimensions (sweep.Apply parameter names).
+	Axes []sweepAxis `json:"axes"`
+}
+
+// sweepAxis is one wire-form axis: a parameter name and its values.
+type sweepAxis struct {
+	Param  string `json:"param"`
+	Values []any  `json:"values"`
+}
+
+// SweepRow is one NDJSON line of the /sweep response, emitted when
+// the variant's result is ready. Result carries the exact cached body
+// of the variant's /run or /compare response (so a sweep row and a
+// direct request are byte-identical where they overlap); Cache is the
+// row's disposition — "hit", "coalesced" or "miss" — and is omitted
+// on error rows (Error set, no result to attribute).
+type SweepRow struct {
+	Index  int             `json:"index"`
+	Name   string          `json:"name"`
+	Hash   string          `json:"hash"`
+	Params map[string]any  `json:"params"`
+	Cache  string          `json:"cache,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// sweepModel resolves the request's model selector.
+func sweepModel(name string) (model core.Model, compare bool, err error) {
+	switch name {
+	case "", "tl", "tlm":
+		return core.TLM, false, nil
+	case "rtl":
+		return core.RTL, false, nil
+	case "compare":
+		return core.TLM, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown model %q (want tl, rtl or compare)", name)
+}
+
+// handleSweep serves POST /sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	var base spec.Spec
+	switch {
+	case req.Base != nil && req.Scenario != "":
+		s.writeError(w, http.StatusBadRequest, "request has both base and scenario; send one")
+		return
+	case req.Base != nil:
+		base = *req.Base
+	case req.Scenario != "":
+		found, ok := s.scenarioByName[req.Scenario]
+		if !ok {
+			s.writeError(w, http.StatusBadRequest, "unknown scenario %q", req.Scenario)
+			return
+		}
+		base = found
+	default:
+		s.writeError(w, http.StatusBadRequest, "request needs a base spec or a scenario name")
+		return
+	}
+	model, compare, err := sweepModel(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	grid := sweep.Grid{Name: req.Name, Base: base}
+	for _, ax := range req.Axes {
+		vals := make([]sweep.Value, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = sweep.Value{V: v}
+		}
+		grid.Axes = append(grid.Axes, sweep.Axis{Param: ax.Param, Values: vals})
+	}
+	variants, err := grid.Expand()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(variants) > MaxSweepVariants {
+		s.writeError(w, http.StatusBadRequest, "grid expands to %d variants (max %d)", len(variants), MaxSweepVariants)
+		return
+	}
+
+	// The stream is committed: from here, per-variant failures are
+	// rows with an error field, not HTTP errors.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(row SweepRow) {
+		enc.Encode(row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// First pass: serve every memory-cached variant immediately, so a
+	// warm sweep streams at memory speed no matter how busy the pool
+	// is, and collect the rest for the workers. Disk-held variants
+	// resolve in the worker pass — executeOnce's lookup finds them
+	// without touching the pool, so they also stream while it is
+	// saturated, and the disk tier is probed exactly once per variant.
+	var pending []sweep.Variant
+	for _, v := range variants {
+		if body, ok := s.lookupMemory(s.sweepKey(v, model, compare)); ok {
+			emit(sweepRow(v, "hit", http.StatusOK, body))
+			continue
+		}
+		pending = append(pending, v)
+	}
+
+	// Second pass: resolve the misses concurrently (bounded by the
+	// worker count — the pool's queue bound stays the real limiter)
+	// and stream rows in completion order.
+	if len(pending) == 0 {
+		return
+	}
+	ctx := r.Context()
+	rows := make(chan SweepRow)
+	work := make(chan sweep.Variant)
+	workersN := min(s.workers, len(pending))
+	for i := 0; i < workersN; i++ {
+		go func() {
+			for v := range work {
+				row, ok := s.resolveVariant(ctx, v, model, compare)
+				if !ok {
+					return // client gone; in-flight jobs still fill the cache
+				}
+				select {
+				case rows <- row:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for _, v := range pending {
+			select {
+			case work <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for n := 0; n < len(pending); n++ {
+		select {
+		case row := <-rows:
+			emit(row)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// sweepKey is the cache key a variant's result lives under — the same
+// key a direct /run or /compare of that spec uses, so sweeps and
+// single requests share one result space.
+func (s *Server) sweepKey(v sweep.Variant, model core.Model, compare bool) string {
+	if compare {
+		return compareKey(v.Hash)
+	}
+	return runKey(model, v.Hash)
+}
+
+// resolveVariant computes (or replays) one variant through the shared
+// execute path, retrying with backoff while the pool is saturated.
+// ok=false means the request context ended first.
+func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core.Model, compare bool) (SweepRow, bool) {
+	// Compile the spec inside the job, not here: a warm variant is
+	// answered from a cache tier or a coalesced flight without paying
+	// generator compilation (a restarted server replaying a big grid
+	// from disk compiles nothing). Expand already validated the spec,
+	// so a FromSpec failure is a programming error the job surfaces as
+	// its panic-captured 500 body.
+	compute := func() ([]byte, error) {
+		wl, err := core.FromSpec(v.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if compare {
+			return computeCompare(v.Spec, v.Hash, wl)()
+		}
+		return computeRun(v.Spec, v.Hash, model, wl)()
+	}
+	key := s.sweepKey(v, model, compare)
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, body, disposition, err := s.executeOnce(ctx, key, compute, attempt > 0)
+		if err != nil {
+			return SweepRow{}, false
+		}
+		if status != http.StatusServiceUnavailable {
+			return sweepRow(v, disposition, status, body), true
+		}
+		if disposition == dispositionClosed {
+			// The pool is shut down, not busy: emit the failure as the
+			// row instead of retrying against a terminal condition.
+			return sweepRow(v, "", status, body), true
+		}
+		// Saturated: the sweep absorbs its own backpressure instead of
+		// surfacing a mid-stream 503 row.
+		select {
+		case <-ctx.Done():
+			return SweepRow{}, false
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// sweepRow renders one emitted row. Non-200 statuses surface the
+// body's error message in the row's error field.
+func sweepRow(v sweep.Variant, disposition string, status int, body []byte) SweepRow {
+	row := SweepRow{
+		Index:  v.Index,
+		Name:   v.Spec.Name,
+		Hash:   v.Hash,
+		Params: v.Params,
+	}
+	if status == http.StatusOK {
+		row.Cache = disposition
+		row.Result = json.RawMessage(body)
+		return row
+	}
+	var e errorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		row.Error = e.Error
+	} else {
+		row.Error = fmt.Sprintf("status %d", status)
+	}
+	return row
+}

@@ -140,6 +140,20 @@ type Spec struct {
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 }
 
+// Clone returns a deep copy of the spec: mutating the copy's masters,
+// platform parameters or script requests never aliases the original.
+// Grid engines (internal/sweep) rely on this to derive many variants
+// from one base spec.
+func (s Spec) Clone() Spec {
+	s.Params.Masters = append([]config.MasterCfg(nil), s.Params.Masters...)
+	masters := append([]GenSpec(nil), s.Masters...)
+	for i := range masters {
+		masters[i].Reqs = append([]ReqSpec(nil), masters[i].Reqs...)
+	}
+	s.Masters = masters
+	return s
+}
+
 // Decode parses a spec from JSON. The decoder is strict: unknown
 // fields, trailing data and schema-version mismatches are errors, so
 // a typo'd field name cannot silently produce a default-valued (and

@@ -1,0 +1,473 @@
+// Package store is the disk-backed half of the simulation service's
+// content-addressed result cache. Every simulation in this repository
+// is bit-reproducible, so a result is fully determined by its cache
+// key (endpoint, model and spec content hash) — which makes results
+// safe to persist and replay byte-identically across process
+// restarts.
+//
+// Layout: one file per key under the store root, named after the key
+// with every byte outside [A-Za-z0-9._-] rewritten to '-', plus a
+// ".res" suffix (so "run:TL:<hash>" lands in "run-TL-<hash>.res").
+// Each file carries a one-line envelope header — magic, the SHA-256 of
+// the body, the body length and the original key — followed by the
+// raw body bytes. Loads verify all three; a file that fails any check
+// (torn write survived by a crash, flipped bits, a key that merely
+// collides after sanitization) is treated as a miss, and genuinely
+// corrupt files are deleted on sight.
+//
+// Writes are atomic: the envelope is written to a ".tmp" file in the
+// store directory and renamed over the final name, so a reader (or a
+// crash) can never observe a half-written result. Stale ".tmp" files
+// from interrupted writes are swept on Open.
+//
+// The store is size-bounded: once the payload bytes exceed the
+// configured budget, the least-recently-accessed entries are deleted
+// until the store fits. Access order is tracked in memory and mirrored
+// to file modification times on every hit, so the LRU order survives
+// restarts.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes is the default payload budget: 256 MiB holds
+// hundreds of thousands of simulation responses.
+const DefaultMaxBytes = 256 << 20
+
+// suffix is the result-file extension; tmpSuffix marks in-progress
+// atomic writes.
+const (
+	suffix    = ".res"
+	tmpSuffix = ".tmp"
+)
+
+// magic is the envelope format tag; bump it if the header changes so
+// old files read as corrupt instead of misparsing.
+const magic = "simstore1"
+
+// Stats is a snapshot of the store's counters and occupancy.
+type Stats struct {
+	// Entries is the number of stored results.
+	Entries int `json:"entries"`
+	// Bytes is the total payload bytes on disk (envelope excluded).
+	Bytes int64 `json:"bytes"`
+	// Hits counts Gets served from disk.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that found nothing (or found corruption).
+	Misses uint64 `json:"misses"`
+	// Writes counts successful Puts.
+	Writes uint64 `json:"writes"`
+	// Evictions counts entries deleted by the size-budget GC.
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts files rejected (and removed) by load verification.
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// entry is the in-memory bookkeeping for one stored result; its
+// recency lives in its position on the store's access-ordered list.
+type entry struct {
+	key  string
+	size int64
+	gen  int64 // write generation; a reader's miss-cleanup only
+	// removes the generation it actually observed, so a concurrent
+	// re-Put of the key is never thrown away by a stale reader.
+}
+
+// Store is a disk-backed key→bytes result store. It is safe for
+// concurrent use; it assumes it is the directory's only writer.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu sync.Mutex
+	// byKey indexes the access-ordered list (front = most recently
+	// accessed; values are *entry), so a hit refreshes recency and the
+	// GC picks its victim in O(1) instead of scanning every entry.
+	byKey map[string]*list.Element
+	order *list.List
+	size  int64
+	gen   int64
+	stats Stats
+}
+
+// Open opens (creating if needed) a store rooted at dir, bounded to
+// maxBytes of payload (<= 0 selects DefaultMaxBytes). Existing result
+// files are indexed — their LRU order recovered from modification
+// times — stale temp files from interrupted writes are removed, and
+// files that fail envelope verification are deleted.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, byKey: make(map[string]*list.Element), order: list.New()}
+	if err := s.index(); err != nil {
+		return nil, err
+	}
+	// Enforce the budget immediately: a store reopened with a smaller
+	// budget (or one that grew right up to a crash) must not wait for
+	// the next Put to shed its oldest entries. Safe without the lock —
+	// the store isn't published to any other goroutine yet.
+	s.gcLocked("")
+	return s, nil
+}
+
+// index scans the store directory, rebuilding the entry table and the
+// LRU order from file modification times.
+func (s *Store) index() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type seen struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var found []seen
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(s.dir, name)) // interrupted write
+			continue
+		}
+		if !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		// Index from the header alone — no body read or hash, so a
+		// store of hundreds of thousands of results opens in O(files)
+		// stats, not O(bytes) checksums. Body bit-rot is still caught:
+		// every Get verifies the full envelope and deletes on failure.
+		key, size, err := readHeader(path)
+		if err != nil {
+			s.stats.Corrupt++
+			os.Remove(path)
+			continue
+		}
+		if fileName(key) != name {
+			// A foreign or renamed file; its header key doesn't produce
+			// this name, so Get would never find it. Drop it.
+			s.stats.Corrupt++
+			os.Remove(path)
+			continue
+		}
+		info, err := de.Info()
+		mod := time.Time{}
+		if err == nil {
+			mod = info.ModTime()
+		}
+		found = append(found, seen{key: key, size: size, mod: mod})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod.Before(found[j].mod) })
+	// Oldest first pushed first: each PushFront leaves the newest file
+	// at the front of the access order.
+	for _, f := range found {
+		s.gen++
+		s.byKey[f.key] = s.order.PushFront(&entry{key: f.key, size: f.size, gen: s.gen})
+		s.size += f.size
+	}
+	return nil
+}
+
+// Dir returns the store root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// StatsSnapshot returns the current counters and occupancy.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.byKey)
+	st.Bytes = s.size
+	return st
+}
+
+// validKey reports whether a key can be stored: printable ASCII with
+// no whitespace, so the envelope header stays one parseable line.
+func validKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// fileName maps a key to its file name: every byte outside
+// [A-Za-z0-9._-] becomes '-'. The envelope records the exact key, so
+// two keys colliding after this rewrite read as misses, never as each
+// other's results.
+func fileName(key string) string {
+	b := []byte(key)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b) + suffix
+}
+
+// envelope renders the on-disk form: header line, then the body.
+func envelope(key string, body []byte) []byte {
+	sum := sha256.Sum256(body)
+	header := fmt.Sprintf("%s %s %d %s\n", magic, hex.EncodeToString(sum[:]), len(body), key)
+	out := make([]byte, 0, len(header)+len(body))
+	out = append(out, header...)
+	return append(out, body...)
+}
+
+// maxHeaderBytes bounds the envelope header line: magic + hex digest
+// + length + key, all short in practice.
+const maxHeaderBytes = 4096
+
+// readHeader parses just the envelope header of a result file,
+// returning the recorded key and body length, and checks that the
+// file size is consistent with them. It never reads or checksums the
+// body — that is Get's job on each access.
+func readHeader(path string) (key string, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, maxHeaderBytes)
+	n, err := f.Read(buf)
+	if n == 0 && err != nil {
+		return "", 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	nl := bytes.IndexByte(buf[:n], '\n')
+	if nl < 0 {
+		return "", 0, fmt.Errorf("store: %s: no envelope header", path)
+	}
+	fields := strings.Split(string(buf[:nl]), " ")
+	if len(fields) != 4 || fields[0] != magic {
+		return "", 0, fmt.Errorf("store: %s: bad envelope header", path)
+	}
+	var bodyLen int64
+	if _, err := fmt.Sscanf(fields[2], "%d", &bodyLen); err != nil || bodyLen < 0 {
+		return "", 0, fmt.Errorf("store: %s: bad length", path)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return "", 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if info.Size() != int64(nl+1)+bodyLen {
+		return "", 0, fmt.Errorf("store: %s: file is %d bytes, envelope says %d", path, info.Size(), int64(nl+1)+bodyLen)
+	}
+	return fields[3], bodyLen, nil
+}
+
+// readEnvelope loads and verifies one result file, returning the
+// recorded key and body. Any mismatch — magic, length, checksum,
+// malformed header — is an error.
+func readEnvelope(path string) (key string, body []byte, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return "", nil, fmt.Errorf("store: %s: no envelope header", path)
+	}
+	fields := strings.Split(string(raw[:nl]), " ")
+	if len(fields) != 4 || fields[0] != magic {
+		return "", nil, fmt.Errorf("store: %s: bad envelope header", path)
+	}
+	var n int
+	if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
+		return "", nil, fmt.Errorf("store: %s: bad length: %w", path, err)
+	}
+	body = raw[nl+1:]
+	if len(body) != n {
+		return "", nil, fmt.Errorf("store: %s: body is %d bytes, header says %d", path, len(body), n)
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return "", nil, fmt.Errorf("store: %s: checksum mismatch", path)
+	}
+	return fields[3], body, nil
+}
+
+// Get returns the stored body for key. The disk read happens outside
+// the store lock, so concurrent Gets don't serialize on IO; a file
+// deleted by the GC between the index check and the read is a miss,
+// and a file that fails verification is removed and a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.get(key, true)
+}
+
+// Peek is Get without moving the hit/miss counters (corruption and
+// access recency are still recorded). Callers that re-probe a key
+// they already counted a miss for — the service's under-lock
+// re-check, a sweep row's saturation retries — use it so the stats
+// stay one-probe-per-request.
+func (s *Store) Peek(key string) ([]byte, bool) {
+	return s.get(key, false)
+}
+
+// get implements Get/Peek; count selects hit/miss accounting.
+func (s *Store) get(key string, count bool) ([]byte, bool) {
+	s.mu.Lock()
+	el, present := s.byKey[key]
+	if !present {
+		if count {
+			s.stats.Misses++
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	probedGen := el.Value.(*entry).gen
+	s.mu.Unlock()
+
+	path := filepath.Join(s.dir, fileName(key))
+	gotKey, body, err := readEnvelope(path)
+	ok := err == nil && gotKey == key
+
+	s.mu.Lock()
+	if !ok {
+		// The GC may have legitimately evicted the file between the
+		// probe and the read; only an existing-but-unreadable file is
+		// corruption. Either way, only clean up the entry generation
+		// this reader observed — a concurrent re-Put installed a fresh
+		// file (atomically with its new generation, both under this
+		// lock) that the failure says nothing about.
+		if el, still := s.byKey[key]; still && el.Value.(*entry).gen == probedGen {
+			if err != nil && !os.IsNotExist(err) {
+				s.stats.Corrupt++
+				os.Remove(path)
+			}
+			s.removeLocked(el)
+		}
+		if count {
+			s.stats.Misses++
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	if el, present := s.byKey[key]; present {
+		s.order.MoveToFront(el)
+	}
+	if count {
+		s.stats.Hits++
+	}
+	s.mu.Unlock()
+	// Mirror the touch to the file clock so the LRU order survives a
+	// restart. Best-effort and outside the lock: a failed or misdirected
+	// touch (the file just evicted or replaced) only ages the entry.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return body, true
+}
+
+// Put stores body under key, atomically (tmp file + rename), then
+// enforces the size budget by evicting the least-recently-accessed
+// entries. Storing the same key again overwrites in place. The
+// envelope is written to the temp file outside the lock (the bulk of
+// the IO); the rename happens under it, so the visible file and its
+// entry generation always move together — a stale reader's cleanup
+// can never observe the new file with the old generation.
+func (s *Store) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	name := fileName(key)
+	tmp, err := os.CreateTemp(s.dir, name+".*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(envelope(key, body))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("store: writing %s: %w", name, werr)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if old, ok := s.byKey[key]; ok {
+		s.size -= old.Value.(*entry).size
+		s.order.Remove(old)
+	}
+	s.gen++
+	s.byKey[key] = s.order.PushFront(&entry{key: key, size: int64(len(body)), gen: s.gen})
+	s.size += int64(len(body))
+	s.stats.Writes++
+	s.gcLocked(key)
+	return nil
+}
+
+// removeLocked drops one entry from the index and the access order.
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.order.Remove(el)
+	delete(s.byKey, e.key)
+	s.size -= e.size
+}
+
+// gcLocked evicts from the back of the access order — O(1) per
+// victim — until the store fits its byte budget. keep (the key just
+// written, at the front) is never evicted: a budget smaller than a
+// single result would otherwise thrash every Put into an immediate
+// delete.
+func (s *Store) gcLocked(keep string) {
+	for s.size > s.maxBytes && s.order.Len() > 1 {
+		back := s.order.Back()
+		e := back.Value.(*entry)
+		if e.key == keep {
+			return
+		}
+		s.removeLocked(back)
+		os.Remove(filepath.Join(s.dir, fileName(e.key)))
+		s.stats.Evictions++
+	}
+}
+
+// Touch refreshes key's LRU recency without reading the file — the
+// hook for a memory tier in front of this store: results served from
+// memory never call Get here, and without the touch the hottest
+// results would look coldest to the GC. In-memory tick only (no
+// per-hit syscall); the file mtime still ages until the next disk
+// Get, so restart-order fidelity trades off against hot-path cost.
+func (s *Store) Touch(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.order.MoveToFront(el)
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}

@@ -1,0 +1,331 @@
+// Package sweep is the parameter-grid engine: it expands one base
+// workload spec plus a list of axis descriptors (write-buffer depth,
+// bank interleaving, page policy, generator mix, ...) into the full
+// Cartesian product of workload variants, each a complete, hashed
+// spec.Spec ready to simulate.
+//
+// Axes are declarative data, not code: an axis names a platform or
+// workload parameter and lists the values to try, so a grid can
+// arrive over the wire (the service's POST /sweep), live in a JSON
+// file, or be built in Go (cmd/sweep's ablation tables). Variants are
+// deduplicated by spec content hash — two axis combinations that
+// describe the same workload collapse into one — which keeps
+// downstream caches from simulating the same point twice.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"repro/internal/arb"
+	"repro/internal/spec"
+)
+
+// MaxVariants bounds one grid expansion. Grids reach the simulation
+// service over the wire; an unbounded product would let one request
+// enqueue arbitrary work.
+const MaxVariants = 1024
+
+// Params accepted as axis targets, in the order they are documented.
+const (
+	// ParamWriteBufferDepth sets Params.WriteBufferDepth (int).
+	ParamWriteBufferDepth = "write_buffer_depth"
+	// ParamPipelining sets Params.Pipelining (bool).
+	ParamPipelining = "pipelining"
+	// ParamBIEnabled sets Params.BIEnabled (bool).
+	ParamBIEnabled = "bi_enabled"
+	// ParamClosedPage sets Params.ClosedPage (bool).
+	ParamClosedPage = "closed_page"
+	// ParamBusBytes sets the bus width (int, power of two in [1,16]):
+	// Params.BusBytes, the address map's beat width, and the assumed
+	// beat width of every sequential master that declares one.
+	ParamBusBytes = "bus_bytes"
+	// ParamFilters selects the arbitration filter set (string): "all"
+	// (the paper's seven-filter pipeline) or "rr-only" (round-robin
+	// with only the structural permission/write-buffer filters).
+	ParamFilters = "filters"
+	// ParamUrgencyThreshold sets Params.UrgencyThreshold (int).
+	ParamUrgencyThreshold = "urgency_threshold"
+	// ParamCount sets every master's transaction count (int) — the
+	// workload-intensity axis. Script masters have a fixed request
+	// list, so a grid over a scripted base rejects this axis.
+	ParamCount = "count"
+	// ParamMix replaces the whole generator mix (string): the value
+	// names a library scenario (spec.ByName) whose master descriptors
+	// are grafted onto the base platform. Master counts must match.
+	ParamMix = "mix"
+	// ParamMaxCycles sets the spec-level run cap (int).
+	ParamMaxCycles = "max_cycles"
+)
+
+// Value is one setting of an axis. V is the value applied to the
+// parameter; Label names it in printed tables and result rows; Slug
+// is the spec-name path segment. Empty Label and Slug are derived
+// from V.
+type Value struct {
+	Label string
+	Slug  string
+	V     any
+}
+
+// Axis is one swept dimension: a parameter name and the values to try.
+type Axis struct {
+	Param  string
+	Values []Value
+}
+
+// Grid is a full sweep description: a base spec, a name prefix for
+// the variants, and the axes whose Cartesian product is explored.
+type Grid struct {
+	// Name prefixes every variant's spec name ("ablation/wb" +
+	// "/depth8"). Empty falls back to the base spec's name.
+	Name string
+	// Base is the workload every variant starts from.
+	Base spec.Spec
+	// Axes are the swept dimensions; the last axis varies fastest.
+	Axes []Axis
+}
+
+// Variant is one expanded grid point.
+type Variant struct {
+	// Index is the variant's position in the full Cartesian product
+	// (row-major expansion order). Deduplication drops later
+	// duplicates but never renumbers survivors, so Index always maps
+	// back to the same axis-value combination.
+	Index int
+	// Labels holds one axis label per grid axis, in axis order.
+	Labels []string
+	// Params maps each axis's parameter name to the applied value.
+	Params map[string]any
+	// Spec is the complete workload, named Name/slug1/slug2/...
+	Spec spec.Spec
+	// Hash is the spec's content hash.
+	Hash string
+}
+
+// Expand produces the deduplicated variant list: the Cartesian
+// product of the axis values applied to the base spec, in row-major
+// order (first axis slowest), with later duplicates of an already
+// seen content hash dropped. Every variant's spec is validated.
+func (g Grid) Expand() ([]Variant, error) {
+	total := 1
+	for _, ax := range g.Axes {
+		if ax.Param == "" {
+			return nil, fmt.Errorf("sweep: axis without a param")
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Param)
+		}
+		if total > MaxVariants/len(ax.Values) {
+			return nil, fmt.Errorf("sweep: grid exceeds %d variants", MaxVariants)
+		}
+		total *= len(ax.Values)
+	}
+	prefix := g.Name
+	if prefix == "" {
+		prefix = g.Base.Name
+	}
+
+	variants := make([]Variant, 0, total)
+	seen := make(map[string]bool, total)
+	idx := make([]int, len(g.Axes))
+	for n := 0; n < total; n++ {
+		s := g.Base.Clone()
+		labels := make([]string, len(g.Axes))
+		slugs := make([]string, 0, len(g.Axes)+1)
+		slugs = append(slugs, prefix)
+		params := make(map[string]any, len(g.Axes))
+		for a, ax := range g.Axes {
+			v := ax.Values[idx[a]]
+			label, slug := v.Label, v.Slug
+			if label == "" {
+				label = fmt.Sprintf("%v", v.V)
+			}
+			if slug == "" {
+				slug = strings.ReplaceAll(label, "/", "-")
+			}
+			labels[a] = label
+			slugs = append(slugs, slug)
+			params[ax.Param] = v.V
+			if err := Apply(&s, ax.Param, v.V); err != nil {
+				return nil, fmt.Errorf("sweep: axis %q value %v: %w", ax.Param, v.V, err)
+			}
+		}
+		s.Name = strings.Join(slugs, "/")
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		}
+		hash, err := s.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		}
+		// Dedup on the workload alone: the name (which embeds the axis
+		// slugs, and participates in the content hash) is cleared for
+		// the dedup key, so two axis combinations that label the same
+		// workload differently still collapse into one simulation.
+		unnamed := s
+		unnamed.Name = ""
+		workload, err := unnamed.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		}
+		if !seen[workload] {
+			seen[workload] = true
+			variants = append(variants, Variant{
+				Index: n, Labels: labels, Params: params, Spec: s, Hash: hash,
+			})
+		}
+		for a := len(g.Axes) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(g.Axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return variants, nil
+}
+
+// MustExpand is Expand for static (trusted) grids; it panics on error.
+func MustExpand(g Grid) []Variant {
+	vs, err := g.Expand()
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// Apply sets one parameter on the spec. The value may carry the
+// JSON-decoded representation of its type (float64 for ints), so
+// grids decoded off the wire apply without caller-side coercion.
+func Apply(s *spec.Spec, param string, v any) error {
+	switch param {
+	case ParamWriteBufferDepth:
+		n, err := asInt(v)
+		if err != nil {
+			return err
+		}
+		s.Params.WriteBufferDepth = n
+	case ParamPipelining:
+		b, err := asBool(v)
+		if err != nil {
+			return err
+		}
+		s.Params.Pipelining = b
+	case ParamBIEnabled:
+		b, err := asBool(v)
+		if err != nil {
+			return err
+		}
+		s.Params.BIEnabled = b
+	case ParamClosedPage:
+		b, err := asBool(v)
+		if err != nil {
+			return err
+		}
+		s.Params.ClosedPage = b
+	case ParamBusBytes:
+		n, err := asInt(v)
+		if err != nil {
+			return err
+		}
+		if n < 1 || n > 16 || n&(n-1) != 0 {
+			return fmt.Errorf("bus_bytes %d is not a power of two in [1,16]", n)
+		}
+		s.Params.BusBytes = n
+		s.Params.AddrMap.BeatBytesLog2 = uint(bits.TrailingZeros(uint(n)))
+		// A sequential generator that declared an assumed beat width
+		// tracks the platform width, as the A7 ablation workloads do.
+		for i := range s.Masters {
+			if s.Masters[i].Kind == spec.KindSequential && s.Masters[i].BeatBytes != 0 {
+				s.Masters[i].BeatBytes = n
+			}
+		}
+	case ParamFilters:
+		name, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("filters wants a string, got %T", v)
+		}
+		switch name {
+		case "all":
+			s.Params.Filters = arb.AllEnabled()
+		case "rr-only":
+			f := arb.AllEnabled()
+			f.Urgency, f.RealTime, f.Bandwidth, f.BankAffinity = false, false, false, false
+			s.Params.Filters = f
+		default:
+			return fmt.Errorf("unknown filter set %q (want all or rr-only)", name)
+		}
+	case ParamUrgencyThreshold:
+		n, err := asInt(v)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("urgency_threshold %d negative", n)
+		}
+		s.Params.UrgencyThreshold = uint64(n)
+	case ParamCount:
+		n, err := asInt(v)
+		if err != nil {
+			return err
+		}
+		for i := range s.Masters {
+			if s.Masters[i].Kind == spec.KindScript {
+				return fmt.Errorf("count cannot apply to script master %d", i)
+			}
+			s.Masters[i].Count = n
+		}
+	case ParamMix:
+		name, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("mix wants a scenario name, got %T", v)
+		}
+		lib, err := spec.ByName(name)
+		if err != nil {
+			return err
+		}
+		if len(lib.Masters) != len(s.Params.Masters) {
+			return fmt.Errorf("mix %q has %d masters, platform has %d",
+				name, len(lib.Masters), len(s.Params.Masters))
+		}
+		s.Masters = lib.Clone().Masters
+	case ParamMaxCycles:
+		n, err := asInt(v)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("max_cycles %d negative", n)
+		}
+		s.MaxCycles = uint64(n)
+	default:
+		return fmt.Errorf("unknown sweep parameter %q", param)
+	}
+	return nil
+}
+
+// asInt coerces a Go int or a JSON number to an int, rejecting
+// fractional values instead of silently truncating them.
+func asInt(v any) (int, error) {
+	switch n := v.(type) {
+	case int:
+		return n, nil
+	case float64:
+		if n != math.Trunc(n) || math.Abs(n) > 1<<52 {
+			return 0, fmt.Errorf("value %v is not an integer", n)
+		}
+		return int(n), nil
+	}
+	return 0, fmt.Errorf("value %v (%T) is not an integer", v, v)
+}
+
+// asBool coerces a bool value.
+func asBool(v any) (bool, error) {
+	if b, ok := v.(bool); ok {
+		return b, nil
+	}
+	return false, fmt.Errorf("value %v (%T) is not a bool", v, v)
+}

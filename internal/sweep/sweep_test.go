@@ -1,0 +1,282 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func base3(txns int) spec.Spec { return spec.SaturatingSpec(8, txns) }
+
+func TestExpandSingleAxis(t *testing.T) {
+	g := Grid{
+		Name: "ablation/wb", Base: base3(50),
+		Axes: []Axis{{Param: ParamWriteBufferDepth, Values: []Value{
+			{Label: "0", Slug: "depth0", V: 0},
+			{Label: "8", Slug: "depth8", V: 8},
+		}}},
+	}
+	vs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	if vs[0].Spec.Name != "ablation/wb/depth0" || vs[1].Spec.Name != "ablation/wb/depth8" {
+		t.Fatalf("names %q %q", vs[0].Spec.Name, vs[1].Spec.Name)
+	}
+	if vs[0].Spec.Params.WriteBufferDepth != 0 || vs[1].Spec.Params.WriteBufferDepth != 8 {
+		t.Fatal("depth not applied")
+	}
+	if vs[0].Labels[0] != "0" || vs[1].Labels[0] != "8" {
+		t.Fatalf("labels %v %v", vs[0].Labels, vs[1].Labels)
+	}
+	if vs[0].Params[ParamWriteBufferDepth] != 0 {
+		t.Fatalf("params map %v", vs[0].Params)
+	}
+	// Hashes match independently built specs.
+	want := spec.SaturatingSpec(0, 50)
+	want.Name = "ablation/wb/depth0"
+	wantHash, _ := want.Hash()
+	if vs[0].Hash != wantHash {
+		t.Fatalf("hash %s want %s", vs[0].Hash, wantHash)
+	}
+	// The base spec is never mutated by expansion.
+	if base := base3(50); g.Base.Params.WriteBufferDepth != base.Params.WriteBufferDepth {
+		t.Fatal("base mutated")
+	}
+}
+
+func TestExpandCartesianProductRowMajor(t *testing.T) {
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{
+			{Param: ParamWriteBufferDepth, Values: []Value{{V: 2}, {V: 8}}},
+			{Param: ParamPipelining, Values: []Value{{V: true}, {V: false}}},
+			{Param: ParamClosedPage, Values: []Value{{V: false}, {V: true}}},
+		},
+	}
+	vs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 8 {
+		t.Fatalf("%d variants, want 8", len(vs))
+	}
+	// Row-major: the last axis varies fastest.
+	wantLabels := [][]string{
+		{"2", "true", "false"}, {"2", "true", "true"},
+		{"2", "false", "false"}, {"2", "false", "true"},
+		{"8", "true", "false"}, {"8", "true", "true"},
+		{"8", "false", "false"}, {"8", "false", "true"},
+	}
+	seen := map[string]bool{}
+	for i, v := range vs {
+		if strings.Join(v.Labels, ",") != strings.Join(wantLabels[i], ",") {
+			t.Fatalf("variant %d labels %v, want %v", i, v.Labels, wantLabels[i])
+		}
+		if v.Index != i {
+			t.Fatalf("variant %d carries index %d", i, v.Index)
+		}
+		if seen[v.Hash] {
+			t.Fatalf("duplicate hash %s", v.Hash)
+		}
+		seen[v.Hash] = true
+		if err := v.Spec.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestExpandDeduplicatesByWorkload(t *testing.T) {
+	// Two axis values that produce the identical workload collapse,
+	// even though their distinct slugs give the specs distinct names
+	// (and therefore distinct content hashes): dedup keys on the
+	// workload with the name cleared.
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{{Param: ParamWriteBufferDepth, Values: []Value{
+			{Slug: "a", V: 8}, {Slug: "b", V: 8}, {Slug: "c", V: 4},
+		}}},
+	}
+	vs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("%d variants, want 2 (same workload under different labels)", len(vs))
+	}
+	if !strings.HasSuffix(vs[0].Spec.Name, "/a") || !strings.HasSuffix(vs[1].Spec.Name, "/c") {
+		t.Fatalf("survivors %q %q (first duplicate should win)", vs[0].Spec.Name, vs[1].Spec.Name)
+	}
+	// Indices keep their Cartesian-product coordinates: the dropped
+	// duplicate's slot stays vacant instead of shifting later points.
+	if vs[0].Index != 0 || vs[1].Index != 2 {
+		t.Fatalf("indices %d %d, want 0 2", vs[0].Index, vs[1].Index)
+	}
+}
+
+func TestExpandRejectsOversizedGrids(t *testing.T) {
+	vals := make([]Value, 40)
+	for i := range vals {
+		vals[i] = Value{V: i}
+	}
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{
+			{Param: ParamWriteBufferDepth, Values: vals},
+			{Param: ParamUrgencyThreshold, Values: vals},
+		},
+	}
+	if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized grid: %v", err)
+	}
+}
+
+func TestExpandRejectsBadAxes(t *testing.T) {
+	cases := []struct {
+		name string
+		axes []Axis
+		want string
+	}{
+		{"no values", []Axis{{Param: ParamPipelining}}, "no values"},
+		{"no param", []Axis{{Values: []Value{{V: 1}}}}, "without a param"},
+		{"unknown param", []Axis{{Param: "warp_factor", Values: []Value{{V: 9}}}}, "unknown sweep parameter"},
+		{"wrong type", []Axis{{Param: ParamPipelining, Values: []Value{{V: 3}}}}, "not a bool"},
+		{"fractional int", []Axis{{Param: ParamWriteBufferDepth, Values: []Value{{V: 2.5}}}}, "not an integer"},
+		{"bad filters", []Axis{{Param: ParamFilters, Values: []Value{{V: "turbo"}}}}, "unknown filter set"},
+		{"bad bus width", []Axis{{Param: ParamBusBytes, Values: []Value{{V: 3}}}}, "power of two"},
+	}
+	for _, c := range cases {
+		g := Grid{Base: base3(40), Axes: c.axes}
+		if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestExpandValidatesVariants(t *testing.T) {
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{{Param: ParamCount, Values: []Value{{V: spec.MaxCount + 1}}}},
+	}
+	if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("invalid variant accepted: %v", err)
+	}
+}
+
+func TestApplyJSONNumbersCoerce(t *testing.T) {
+	s := base3(40)
+	if err := Apply(&s, ParamWriteBufferDepth, float64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Params.WriteBufferDepth != 4 {
+		t.Fatal("float64 int not applied")
+	}
+}
+
+func TestApplyBusBytesTracksSequentialBeatWidth(t *testing.T) {
+	s := spec.BusWidthSpec(4, 40)
+	if err := Apply(&s, ParamBusBytes, 8); err != nil {
+		t.Fatal(err)
+	}
+	want := spec.BusWidthSpec(8, 40)
+	a, _ := s.Canonical()
+	want.Name = s.Name
+	b, _ := want.Canonical()
+	if string(a) != string(b) {
+		t.Fatalf("bus_bytes axis diverges from BusWidthSpec:\n%s\n%s", a, b)
+	}
+}
+
+func TestApplyCountRejectsScriptMasters(t *testing.T) {
+	s := spec.Spec{
+		SpecVersion: spec.Version, Name: "t", Params: base3(40).Params,
+		Masters: []spec.GenSpec{
+			{Kind: spec.KindScript, Reqs: []spec.ReqSpec{{Addr: 0, Beats: 4}}},
+			{Kind: spec.KindSequential, Base: 0x80000, Beats: 4, Count: 10},
+			{Kind: spec.KindSequential, Base: 0x100000, Beats: 4, Count: 10},
+		},
+	}
+	if err := Apply(&s, ParamCount, 20); err == nil || !strings.Contains(err.Error(), "script") {
+		t.Fatalf("script count: %v", err)
+	}
+}
+
+func TestApplyMixGraftsLibraryMasters(t *testing.T) {
+	s := base3(40)
+	if err := Apply(&s, ParamMix, "seq/read-dominant"); err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := spec.ByName("seq/read-dominant")
+	if len(s.Masters) != len(lib.Masters) || s.Masters[0].Kind != lib.Masters[0].Kind ||
+		s.Masters[0].Base != lib.Masters[0].Base || s.Masters[0].Count != lib.Masters[0].Count {
+		t.Fatal("mix not grafted")
+	}
+	// Platform still the base's.
+	if s.Params.WriteBufferDepth != base3(40).Params.WriteBufferDepth {
+		t.Fatal("mix replaced the platform")
+	}
+	if err := Apply(&s, ParamMix, "no/such"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestVariantLabelsDefaultFromValues(t *testing.T) {
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{{Param: ParamMix, Values: []Value{{V: "seq/read-dominant"}}}},
+	}
+	vs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].Labels[0] != "seq/read-dominant" {
+		t.Fatalf("label %q", vs[0].Labels[0])
+	}
+	// Slug sanitizes the path separator.
+	if want := base3(40).Name + "/seq-read-dominant"; vs[0].Spec.Name != want {
+		t.Fatalf("name %q want %q", vs[0].Spec.Name, want)
+	}
+}
+
+func TestCmdSweepNamingContract(t *testing.T) {
+	// The ablation tables ride on these exact names (-dump filenames,
+	// CHANGES history); pin the grid-engine rendering of each family.
+	cases := []struct {
+		grid Grid
+		want []string
+	}{
+		{
+			Grid{Name: "ablation/wb", Base: spec.SaturatingSpec(8, 50),
+				Axes: []Axis{{Param: ParamWriteBufferDepth, Values: []Value{{Slug: "depth0", V: 0}, {Slug: "depth8", V: 8}}}}},
+			[]string{"ablation/wb/depth0", "ablation/wb/depth8"},
+		},
+		{
+			Grid{Name: "ablation/pipelining", Base: spec.SaturatingSpec(8, 50),
+				Axes: []Axis{{Param: ParamPipelining, Values: []Value{{V: true}, {V: false}}}}},
+			[]string{"ablation/pipelining/true", "ablation/pipelining/false"},
+		},
+		{
+			Grid{Name: "ablation/buswidth", Base: spec.BusWidthSpec(4, 50),
+				Axes: []Axis{{Param: ParamBusBytes, Values: []Value{{Label: "32b", Slug: "32", V: 4}, {Label: "64b", Slug: "64", V: 8}}}}},
+			[]string{"ablation/buswidth/32", "ablation/buswidth/64"},
+		},
+	}
+	for _, c := range cases {
+		vs, err := c.grid.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, v := range vs {
+			got = append(got, v.Spec.Name)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("names %v, want %v", got, c.want)
+		}
+	}
+}
