@@ -4,7 +4,8 @@
 // requests are answered byte-identically from the content-addressed
 // result cache (simulations are bit-reproducible, so a spec's hash
 // determines its result), and the run queue is bounded — saturation
-// answers 503 + Retry-After instead of queueing without limit.
+// answers 503 + Retry-After derived from actual queue depth instead
+// of queueing without limit.
 //
 // With -store DIR the result cache is two-tier: an in-memory LRU in
 // front of a disk-backed store, so a restarted simd serves previously
@@ -12,59 +13,203 @@
 // re-simulating. The store is size-bounded (-store-max-bytes) and
 // evicts by least-recent access.
 //
-// Endpoints:
+// The same binary scales out. `simd -shards N` spawns N worker
+// processes of itself (each with its own store under -store DIR) and
+// serves the identical API through a frontend router that assigns
+// every spec to one worker by rendezvous-hashing its content hash —
+// disjoint caches, no coordination, byte-identical responses.
+// `simd -backends URL,URL,...` runs the same router over externally
+// managed workers (one simd per machine). See internal/shard.
+//
+// Endpoints (identical in every mode):
 //
 //	POST /run       {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
 //	POST /compare   {"spec": {...} | "scenario": "name"}
 //	POST /sweep     {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
 //	GET  /scenarios the built-in scenario library with content hashes
-//	GET  /healthz   liveness and load counters
+//	GET  /healthz   liveness and load counters (aggregated per shard in router modes)
 //
 // Usage:
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
+//	     [-shards N | -backends URL,URL,...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/farm"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "run-farm workers (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "run-farm workers per process (0 = one per CPU)")
 	queue := flag.Int("queue", 0, "bounded job-queue depth (0 = 2x workers)")
 	cache := flag.Int("cache", service.DefaultCacheEntries, "in-memory result-cache entries")
-	storeDir := flag.String("store", "", "disk result-store directory (empty = memory-only)")
-	storeMax := flag.Int64("store-max-bytes", 0, "disk store payload budget (0 = default)")
+	storeDir := flag.String("store", "", "disk result-store directory (empty = memory-only; shard mode uses DIR/shard-N per worker)")
+	storeMax := flag.Int64("store-max-bytes", 0, "disk store payload budget per process (0 = default)")
+	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
+	backends := flag.String("backends", "", "comma-separated worker URLs to route over (externally managed shards)")
 	flag.Parse()
 
+	if *shards > 0 && *backends != "" {
+		fatal("use -shards (local workers) or -backends (external workers), not both")
+	}
+	switch {
+	case *shards > 0:
+		runSupervised(*addr, *shards, *workers, *queue, *cache, *storeDir, *storeMax)
+	case *backends != "":
+		// Tolerate "url, url" spacing: an invisible leading space would
+		// otherwise make that shard's URLs unparseable and its whole
+		// keyspace 502 against a perfectly healthy backend.
+		var urls []string
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		runRouter(*addr, urls, nil, "")
+	default:
+		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// serve runs an HTTP server over ln until SIGINT/SIGTERM, then drains
+// it gracefully and runs shutdown hooks (pool close, supervisor stop).
+func serve(ln net.Listener, handler http.Handler, onShutdown func()) {
+	server := &http.Server{Handler: handler}
+	errs := make(chan error, 1)
+	go func() { errs <- server.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errs:
+		// The accept loop died on its own: still run the shutdown
+		// hooks (supervisor stop above all) so a router that falls
+		// over never strands its worker processes.
+		if onShutdown != nil {
+			onShutdown()
+		}
+		fatal("%v", err)
+	case s := <-sig:
+		fmt.Printf("simd: %v — draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	server.Shutdown(ctx)
+	if onShutdown != nil {
+		onShutdown()
+	}
+}
+
+// listen binds addr and prints the startup banner with the ACTUAL
+// bound address — the machine-readable readiness signal the shard
+// supervisor (and the smoke harness) parse, which is why it must
+// carry the resolved port even when addr said ":0".
+func listen(addr, mode string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("simd: serving on %s (%s)\n", ln.Addr(), mode)
+	return ln
+}
+
+// runSingle is one worker process: the whole service in one pool.
+func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64) {
 	srv, err := service.New(service.Options{
-		Workers: *workers, Queue: *queue, CacheEntries: *cache,
-		StoreDir: *storeDir, StoreMaxBytes: *storeMax,
+		Workers: workers, Queue: queue, CacheEntries: cache,
+		StoreDir: storeDir, StoreMaxBytes: storeMax,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
-	defer srv.Close()
-
-	w := *workers
+	w := workers
 	if w <= 0 {
 		w = farm.DefaultWorkers()
 	}
 	persistence := "memory-only"
-	if *storeDir != "" {
-		persistence = "store " + *storeDir
+	if storeDir != "" {
+		persistence = "store " + storeDir
 	}
-	fmt.Printf("simd: serving on %s (%d workers, cache %d entries, %s)\n", *addr, w, *cache, persistence)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
-		os.Exit(1)
+	ln := listen(addr, fmt.Sprintf("%d workers, cache %d entries, %s", w, cache, persistence))
+	serve(ln, srv.Handler(), srv.Close)
+}
+
+// runRouter serves the sharded frontend over the given backend URLs.
+// sup is non-nil in supervised mode and is stopped on shutdown — and
+// on every failure path here, so a router that cannot bind its port
+// (or build at all) never exits leaving the spawned workers orphaned.
+func runRouter(addr string, urls []string, sup *shard.Supervisor, note string) {
+	cleanup := func() {
+		if sup != nil {
+			sup.Stop()
+		}
 	}
+	rt, err := shard.New(shard.Options{Backends: urls})
+	if err != nil {
+		cleanup()
+		fatal("%v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cleanup()
+		fatal("%v", err)
+	}
+	if note == "" {
+		note = fmt.Sprintf("router over %d external backends", len(urls))
+	}
+	fmt.Printf("simd: serving on %s (%s)\n", ln.Addr(), note)
+	serve(ln, rt.Handler(), cleanup)
+}
+
+// runSupervised spawns n worker copies of this binary and routes over
+// them. Each worker gets its own store directory (DIR/shard-i), so
+// the per-shard result stores stay disjoint and a respawned or
+// restarted worker replays exactly its own slice of the keyspace.
+func runSupervised(addr string, n, workers, queue, cache int, storeDir string, storeMax int64) {
+	bin, err := os.Executable()
+	if err != nil {
+		fatal("%v", err)
+	}
+	argsFor := func(i int) []string {
+		args := []string{
+			"-workers", strconv.Itoa(workers),
+			"-queue", strconv.Itoa(queue),
+			"-cache", strconv.Itoa(cache),
+			"-store-max-bytes", strconv.FormatInt(storeMax, 10),
+		}
+		if storeDir != "" {
+			args = append(args, "-store", filepath.Join(storeDir, fmt.Sprintf("shard-%d", i)))
+		}
+		return args
+	}
+	sup, err := shard.Spawn(bin, n, argsFor, os.Stderr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// The per-shard banner: pids and addresses, parsed by the smoke
+	// harness to target individual workers (kill/restart drills).
+	for _, p := range sup.Procs() {
+		fmt.Printf("simd: shard %d pid=%d addr=%s\n", p.Index, p.Pid, p.Addr)
+	}
+	runRouter(addr, sup.URLs(), sup, fmt.Sprintf("router over %d local shards", n))
 }

@@ -1,0 +1,396 @@
+// Sharded service smoke drill: prove that `simd -shards 2` is
+// indistinguishable from a single simd process — byte-identically —
+// and that the cluster degrades and recovers the way the shard router
+// promises. The drill:
+//
+//  1. starts a single-process simd and a 2-shard `simd -shards 2`
+//     cluster, runs every library scenario through both, and requires
+//     byte-identical bodies and X-Spec-Hash headers, with each
+//     scenario's X-Shard matching the rendezvous owner computed
+//     locally (placement is a pure function of the content hash);
+//
+//  2. streams a cold 8-variant RTL sweep through the cluster and
+//     SIGKILLs one worker process mid-stream: the dead shard's
+//     remaining variants must come back as explicit error rows naming
+//     the shard, the survivor's variants must succeed, and the stream
+//     must end with a truthful terminal summary — never a hang, never
+//     a silent truncation;
+//
+//  3. waits for the supervisor to respawn the killed worker on its
+//     original port, re-sweeps (the dead shard's lost variants now
+//     compute; everything else replays), then sweeps once more and
+//     requires all 8 rows to be cache hits served from BOTH shards'
+//     disk stores, byte-identical to the recomputation.
+//
+//     go run ./examples/shard_service [-simd PATH]
+//
+// With no -simd the drill builds the binary itself (`go build`). CI
+// runs this as the shard-mode smoke; it exits nonzero on any
+// violation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/service"
+	"repro/internal/shard"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shard_service: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// proc is one spawned simd process (single or supervised cluster).
+type proc struct {
+	cmd *exec.Cmd
+	// url is the frontend base URL parsed from the serving banner.
+	url string
+	// shardPids maps shard index -> worker pid (cluster mode only).
+	shardPids map[int]int
+}
+
+var (
+	servingLine = regexp.MustCompile(`serving on (\S+)`)
+	shardLine   = regexp.MustCompile(`shard (\d+) pid=(\d+) addr=(\S+)`)
+)
+
+// start launches simd with the given arguments and parses its startup
+// banners: per-shard pid lines (cluster mode), then the serving line.
+func start(bin string, wantShards int, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail("starting %s: %v", bin, err)
+	}
+	p := &proc{cmd: cmd, shardPids: map[int]int{}}
+	type parsed struct {
+		url string
+		err error
+	}
+	ch := make(chan parsed, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := shardLine.FindStringSubmatch(line); m != nil {
+				idx, _ := strconv.Atoi(m[1])
+				pid, _ := strconv.Atoi(m[2])
+				p.shardPids[idx] = pid
+				continue
+			}
+			if m := servingLine.FindStringSubmatch(line); m != nil {
+				ch <- parsed{url: "http://" + m[1]}
+				// Keep the pipe drained so the child never blocks.
+				go func() {
+					for sc.Scan() {
+					}
+				}()
+				return
+			}
+		}
+		ch <- parsed{err: fmt.Errorf("%s exited before announcing its address", bin)}
+	}()
+	select {
+	case got := <-ch:
+		if got.err != nil {
+			fail("%v", got.err)
+		}
+		p.url = got.url
+	case <-time.After(30 * time.Second):
+		fail("%s: no serving banner within 30s", bin)
+	}
+	if len(p.shardPids) != wantShards {
+		fail("%s announced %d shards, want %d", bin, len(p.shardPids), wantShards)
+	}
+	return p
+}
+
+// stop terminates the process tree gracefully (SIGTERM, then kill).
+func (p *proc) stop() {
+	if p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// postRun submits one /run request and returns status, headers, body.
+func postRun(url string, req any) (int, http.Header, []byte) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		fail("%v", err)
+	}
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		fail("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("reading /run response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// runSweep streams the grid and invokes onRow per data row as it
+// arrives (the kill hook); it returns the data rows and the terminal
+// summary, failing the drill if the summary line is missing.
+func runSweep(url string, req []byte, onRow func(r shard.Row)) (rows []shard.Row, summary service.SweepSummary) {
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(req))
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fail("sweep status %d: %s", resp.StatusCode, body)
+	}
+	summary, done, err := service.DecodeSweepStream(resp.Body, func(line []byte) error {
+		var r shard.Row
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		rows = append(rows, r)
+		if onRow != nil {
+			onRow(r)
+		}
+		return nil
+	})
+	if err != nil {
+		fail("sweep stream: %v", err)
+	}
+	if !done {
+		fail("sweep stream ended without a terminal summary (%d rows) — TRUNCATED", len(rows))
+	}
+	if summary.Rows != len(rows) {
+		fail("summary says %d rows, stream carried %d", summary.Rows, len(rows))
+	}
+	return rows, summary
+}
+
+// slowBase is the kill-drill workload: heavy enough per variant (RTL
+// model) that a worker is reliably mid-simulation when the drill
+// pulls the trigger.
+func slowBase() spec.Spec {
+	return spec.Spec{
+		SpecVersion: spec.Version,
+		Name:        "smoke/slow",
+		Params:      config.Default(2),
+		MaxCycles:   50_000_000,
+		Masters: []spec.GenSpec{
+			{Kind: spec.KindSequential, Base: 0, Beats: 8, Count: 120_000, Gap: 2, WrapBytes: 0x40000},
+			{Kind: spec.KindStream, Base: 0x80000, Beats: 4, Period: 40, Count: 60_000, WrapBytes: 0x20000},
+		},
+	}
+}
+
+// clusterHealth polls the router's aggregated healthz.
+func clusterHealth(url string) (shard.ClusterHealth, error) {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return shard.ClusterHealth{}, err
+	}
+	defer resp.Body.Close()
+	var h shard.ClusterHealth
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+func main() {
+	bin := ""
+	if len(os.Args) > 2 && os.Args[1] == "-simd" {
+		bin = os.Args[2]
+	}
+	tmp, err := os.MkdirTemp("", "shardsmoke")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+	if bin == "" {
+		bin = filepath.Join(tmp, "simd")
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/simd").CombinedOutput()
+		if err != nil {
+			fail("building simd: %v\n%s", err, out)
+		}
+	}
+
+	// 1. Single-process reference vs the 2-shard cluster, every
+	// library scenario, byte-for-byte.
+	single := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "2",
+		"-store", filepath.Join(tmp, "single"))
+	defer single.stop()
+	cluster := start(bin, 2, "-addr", "127.0.0.1:0", "-shards", "2", "-workers", "1",
+		"-store", filepath.Join(tmp, "cluster"))
+	defer cluster.stop()
+
+	h, err := clusterHealth(cluster.url)
+	if err != nil || !h.OK || len(h.Shards) != 2 || h.Workers != 2 {
+		fail("cluster health %+v (err %v)", h, err)
+	}
+	fmt.Printf("cluster up: 2 shards (pids %d, %d), %d workers total\n",
+		cluster.shardPids[0], cluster.shardPids[1], h.Workers)
+
+	_, scenarioByName := service.ScenarioLibrary()
+	checked := 0
+	for name, sp := range scenarioByName {
+		req := map[string]any{"scenario": name, "model": "tl"}
+		st1, h1, b1 := postRun(single.url, req)
+		st2, h2, b2 := postRun(cluster.url, req)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			fail("scenario %s: statuses %d/%d: %s / %s", name, st1, st2, b1, b2)
+		}
+		if !bytes.Equal(b1, b2) {
+			fail("scenario %s: sharded body differs from single-process:\n%s\n%s", name, b1, b2)
+		}
+		if h1.Get("X-Spec-Hash") != h2.Get("X-Spec-Hash") {
+			fail("scenario %s: hash headers differ", name)
+		}
+		hash, _ := sp.Hash()
+		if want := strconv.Itoa(shard.Owner(hash, 2)); h2.Get("X-Shard") != want {
+			fail("scenario %s placed on shard %s, rendezvous owner is %s", name, h2.Get("X-Shard"), want)
+		}
+		checked++
+	}
+	fmt.Printf("%d library scenarios byte-identical across single-process and 2-shard mode\n", checked)
+
+	// 2. Kill a worker mid-sweep. The victim is the shard owning the
+	// most variants; the assignment is computed locally from the same
+	// rendezvous hash the router uses.
+	variants := sweep.MustExpand(sweep.Grid{
+		Name: "smoke/grid", Base: slowBase(),
+		Axes: []sweep.Axis{
+			{Param: sweep.ParamWriteBufferDepth, Values: []sweep.Value{{V: 0}, {V: 2}, {V: 8}, {V: 16}}},
+			{Param: sweep.ParamBIEnabled, Values: []sweep.Value{{V: true}, {V: false}}},
+		},
+	})
+	owners := map[string]int{}
+	perShard := []int{0, 0}
+	for _, v := range variants {
+		o := shard.Owner(v.Hash, 2)
+		owners[v.Hash] = o
+		perShard[o]++
+	}
+	if perShard[0] == 0 || perShard[1] == 0 {
+		fail("degenerate partition %v; regenerate the grid", perShard)
+	}
+	victim := 0
+	if perShard[1] > perShard[0] {
+		victim = 1
+	}
+	victimPid := cluster.shardPids[victim]
+	fmt.Printf("sweeping 8 RTL variants (shard split %v); killing shard %d (pid %d) after its first row\n",
+		perShard, victim, victimPid)
+
+	gridReq, _ := json.Marshal(map[string]any{
+		"base": slowBase(), "name": "smoke/grid", "model": "rtl",
+		"axes": []map[string]any{
+			{"param": "write_buffer_depth", "values": []int{0, 2, 8, 16}},
+			{"param": "bi_enabled", "values": []bool{true, false}},
+		},
+	})
+	killed := false
+	rows, summary := runSweep(cluster.url, gridReq, func(r shard.Row) {
+		if !killed && r.Shard == victim && r.Error == "" {
+			syscall.Kill(victimPid, syscall.SIGKILL)
+			killed = true
+			fmt.Printf("  killed shard %d after row %s\n", victim, r.Name)
+		}
+	})
+	if !killed {
+		fail("victim shard produced no successful row to trigger on")
+	}
+	if len(rows) != 8 {
+		fail("kill sweep produced %d rows, want 8", len(rows))
+	}
+	errRows := 0
+	for _, r := range rows {
+		if owners[r.Hash] != r.Shard {
+			fail("row %s on shard %d, owner %d", r.Name, r.Shard, owners[r.Hash])
+		}
+		if r.Error != "" {
+			if r.Shard != victim {
+				fail("surviving shard %d produced an error row: %s", r.Shard, r.Error)
+			}
+			errRows++
+			continue
+		}
+	}
+	if errRows == 0 {
+		fail("kill produced no error rows — the drill never exercised shard death")
+	}
+	if summary.Errors != errRows {
+		fail("terminal summary reports %d errors, stream carried %d", summary.Errors, errRows)
+	}
+	fmt.Printf("  stream complete despite dead shard: 8 rows, %d explicit errors, truthful terminal summary\n", errRows)
+
+	// 3. The supervisor respawns the dead worker on its original port;
+	// once the cluster is whole, the failed variants compute and the
+	// grid replays all-hit from both shards' stores.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := clusterHealth(cluster.url)
+		if err == nil && h.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("shard %d never respawned: %+v (err %v)", victim, h, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("  shard %d respawned\n", victim)
+
+	recomputed, summary2 := runSweep(cluster.url, gridReq, nil)
+	if len(recomputed) != 8 || summary2.Errors != 0 {
+		fail("post-respawn sweep: %d rows, %d errors", len(recomputed), summary2.Errors)
+	}
+	byHash := map[string][]byte{}
+	for _, r := range recomputed {
+		byHash[r.Hash] = r.Result
+	}
+
+	replayed, summary3 := runSweep(cluster.url, gridReq, nil)
+	if len(replayed) != 8 || summary3.Errors != 0 {
+		fail("replay sweep: %d rows, %d errors", len(replayed), summary3.Errors)
+	}
+	hitsByShard := []int{0, 0}
+	for _, r := range replayed {
+		if r.Cache != "hit" {
+			fail("replay row %s disposition %q, want hit", r.Name, r.Cache)
+		}
+		if !bytes.Equal(r.Result, byHash[r.Hash]) {
+			fail("replay row %s differs from its recomputation", r.Name)
+		}
+		hitsByShard[r.Shard]++
+	}
+	if hitsByShard[0] == 0 || hitsByShard[1] == 0 {
+		fail("replay hits came from one shard only: %v", hitsByShard)
+	}
+	fmt.Printf("  full grid replays all-hit from both stores (%d + %d rows)\n", hitsByShard[0], hitsByShard[1])
+	fmt.Println("smoke OK: 2-shard cluster byte-identical, kill-mid-sweep explicit, respawn + replay verified")
+}

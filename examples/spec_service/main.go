@@ -15,7 +15,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -66,8 +65,10 @@ func sweepGrid(sp spec.Spec) []byte {
 	return req
 }
 
-// runSweep posts the grid and returns every streamed NDJSON row plus
-// the per-disposition counts.
+// runSweep posts the grid and returns every streamed NDJSON data row
+// plus the per-disposition counts. The stream must end with the
+// terminal summary row ({"done":true,...}) — its absence means the
+// stream was truncated mid-grid, which the smoke treats as a failure.
 func runSweep(url string, req []byte) (rows []service.SweepRow, byCache map[string]int) {
 	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(req))
 	if err != nil {
@@ -79,20 +80,26 @@ func runSweep(url string, req []byte) (rows []service.SweepRow, byCache map[stri
 		fail("sweep: status %d: %s", resp.StatusCode, body)
 	}
 	byCache = map[string]int{}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
+	summary, done, err := service.DecodeSweepStream(resp.Body, func(line []byte) error {
 		var row service.SweepRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
-			fail("sweep row: %v (%q)", err, sc.Text())
+		if err := json.Unmarshal(line, &row); err != nil {
+			return err
 		}
 		if row.Error != "" {
 			fail("sweep row %s: %s", row.Name, row.Error)
 		}
 		rows = append(rows, row)
 		byCache[row.Cache]++
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		fail("sweep stream: %v", err)
+	}
+	if !done {
+		fail("sweep stream ended without a terminal summary (%d rows) — truncated", len(rows))
+	}
+	if summary.Rows != len(rows) || summary.Errors != 0 {
+		fail("sweep summary %+v does not match %d clean rows", summary, len(rows))
 	}
 	return rows, byCache
 }

@@ -118,6 +118,11 @@ var ErrSaturated = errors.New("farm: job queue saturated")
 type Pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup
+	// inFlight counts jobs a worker is currently executing (picked up
+	// from the queue, not yet returned). Together with Queued it is the
+	// pool's instantaneous load — the number a service divides by its
+	// worker count to tell clients how long to back off.
+	inFlight atomic.Int64
 	// mu serializes Submit's closed-check-then-send against Close's
 	// flag-set-then-close so a late Submit can never send on a closed
 	// channel. Submitters share a read lock (the send itself is
@@ -141,7 +146,9 @@ func NewPool(workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				p.inFlight.Add(1)
 				job()
+				p.inFlight.Add(-1)
 			}
 		}()
 	}
@@ -178,6 +185,10 @@ func (p *Pool) Submit(job func()) (wait func(), err error) {
 // Queued returns the number of jobs waiting in the queue (not yet
 // picked up by a worker).
 func (p *Pool) Queued() int { return len(p.jobs) }
+
+// InFlight returns the number of jobs currently executing on a
+// worker. Queued()+InFlight() is the pool's instantaneous load.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
 
 // Close stops accepting jobs and waits for queued ones to drain.
 func (p *Pool) Close() {

@@ -1,0 +1,144 @@
+// The backend client: the typed HTTP face of one simd worker process,
+// extracted from the handler wire types so every frontend — the shard
+// router, smoke harnesses, operational tooling — speaks to a backend
+// through one vocabulary instead of hand-rolled requests. The client
+// is deliberately thin: a backend's responses are deterministic and
+// byte-addressed, so the router forwards bodies verbatim and this
+// client never re-encodes what a backend said.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/spec"
+)
+
+// Client speaks the simd HTTP API to one backend server.
+type Client struct {
+	// Base is the backend's root URL (no trailing slash), e.g.
+	// "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil selects http.DefaultClient.
+	HTTP *http.Client
+}
+
+// maxClientBodyBytes bounds a backend response read; simulation
+// bodies are small, so anything past this is a protocol violation,
+// not a result.
+const maxClientBodyBytes = 16 << 20
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// PostJSON posts raw JSON to path (e.g. "/run") and returns the
+// status, headers and body. A non-2xx status is NOT an error — the
+// caller routes on it (503 means back off, 400 means the request was
+// bad); err is reserved for transport failure, the signal that the
+// backend itself is unreachable.
+func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxClientBodyBytes))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, out, nil
+}
+
+// RunSpec submits one inline spec to POST /run (model "tl", "rtl" or
+// "" for the default).
+func (c *Client) RunSpec(ctx context.Context, sp spec.Spec, model string) (int, http.Header, []byte, error) {
+	body, err := json.Marshal(RunRequest{Spec: &sp, Model: model})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return c.PostJSON(ctx, "/run", body)
+}
+
+// CompareSpec submits one inline spec to POST /compare.
+func (c *Client) CompareSpec(ctx context.Context, sp spec.Spec) (int, http.Header, []byte, error) {
+	body, err := json.Marshal(RunRequest{Spec: &sp})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return c.PostJSON(ctx, "/compare", body)
+}
+
+// DecodeSweepStream consumes an NDJSON /sweep response body: onRow is
+// invoked with each raw data line — callers decode into their own row
+// shape (SweepRow for a backend stream, the shard router's row for a
+// cluster stream) and may abort by returning an error. The terminal
+// summary line is decoded and returned with done=true; done=false
+// with a nil error means the stream ended WITHOUT a summary and must
+// be treated as truncated. This is the one parser for the terminal-row
+// protocol — smokes, tests and tools all read sweep streams through
+// it, so a protocol change cannot silently diverge between readers.
+func DecodeSweepStream(body io.Reader, onRow func(line []byte) error) (summary SweepSummary, done bool, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if done {
+			return summary, done, fmt.Errorf("service: line after the terminal summary: %q", line)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return summary, false, fmt.Errorf("service: sweep line %q: %w", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &summary); err != nil {
+				return summary, false, fmt.Errorf("service: sweep summary %q: %w", line, err)
+			}
+			done = true
+			continue
+		}
+		if onRow != nil {
+			if err := onRow(line); err != nil {
+				return summary, false, err
+			}
+		}
+	}
+	return summary, done, sc.Err()
+}
+
+// FetchHealth reads and decodes the backend's GET /healthz.
+func (c *Client) FetchHealth(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return Health{}, fmt.Errorf("healthz status %d: %s", resp.StatusCode, body)
+	}
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxClientBodyBytes)).Decode(&h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -102,11 +104,16 @@ type Server struct {
 }
 
 // flight is one in-progress simulation job; duplicate requests wait
-// on done and read body/status.
+// on done and read body/status. terminal marks a 503 caused by pool
+// shutdown (not saturation), so waiters that coalesced onto the
+// refused flight surface the same "stop retrying" signal the leader
+// got — without it, every coalesced sweep variant would burn one full
+// Retry-After backoff against a server that is going away.
 type flight struct {
-	done   chan struct{}
-	body   []byte
-	status int
+	done     chan struct{}
+	body     []byte
+	status   int
+	terminal bool
 }
 
 // dispositionClosed marks a 503 produced by a closed (shutting-down)
@@ -156,12 +163,22 @@ func New(opt Options) (*Server, error) {
 }
 
 // buildScenarioLibrary hashes and indexes the built-in scenario set
-// once. The library is static configuration, so a failure here is a
-// programming error, not a request error.
+// once.
 func (s *Server) buildScenarioLibrary() {
+	s.scenariosBody, s.scenarioByName = ScenarioLibrary()
+}
+
+// ScenarioLibrary builds the wire form of the built-in scenario set:
+// the exact /scenarios response body and the name → spec index behind
+// it. Every process in a deployment — single server or shard router
+// plus backends — derives the library from the same spec data, so a
+// scenario name resolves to the same content hash everywhere. The
+// library is static configuration, so a failure here is a programming
+// error, not a request error.
+func ScenarioLibrary() (body []byte, byName map[string]spec.Spec) {
 	scenarios := spec.Scenarios()
 	infos := make([]ScenarioInfo, 0, len(scenarios))
-	s.scenarioByName = make(map[string]spec.Spec, len(scenarios))
+	byName = make(map[string]spec.Spec, len(scenarios))
 	for _, sp := range scenarios {
 		hash, err := sp.Hash()
 		if err != nil {
@@ -172,13 +189,13 @@ func (s *Server) buildScenarioLibrary() {
 			kinds[i] = g.Kind
 		}
 		infos = append(infos, ScenarioInfo{Name: sp.Name, Hash: hash, Masters: len(sp.Masters), Kinds: kinds})
-		s.scenarioByName[sp.Name] = sp
+		byName[sp.Name] = sp
 	}
 	body, err := json.Marshal(infos)
 	if err != nil {
 		panic(fmt.Sprintf("service: encoding scenario library: %v", err))
 	}
-	s.scenariosBody = body
+	return body, byName
 }
 
 // Handler returns the HTTP handler.
@@ -198,9 +215,10 @@ func (s *Server) CountersSnapshot() Counters {
 	}
 }
 
-// runRequest is the body of POST /run and POST /compare. Exactly one
-// of Spec and Scenario selects the workload.
-type runRequest struct {
+// RunRequest is the body of POST /run and POST /compare — the wire
+// contract shared with frontends (the shard router forwards these
+// verbatim). Exactly one of Spec and Scenario selects the workload.
+type RunRequest struct {
 	// Spec is an inline workload spec.
 	Spec *spec.Spec `json:"spec,omitempty"`
 	// Scenario names a spec from the built-in library (GET /scenarios).
@@ -254,8 +272,8 @@ const maxBodyBytes = 1 << 20
 // scenario name if used. It returns the decoded request (for the
 // model selector), the workload spec, its content hash and the
 // compiled workload.
-func (s *Server) decodeRequest(r *http.Request) (runRequest, spec.Spec, string, core.Workload, error) {
-	var req runRequest
+func (s *Server) decodeRequest(r *http.Request) (RunRequest, spec.Spec, string, core.Workload, error) {
+	var req RunRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -452,6 +470,9 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]
 		s.coalesced.Add(1)
 		select {
 		case <-f.done:
+			if f.terminal {
+				return f.status, f.body, dispositionClosed, nil
+			}
 			return f.status, f.body, "coalesced", nil
 		case <-ctx.Done():
 			return 0, nil, "", ctx.Err()
@@ -517,6 +538,7 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]
 		if !errors.Is(serr, farm.ErrSaturated) {
 			disposition = dispositionClosed
 			msg = "service shutting down"
+			f.terminal = true
 		}
 		f.status = http.StatusServiceUnavailable
 		f.body, _ = json.Marshal(errorResponse{Error: msg})
@@ -553,6 +575,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash s
 			// (coalesced waiters and shutdown 503s don't).
 			s.rejected.Add(1)
 		}
+		if disposition == dispositionClosed {
+			// Tell machine clients (the shard router's retry loops)
+			// that this 503 is terminal — the pool is shutting down,
+			// not busy — so they fail over instead of backing off
+			// against a server that will never recover.
+			w.Header().Set("X-Terminal", "1")
+		}
 		// Backpressure responses carry no cache disposition.
 		disposition = ""
 	}
@@ -569,31 +598,53 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	s.writeBody(w, http.StatusOK, s.scenariosBody, "", "")
 }
 
+// Health is the body of GET /healthz: liveness, pool occupancy, load
+// counters and (with a disk store) store occupancy. The shard router
+// aggregates one of these per backend, so the schema is the wire
+// contract between a worker process and its frontend.
+type Health struct {
+	OK  bool `json:"ok"`
+	Pid int  `json:"pid"`
+	// Workers/QueueCap are the pool's static shape; Queued/InFlight
+	// its instantaneous load.
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_capacity"`
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	// RetryAfter is the backoff (seconds) a 503 would carry right now —
+	// the live backpressure signal, exposed so frontends can pace
+	// without provoking a rejection to read it.
+	RetryAfter   int          `json:"retry_after"`
+	CacheEntries int          `json:"cache_entries"`
+	Store        *store.Stats `json:"store,omitempty"`
+	Counters
+}
+
+// HealthSnapshot returns the current Health body.
+func (s *Server) HealthSnapshot() Health {
+	var diskStats *store.Stats
+	if s.disk != nil {
+		st := s.disk.StatsSnapshot()
+		diskStats = &st
+	}
+	return Health{
+		OK: true, Pid: os.Getpid(),
+		Workers: s.workers, QueueCap: s.queue,
+		Queued: s.pool.Queued(), InFlight: s.pool.InFlight(),
+		RetryAfter:   s.retryAfterSeconds(),
+		CacheEntries: s.cache.len(),
+		Store:        diskStats,
+		Counters:     s.CountersSnapshot(),
+	}
+}
+
 // handleHealthz serves GET /healthz: liveness plus load counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	var diskStats *store.Stats
-	if s.disk != nil {
-		st := s.disk.StatsSnapshot()
-		diskStats = &st
-	}
-	body, err := json.Marshal(struct {
-		OK           bool         `json:"ok"`
-		Workers      int          `json:"workers"`
-		QueueCap     int          `json:"queue_capacity"`
-		Queued       int          `json:"queued"`
-		CacheEntries int          `json:"cache_entries"`
-		Store        *store.Stats `json:"store,omitempty"`
-		Counters
-	}{
-		OK: true, Workers: s.workers, QueueCap: s.queue,
-		Queued: s.pool.Queued(), CacheEntries: s.cache.len(),
-		Store:    diskStats,
-		Counters: s.CountersSnapshot(),
-	})
+	body, err := json.Marshal(s.HealthSnapshot())
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -601,9 +652,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeBody(w, http.StatusOK, body, "", "")
 }
 
+// retryAfterSeconds derives the 503 Retry-After value from the
+// pool's actual load: one second base plus one per full worker-batch
+// of jobs already queued or executing — the time-shape of the backlog
+// a retry has to wait behind, not a constant. An idle pool says 1; a
+// pool with its queue full and every worker busy says proportionally
+// more, so clients (and the shard router) back off harder exactly
+// when the server is deeper under water. Capped so a pathological
+// queue never tells clients to go away for minutes.
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.pool.Queued() + s.pool.InFlight()
+	secs := 1 + backlog/s.workers
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// maxRetryAfterSeconds caps the advertised backoff.
+const maxRetryAfterSeconds = 30
+
 // writeBody sends a JSON body with the cache-disposition and
 // spec-hash headers. Backpressure responses (503) always carry
-// Retry-After, whether served directly or through a coalesced flight.
+// Retry-After — derived from live pool load, whether served directly
+// or through a coalesced flight.
 func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache, hash string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cache != "" {
@@ -613,7 +685,7 @@ func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache
 		w.Header().Set("X-Spec-Hash", hash)
 	}
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(status)
 	w.Write(body)

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -410,5 +412,82 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len %d", c.len())
+	}
+}
+
+// healthz fetches and decodes GET /healthz.
+func healthz(t *testing.T, url string) Health {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRetryAfterScalesWithPoolLoad(t *testing.T) {
+	// The Retry-After a 503 carries is derived from the pool's actual
+	// backlog, not a constant: a saturated pool must tell clients to
+	// back off longer than an idle one, so retries thin out exactly
+	// when the server is deepest under water.
+	srv, ts := newTestServer(t, Options{Workers: 1, Queue: 4})
+	idle := healthz(t, ts.URL)
+	if !idle.OK || idle.RetryAfter != 1 {
+		t.Fatalf("idle health %+v, want retry_after 1", idle)
+	}
+	if idle.Pid != os.Getpid() {
+		t.Fatalf("health pid %d", idle.Pid)
+	}
+
+	// Hold the worker and fill every queue slot: backlog 5 on 1 worker.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	waits := []func(){}
+	w, err := srv.pool.Submit(func() { close(started); <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waits = append(waits, w)
+	<-started
+	for i := 0; i < 4; i++ {
+		w, err := srv.pool.Submit(func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+
+	sat := healthz(t, ts.URL)
+	if sat.RetryAfter <= idle.RetryAfter {
+		t.Fatalf("saturated retry_after %d not above idle %d", sat.RetryAfter, idle.RetryAfter)
+	}
+	if sat.Queued != 4 || sat.InFlight != 1 {
+		t.Fatalf("saturated occupancy %+v", sat)
+	}
+
+	// A rejected request's header carries the same live number.
+	buf, _ := json.Marshal(map[string]any{"spec": testSpec(40)})
+	resp, err := http.Post(ts.URL+"/compare", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status %d", resp.StatusCode)
+	}
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || got != sat.RetryAfter {
+		t.Fatalf("503 Retry-After %q, healthz said %d", resp.Header.Get("Retry-After"), sat.RetryAfter)
+	}
+
+	close(block)
+	for _, w := range waits {
+		w()
 	}
 }

@@ -15,6 +15,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,9 +31,11 @@ import (
 // engine's own cap (sweep.MaxVariants) is an upper bound on top.
 const MaxSweepVariants = 256
 
-// sweepRequest is the body of POST /sweep. Exactly one of Base and
-// Scenario selects the base workload the axes are applied to.
-type sweepRequest struct {
+// SweepRequest is the body of POST /sweep — the wire contract shared
+// with frontends (the shard router decodes one to partition its grid).
+// Exactly one of Base and Scenario selects the base workload the axes
+// are applied to.
+type SweepRequest struct {
 	// Base is an inline base workload spec.
 	Base *spec.Spec `json:"base,omitempty"`
 	// Scenario names a base spec from the built-in library.
@@ -43,11 +46,11 @@ type sweepRequest struct {
 	// "compare" (both models, one accuracy row per variant).
 	Model string `json:"model,omitempty"`
 	// Axes are the swept dimensions (sweep.Apply parameter names).
-	Axes []sweepAxis `json:"axes"`
+	Axes []SweepAxis `json:"axes"`
 }
 
-// sweepAxis is one wire-form axis: a parameter name and its values.
-type sweepAxis struct {
+// SweepAxis is one wire-form axis: a parameter name and its values.
+type SweepAxis struct {
 	Param  string `json:"param"`
 	Values []any  `json:"values"`
 }
@@ -66,6 +69,60 @@ type SweepRow struct {
 	Cache  string          `json:"cache,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+}
+
+// SweepSummary is the terminal NDJSON line of a completed /sweep
+// stream: Done is always true, Rows counts the data rows emitted
+// before it and Errors how many of those carried an error field. A
+// stream that ends *without* this line was truncated — the connection
+// dropped, the handler died, a shard vanished — and the rows received
+// must not be mistaken for the whole grid. (Data rows never set Done,
+// so the two line shapes cannot be confused.)
+type SweepSummary struct {
+	Done   bool `json:"done"`
+	Rows   int  `json:"rows"`
+	Errors int  `json:"errors"`
+}
+
+// ExpandSweepRequest resolves the request's base workload (inline
+// spec or a library-scenario name looked up in byName) and expands
+// its axes into the deduplicated variant list, enforcing
+// MaxSweepVariants. It is shared between the backend handler and the
+// shard router so both ends of a deployment accept exactly the same
+// grids — a divergence here would let the router route grids a
+// backend rejects.
+func ExpandSweepRequest(req SweepRequest, byName map[string]spec.Spec) ([]sweep.Variant, error) {
+	var base spec.Spec
+	switch {
+	case req.Base != nil && req.Scenario != "":
+		return nil, errors.New("request has both base and scenario; send one")
+	case req.Base != nil:
+		base = *req.Base
+	case req.Scenario != "":
+		found, ok := byName[req.Scenario]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q", req.Scenario)
+		}
+		base = found
+	default:
+		return nil, errors.New("request needs a base spec or a scenario name")
+	}
+	grid := sweep.Grid{Name: req.Name, Base: base}
+	for _, ax := range req.Axes {
+		vals := make([]sweep.Value, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = sweep.Value{V: v}
+		}
+		grid.Axes = append(grid.Axes, sweep.Axis{Param: ax.Param, Values: vals})
+	}
+	variants, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(variants) > MaxSweepVariants {
+		return nil, fmt.Errorf("grid expands to %d variants (max %d)", len(variants), MaxSweepVariants)
+	}
+	return variants, nil
 }
 
 // sweepModel resolves the request's model selector.
@@ -87,52 +144,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req sweepRequest
+	var req SweepRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	var base spec.Spec
-	switch {
-	case req.Base != nil && req.Scenario != "":
-		s.writeError(w, http.StatusBadRequest, "request has both base and scenario; send one")
-		return
-	case req.Base != nil:
-		base = *req.Base
-	case req.Scenario != "":
-		found, ok := s.scenarioByName[req.Scenario]
-		if !ok {
-			s.writeError(w, http.StatusBadRequest, "unknown scenario %q", req.Scenario)
-			return
-		}
-		base = found
-	default:
-		s.writeError(w, http.StatusBadRequest, "request needs a base spec or a scenario name")
+	variants, err := ExpandSweepRequest(req, s.scenarioByName)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	model, compare, err := sweepModel(req.Model)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	grid := sweep.Grid{Name: req.Name, Base: base}
-	for _, ax := range req.Axes {
-		vals := make([]sweep.Value, len(ax.Values))
-		for i, v := range ax.Values {
-			vals[i] = sweep.Value{V: v}
-		}
-		grid.Axes = append(grid.Axes, sweep.Axis{Param: ax.Param, Values: vals})
-	}
-	variants, err := grid.Expand()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if len(variants) > MaxSweepVariants {
-		s.writeError(w, http.StatusBadRequest, "grid expands to %d variants (max %d)", len(variants), MaxSweepVariants)
 		return
 	}
 
@@ -142,9 +168,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Push the headers out now: on an all-miss grid no row may flush
+	// for a while, and a client (or the shard router) pacing itself on
+	// X-Sweep-Variants must not block on a header buffered server-side.
+	if flusher != nil {
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
+	emitted, errored := 0, 0
 	emit := func(row SweepRow) {
 		enc.Encode(row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+		if row.Error != "" {
+			errored++
+		}
+	}
+	// finish appends the terminal summary row. It runs only when every
+	// variant produced a row: a stream that ends without a done-line
+	// was truncated mid-grid (client disconnect, handler death) and
+	// must read as such, so nothing here fakes completion.
+	finish := func() {
+		enc.Encode(SweepSummary{Done: true, Rows: emitted, Errors: errored})
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -169,6 +216,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// worker count — the pool's queue bound stays the real limiter)
 	// and stream rows in completion order.
 	if len(pending) == 0 {
+		finish()
 		return
 	}
 	ctx := r.Context()
@@ -205,9 +253,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case row := <-rows:
 			emit(row)
 		case <-ctx.Done():
+			// Client gone mid-grid: no terminal row — this stream IS
+			// truncated, and saying otherwise to a half-closed socket
+			// helps nobody.
 			return
 		}
 	}
+	finish()
 }
 
 // sweepKey is the cache key a variant's result lives under — the same

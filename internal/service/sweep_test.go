@@ -3,20 +3,32 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/sweep"
 )
 
-// sweepBody posts a /sweep request and decodes every NDJSON row.
-func sweepBody(t *testing.T, url string, req any) (http.Header, []SweepRow) {
+// sweepLine distinguishes the two NDJSON line shapes: data rows never
+// set done, the terminal summary always does.
+type sweepLine struct {
+	SweepRow
+	Done bool `json:"done"`
+}
+
+// sweepBody posts a /sweep request, decodes every NDJSON data row and
+// requires the stream to end with a well-formed terminal summary —
+// the completion marker whose absence means truncation.
+func sweepBody(t *testing.T, url string, req any) (http.Header, []SweepRow, SweepSummary) {
 	t.Helper()
 	buf, err := json.Marshal(req)
 	if err != nil {
@@ -32,18 +44,30 @@ func sweepBody(t *testing.T, url string, req any) (http.Header, []SweepRow) {
 		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
 	}
 	var rows []SweepRow
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
+	summary, done, err := DecodeSweepStream(resp.Body, func(line []byte) error {
 		var row SweepRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
-			t.Fatalf("row %q: %v", sc.Text(), err)
+		if err := json.Unmarshal(line, &row); err != nil {
+			return err
 		}
 		rows = append(rows, row)
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.Header, rows
+	if !done {
+		t.Fatalf("stream ended without a terminal summary (%d rows) — truncated", len(rows))
+	}
+	errored := 0
+	for _, r := range rows {
+		if r.Error != "" {
+			errored++
+		}
+	}
+	if summary.Rows != len(rows) || summary.Errors != errored {
+		t.Fatalf("summary %+v vs %d rows / %d errors received", summary, len(rows), errored)
+	}
+	return resp.Header, rows, summary
 }
 
 // gridRequest is the canonical 8-variant test grid (4 depths × 2
@@ -62,7 +86,7 @@ func gridRequest(salt int) map[string]any {
 
 func TestSweepGridStreamsEveryVariant(t *testing.T) {
 	srv, ts := newTestServer(t, Options{Workers: 4, Queue: 64})
-	hdr, rows := sweepBody(t, ts.URL, gridRequest(20))
+	hdr, rows, _ := sweepBody(t, ts.URL, gridRequest(20))
 	if got := hdr.Get("X-Sweep-Variants"); got != "8" {
 		t.Fatalf("X-Sweep-Variants = %q", got)
 	}
@@ -111,7 +135,7 @@ func TestSweepGridStreamsEveryVariant(t *testing.T) {
 	for _, row := range rows {
 		first[row.Hash] = row.Result
 	}
-	_, rows2 := sweepBody(t, ts.URL, gridRequest(20))
+	_, rows2, _ := sweepBody(t, ts.URL, gridRequest(20))
 	if len(rows2) != 8 {
 		t.Fatalf("warm sweep %d rows", len(rows2))
 	}
@@ -147,7 +171,7 @@ func TestSweepSharesResultSpaceWithRun(t *testing.T) {
 		t.Fatalf("priming run: %d %q", status, hdr.Get("X-Cache"))
 	}
 
-	_, rows := sweepBody(t, ts.URL, gridRequest(21))
+	_, rows, _ := sweepBody(t, ts.URL, gridRequest(21))
 	var primed *SweepRow
 	for i := range rows {
 		if rows[i].Hash == vs[3].Hash {
@@ -214,14 +238,14 @@ func TestSweepStreamsIncrementally(t *testing.T) {
 	// reading them would deadlock here if the server buffered the
 	// whole grid before flushing.
 	type scanned struct {
-		row SweepRow
+		row sweepLine
 		err error
 	}
 	lines := make(chan scanned)
 	go func() {
 		sc := bufio.NewScanner(resp.Body)
 		for sc.Scan() {
-			var row SweepRow
+			var row sweepLine
 			err := json.Unmarshal(sc.Bytes(), &row)
 			lines <- scanned{row, err}
 		}
@@ -250,7 +274,8 @@ func TestSweepStreamsIncrementally(t *testing.T) {
 		// The last row is correctly still pending.
 	}
 
-	// Free the pool: the final row completes the stream.
+	// Free the pool: the final row completes the stream, followed by
+	// the terminal summary.
 	close(block)
 	w1()
 	w2()
@@ -261,8 +286,12 @@ func TestSweepStreamsIncrementally(t *testing.T) {
 	if got.row.Cache != "miss" || got.row.Error != "" {
 		t.Fatalf("final row %+v", got.row)
 	}
+	last, ok := <-lines
+	if !ok || !last.row.Done {
+		t.Fatalf("terminal summary missing: %v %+v", ok, last.row)
+	}
 	if _, more := <-lines; more {
-		t.Fatal("extra rows after the grid completed")
+		t.Fatal("extra rows after the terminal summary")
 	}
 	// The sweep retried the saturated pool internally; none of those
 	// attempts was a 503 response, so the backpressure metric must not
@@ -289,13 +318,20 @@ func TestSweepTerminatesWhenPoolCloses(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var rows []SweepRow
+	var summary SweepSummary
+	done := false
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		var row SweepRow
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+		var line sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			t.Fatal(err)
 		}
-		rows = append(rows, row)
+		if line.Done {
+			json.Unmarshal(sc.Bytes(), &summary)
+			done = true
+			continue
+		}
+		rows = append(rows, line.SweepRow)
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatalf("stream never terminated cleanly: %v", err)
@@ -308,11 +344,21 @@ func TestSweepTerminatesWhenPoolCloses(t *testing.T) {
 			t.Fatalf("row %s error %q", row.Name, row.Error)
 		}
 	}
+	// Every row failed, and the terminal summary says so: a client can
+	// tell "8 failures, complete" apart from a truncated stream.
+	if !done || summary.Rows != 8 || summary.Errors != 8 {
+		t.Fatalf("terminal summary: done=%v %+v", done, summary)
+	}
 
-	// The plain request path still answers a crisp 503.
-	status, _, body := post(t, ts.URL+"/run", map[string]any{"spec": testSpec(25), "model": "tl"})
+	// The plain request path still answers a crisp 503, marked
+	// X-Terminal so machine clients (the shard router) fail over
+	// instead of backing off against a dying server.
+	status, hdr, body := post(t, ts.URL+"/run", map[string]any{"spec": testSpec(25), "model": "tl"})
 	if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "shutting down") {
 		t.Fatalf("closed-pool /run: %d %s", status, body)
+	}
+	if hdr.Get("X-Terminal") != "1" {
+		t.Fatalf("shutdown 503 without X-Terminal (headers %v)", hdr)
 	}
 }
 
@@ -376,7 +422,7 @@ func TestSweepCompareModelCarriesAccuracyDelta(t *testing.T) {
 			{"param": "pipelining", "values": []bool{true, false}},
 		},
 	}
-	_, rows := sweepBody(t, ts.URL, req)
+	_, rows, _ := sweepBody(t, ts.URL, req)
 	if len(rows) != 2 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -400,7 +446,7 @@ func TestSweepScenarioBase(t *testing.T) {
 			{"param": "write_buffer_depth", "values": []int{0, 8}},
 		},
 	}
-	_, rows := sweepBody(t, ts.URL, req)
+	_, rows, _ := sweepBody(t, ts.URL, req)
 	if len(rows) != 2 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -511,5 +557,87 @@ func TestNewRejectsUnusableStoreDir(t *testing.T) {
 	}
 	if _, err := New(Options{StoreDir: file}); err == nil {
 		t.Fatal("New accepted a file as a store directory")
+	}
+}
+
+func TestSweepClientDisconnectStopsRetriesAndFreesPool(t *testing.T) {
+	// A sweep whose client vanishes mid-stream must not keep retrying
+	// the saturated pool in the background: cancelling the request
+	// context has to stop the per-variant retry loops, release the
+	// sweep's goroutines and leave the pool usable — with no goroutine
+	// leaked per abandoned sweep.
+	srv, ts := newTestServer(t, Options{Workers: 1, Queue: 1})
+
+	// Saturate the pool so every variant of the sweep is stuck in its
+	// retry-with-backoff loop (nothing cached, no capacity). The
+	// blocker is released through a Once registered BEFORE any Fatal
+	// path, so a failed assertion can never leave srv.Close (the
+	// t.Cleanup above) waiting on the held worker forever.
+	block := make(chan struct{})
+	var unblock sync.Once
+	release := func() { unblock.Do(func() { close(block) }) }
+	defer release()
+	started := make(chan struct{})
+	w1, err := srv.pool.Submit(func() { close(started); <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	w2, err := srv.pool.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dedicated transport: its only connection dies with the cancel,
+	// so the goroutine baseline isn't polluted by shared keep-alives.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf, _ := json.Marshal(gridRequest(26))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// The stream is committed but no row can complete; give the sweep
+	// a moment to spin up its retry loops, then hang up.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	tr.CloseIdleConnections()
+
+	// Every sweep goroutine must unwind. Poll: goroutine teardown is
+	// asynchronous with the response error surfacing to the client.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		stack := make([]byte, 1<<20)
+		t.Fatalf("goroutines %d > baseline %d after disconnect\n%s",
+			got, baseline, stack[:runtime.Stack(stack, true)])
+	}
+
+	// The pool was not poisoned: drain it and the service runs new work.
+	release()
+	w1()
+	w2()
+	status, _, body := post(t, ts.URL+"/run", map[string]any{"spec": testSpec(27), "model": "tl"})
+	if status != http.StatusOK {
+		t.Fatalf("post-disconnect run: %d %s", status, body)
 	}
 }

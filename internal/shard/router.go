@@ -1,0 +1,557 @@
+// The frontend router: owns the public simd API and fans requests out
+// to the backend shards that own them. /run and /compare forward the
+// request body verbatim to the spec's owner (responses — bodies,
+// X-Cache, X-Spec-Hash, Retry-After — pass through untouched, so a
+// sharded cluster is byte-identical to a single process); /sweep
+// expands the grid here, routes every variant to its owner, and
+// interleaves the per-shard results into one completion-ordered
+// NDJSON stream ending in a terminal summary row. A dead shard costs
+// exactly its own variants — explicit error rows, never a hang or a
+// silent truncation.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Backends are the worker base URLs in shard order; the slice
+	// index IS the shard identity the rendezvous hash assigns against,
+	// so the order must be stable across router restarts (the
+	// supervisor and -backends both guarantee this).
+	Backends []string
+	// HTTP is the transport used for every backend call; nil selects
+	// http.DefaultClient.
+	HTTP *http.Client
+	// SweepConcurrency bounds in-flight sweep variants per shard
+	// (<= 0: probe the shard's /healthz for its worker count, falling
+	// back to defaultSweepConcurrency). The backend's bounded queue
+	// stays the real limiter — this only keeps the router from
+	// provoking gratuitous 503 churn.
+	SweepConcurrency int
+}
+
+// defaultSweepConcurrency is the per-shard variant fan-out used when
+// a backend's worker count cannot be probed.
+const defaultSweepConcurrency = 4
+
+// healthTimeout bounds one backend /healthz probe; liveness must not
+// hang on a dead peer.
+const healthTimeout = 2 * time.Second
+
+// maxRetryWait caps how long one 503 backoff sleeps, whatever
+// Retry-After advertised; minRetryWait floors it (Retry-After is
+// integer seconds, so "0" means "soon", not "busy-loop").
+const (
+	maxRetryWait = 5 * time.Second
+	minRetryWait = 50 * time.Millisecond
+)
+
+// shardState is one backend as the router sees it.
+type shardState struct {
+	index  int
+	client *service.Client
+	conc   int
+}
+
+// Router is the sharded frontend. It is stateless apart from its
+// backend list: every routing decision derives from the request's
+// spec hash, so any number of router replicas agree.
+type Router struct {
+	shards         []*shardState
+	mux            *http.ServeMux
+	scenariosBody  []byte
+	scenarioByName map[string]spec.Spec
+}
+
+// New builds a router over the given backends. Construction never
+// requires the backends to be up — a cluster must boot in any order —
+// but live backends are probed once for their worker counts to size
+// the sweep fan-out.
+func New(opt Options) (*Router, error) {
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("shard: no backends")
+	}
+	rt := &Router{}
+	rt.scenariosBody, rt.scenarioByName = service.ScenarioLibrary()
+	for i, base := range opt.Backends {
+		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+		if base == "" {
+			return nil, fmt.Errorf("shard: backend %d has an empty URL", i)
+		}
+		// Reject malformed and scheme-less URLs at construction: a
+		// "localhost:8080" (missing http://) parses as scheme
+		// "localhost" and would boot cleanly only to 502 every request
+		// with an error blaming the network instead of the flag.
+		u, err := url.Parse(base)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("shard: backend %d URL %q must be http(s)://host[:port]", i, base)
+		}
+		rt.shards = append(rt.shards, &shardState{
+			index:  i,
+			client: &service.Client{Base: base, HTTP: opt.HTTP},
+			conc:   opt.SweepConcurrency,
+		})
+	}
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		if sh.conc > 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			sh.conc = defaultSweepConcurrency
+			ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
+			defer cancel()
+			if h, err := sh.client.FetchHealth(ctx); err == nil && h.Workers > 0 {
+				sh.conc = h.Workers
+			}
+		}(sh)
+	}
+	wg.Wait()
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/run") })
+	rt.mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/compare") })
+	rt.mux.HandleFunc("/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("/scenarios", rt.handleScenarios)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	return rt, nil
+}
+
+// Shards returns the number of backends.
+func (rt *Router) Shards() int { return len(rt.shards) }
+
+// Handler returns the HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// maxBodyBytes mirrors the backend's request-body bound.
+const maxBodyBytes = 1 << 20
+
+// errorBody renders the service's error-response shape.
+func errorBody(format string, args ...any) []byte {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+	return body
+}
+
+// writeError sends a JSON error.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errorBody(format, args...))
+}
+
+// resolveHash decodes a /run-shaped body far enough to route it: the
+// spec's content hash. Validation beyond that stays on the backend —
+// the router forwards the original bytes, so the backend's strict
+// decode sees exactly what the client sent.
+func (rt *Router) resolveHash(body []byte) (string, error) {
+	var req service.RunRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("parsing request: %w", err)
+	}
+	var sp spec.Spec
+	switch {
+	case req.Spec != nil && req.Scenario != "":
+		return "", errors.New("request has both spec and scenario; send one")
+	case req.Spec != nil:
+		sp = *req.Spec
+	case req.Scenario != "":
+		found, ok := rt.scenarioByName[req.Scenario]
+		if !ok {
+			return "", fmt.Errorf("unknown scenario %q", req.Scenario)
+		}
+		sp = found
+	default:
+		return "", errors.New("request needs a spec or a scenario name")
+	}
+	return sp.Hash()
+}
+
+// proxyHeaders is the response-header allowlist forwarded from a
+// backend: the cache/replay contract plus backpressure.
+var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-After", "X-Terminal"}
+
+// handleProxy serves POST /run and /compare: hash, pick the owner,
+// forward verbatim, relay the response. The router adds exactly one
+// header of its own (X-Shard) so operators can see placement.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	hash, err := rt.resolveHash(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sh := rt.shards[Owner(hash, len(rt.shards))]
+	status, hdr, respBody, err := sh.client.PostJSON(r.Context(), path, body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to say and no one to say it to
+		}
+		w.Header().Set("X-Shard", strconv.Itoa(sh.index))
+		writeError(w, http.StatusBadGateway, "shard %d (%s) unreachable: %v", sh.index, sh.client.Base, err)
+		return
+	}
+	for _, name := range proxyHeaders {
+		if v := hdr.Get(name); v != "" {
+			w.Header().Set(name, v)
+		}
+	}
+	w.Header().Set("X-Shard", strconv.Itoa(sh.index))
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+// handleScenarios serves GET /scenarios — the same library every
+// backend derives from the same spec data.
+func (rt *Router) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(rt.scenariosBody)
+}
+
+// ShardHealth is one backend's slot in the aggregated /healthz.
+type ShardHealth struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Health is the backend's own /healthz body, absent when the
+	// shard is unreachable.
+	Health *service.Health `json:"health,omitempty"`
+}
+
+// ClusterHealth is the router's GET /healthz body: per-shard liveness
+// and occupancy plus cluster totals. OK is the conjunction — a
+// cluster with a dead shard is degraded (its keyspace slice fails),
+// and monitoring must see that even while the healthy shards serve.
+type ClusterHealth struct {
+	OK     bool          `json:"ok"`
+	Shards []ShardHealth `json:"shards"`
+	// Workers/QueueCap/Queued/InFlight are summed over live shards.
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_capacity"`
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	// RetryAfter is the worst (largest) live-shard backoff — the
+	// honest cluster-wide pacing hint, since a request may land on the
+	// busiest shard.
+	RetryAfter int `json:"retry_after"`
+	service.Counters
+}
+
+// FetchClusterHealth probes every backend concurrently and aggregates.
+func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
+	out := ClusterHealth{OK: true, Shards: make([]ShardHealth, len(rt.shards))}
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			probe, cancel := context.WithTimeout(ctx, healthTimeout)
+			defer cancel()
+			h, err := sh.client.FetchHealth(probe)
+			if err != nil {
+				out.Shards[i] = ShardHealth{Index: i, Addr: sh.client.Base, Error: err.Error()}
+				return
+			}
+			out.Shards[i] = ShardHealth{Index: i, Addr: sh.client.Base, OK: h.OK, Health: &h}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, s := range out.Shards {
+		if !s.OK || s.Health == nil {
+			out.OK = false
+			continue
+		}
+		h := s.Health
+		out.Workers += h.Workers
+		out.QueueCap += h.QueueCap
+		out.Queued += h.Queued
+		out.InFlight += h.InFlight
+		if h.RetryAfter > out.RetryAfter {
+			out.RetryAfter = h.RetryAfter
+		}
+		out.Jobs += h.Jobs
+		out.CacheHits += h.CacheHits
+		out.Coalesced += h.Coalesced
+		out.Rejected += h.Rejected
+		out.StoreHits += h.StoreHits
+	}
+	return out
+}
+
+// handleHealthz serves the aggregated GET /healthz. The status code
+// stays 200 even when degraded — the body's ok field carries the
+// verdict, and a load balancer that should stop routing to a
+// *router* (rather than a shard) has the per-shard detail to decide.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	body, err := json.Marshal(rt.FetchClusterHealth(r.Context()))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// Row is one NDJSON data line of the router's /sweep stream: the
+// backend's row plus the shard that owned the variant. Shard is
+// always present (0 is a real shard), which is why this is a distinct
+// wire type rather than an omitempty field on the backend row.
+type Row struct {
+	service.SweepRow
+	Shard int `json:"shard"`
+}
+
+// sweepEndpoint maps the request's model selector onto the per-variant
+// backend endpoint, mirroring the backend's own model switch.
+func sweepEndpoint(model string) (path, runModel string, err error) {
+	switch model {
+	case "", "tl", "tlm", "rtl":
+		return "/run", model, nil
+	case "compare":
+		return "/compare", "", nil
+	}
+	return "", "", fmt.Errorf("unknown model %q (want tl, rtl or compare)", model)
+}
+
+// handleSweep serves POST /sweep: expand the grid once, route each
+// variant to its owning shard as an individual /run (or /compare)
+// call, and merge the results into one completion-ordered stream.
+// Per-variant forwarding — rather than forwarding sub-grids — is what
+// lets every variant share the backend's full cache/coalescing path
+// with direct requests, and keeps a dead shard's blast radius to
+// exactly the variants it owns.
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req service.SweepRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	// The backend's own expansion logic: router and worker accept
+	// exactly the same grids, by construction.
+	variants, err := service.ExpandSweepRequest(req, rt.scenarioByName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	path, runModel, err := sweepEndpoint(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Partition the grid: each variant to its owner's work list.
+	perShard := make([][]sweep.Variant, len(rt.shards))
+	for _, v := range variants {
+		owner := Owner(v.Hash, len(rt.shards))
+		perShard[owner] = append(perShard[owner], v)
+	}
+
+	// The stream is committed: from here every failure is a row, and
+	// completion is the terminal summary line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	ctx := r.Context()
+	rows := make(chan Row)
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		work := perShard[i]
+		if len(work) == 0 {
+			continue
+		}
+		// dead is per-sweep state: the first transport failure fails
+		// this sweep's remaining variants on the shard immediately
+		// (fast explicit errors, no per-variant timeout crawl), while
+		// the next sweep re-probes — a respawned shard serves again.
+		dead := &atomic.Bool{}
+		queue := make(chan sweep.Variant)
+		workers := min(sh.conc, len(work))
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(sh *shardState) {
+				defer wg.Done()
+				for v := range queue {
+					row, ok := rt.resolveVariant(ctx, sh, dead, v, path, runModel)
+					if !ok {
+						return // client gone
+					}
+					select {
+					case rows <- row:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}(sh)
+		}
+		wg.Add(1)
+		go func(work []sweep.Variant) {
+			defer wg.Done()
+			defer close(queue)
+			for _, v := range work {
+				select {
+				case queue <- v:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(work)
+	}
+	// Close the merged stream once every shard worker is done, so the
+	// emit loop below can range to completion even if workers bail
+	// early on a cancelled context.
+	go func() {
+		wg.Wait()
+		close(rows)
+	}()
+
+	emitted, errored := 0, 0
+	for row := range rows {
+		enc.Encode(row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+		if row.Error != "" {
+			errored++
+		}
+	}
+	if ctx.Err() != nil {
+		// Client gone mid-merge: the stream is truncated and must read
+		// as such — no terminal row.
+		return
+	}
+	enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// resolveVariant runs one variant against its owning shard, retrying
+// saturation 503s with the backend's own Retry-After as the backoff —
+// the honest signal: a deep backlog advertises a long wait, and the
+// router paces itself accordingly instead of hammering. ok=false
+// means the client's context ended.
+func (rt *Router) resolveVariant(ctx context.Context, sh *shardState, dead *atomic.Bool, v sweep.Variant, path, runModel string) (Row, bool) {
+	row := Row{SweepRow: service.SweepRow{
+		Index:  v.Index,
+		Name:   v.Spec.Name,
+		Hash:   v.Hash,
+		Params: v.Params,
+	}, Shard: sh.index}
+	reqBody, err := json.Marshal(service.RunRequest{Spec: &v.Spec, Model: runModel})
+	if err != nil {
+		row.Error = err.Error()
+		return row, true
+	}
+	for {
+		if dead.Load() {
+			row.Error = fmt.Sprintf("shard %d (%s) is down", sh.index, sh.client.Base)
+			return row, true
+		}
+		status, hdr, body, err := sh.client.PostJSON(ctx, path, reqBody)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Row{}, false
+			}
+			dead.Store(true)
+			row.Error = fmt.Sprintf("shard %d (%s) unreachable: %v", sh.index, sh.client.Base, err)
+			return row, true
+		}
+		switch {
+		case status == http.StatusOK:
+			row.Cache = hdr.Get("X-Cache")
+			row.Result = json.RawMessage(body)
+			return row, true
+		case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
+			// Saturated, not shutting down: honor the advertised wait.
+			if !sleepRetryAfter(ctx, hdr.Get("Retry-After")) {
+				return Row{}, false
+			}
+		default:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(body, &e) == nil && e.Error != "" {
+				row.Error = e.Error
+			} else {
+				row.Error = fmt.Sprintf("status %d", status)
+			}
+			return row, true
+		}
+	}
+}
+
+// sleepRetryAfter waits out a 503's Retry-After (clamped to
+// [minRetryWait, maxRetryWait]); false means the context ended first.
+func sleepRetryAfter(ctx context.Context, header string) bool {
+	wait := minRetryWait
+	if secs, err := strconv.Atoi(header); err == nil {
+		if d := time.Duration(secs) * time.Second; d > wait {
+			wait = d
+		}
+	}
+	if wait > maxRetryWait {
+		wait = maxRetryWait
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,71 @@
+// Package shard scales the simulation service across processes
+// without sharing anything. Every result in this system is fully
+// determined by its `endpoint:model:spec-hash` cache key (the
+// simulations are bit-reproducible), so work partitions perfectly: a
+// frontend router assigns each workload spec to exactly one backend
+// worker process by rendezvous-hashing the spec's content hash, and
+// that backend's memory LRU and disk store hold that spec's results —
+// and only that backend's. No coordination, no replication, no cache
+// coherence: a spec's owner is a pure function of its hash and the
+// shard count, stable across restarts, so a resharded cluster keeps
+// serving byte-identical replays from whichever stores already hold
+// them.
+//
+// The router (router.go) owns the public API — /run, /compare and
+// /sweep are fanned out per spec, /sweep additionally merging the
+// per-shard completion streams into one NDJSON stream with a terminal
+// summary row — and the supervisor (supervisor.go) spawns and babysits
+// local backend processes for `simd -shards N`.
+package shard
+
+import "strconv"
+
+// Owner returns the shard index in [0, n) that owns the given spec
+// content hash, by rendezvous (highest-random-weight) hashing: score
+// every shard against the hash, pick the maximum. Properties the
+// deployment leans on:
+//
+//   - Deterministic: a pure function of (hash, n), so the assignment
+//     survives router restarts and is computable by any client — the
+//     smoke harness predicts which store directory a variant lands in.
+//   - Minimal disruption: growing n from k to k+1 only moves the keys
+//     the new shard wins; everything else keeps its owner (and its
+//     warm store).
+//
+// n <= 1 trivially owns everything.
+func Owner(hash string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < n; i++ {
+		score := rendezvousScore(hash, i)
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore is FNV-1a over "hash/shard-index". FNV is not
+// cryptographic, but the inputs are already SHA-256 hex — uniform by
+// construction — so the 64-bit mix only has to break ties between
+// shards, not resist adversaries.
+func rendezvousScore(hash string, index int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(hash); i++ {
+		h ^= uint64(hash[i])
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for _, c := range strconv.Itoa(index) {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,360 @@
+// The backend supervisor: spawns N local simd worker processes for
+// `simd -shards N`, learns each child's actual listen address from
+// its startup banner (children bind 127.0.0.1:0 — no port guessing,
+// no collision window), and babysits them. A child that dies is
+// respawned on the SAME port after a short delay, so the router's
+// backend list — which is what gives shard indices their identity —
+// never changes while the cluster runs; with per-shard store
+// directories, the revived process reopens its store and replays its
+// slice of the keyspace byte-identically.
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sync"
+	"time"
+)
+
+// Proc describes one running backend process.
+type Proc struct {
+	Index int
+	// Addr is the bound listen address (host:port); stable across
+	// respawns.
+	Addr string
+	// URL is the backend base URL the router dials.
+	URL string
+	Pid int
+}
+
+// child is the supervisor's mutable view of one backend slot.
+type child struct {
+	index int
+	addr  string
+	args  []string // argsFor(index), without -addr
+	cmd   *exec.Cmd
+}
+
+// Supervisor owns a set of locally spawned backend processes.
+type Supervisor struct {
+	bin string
+	// Log receives child stderr/stdout chatter, prefixed per shard.
+	log io.Writer
+
+	mu       sync.Mutex
+	children []*child
+	// spawning tracks processes started but not yet banner-confirmed
+	// (a respawn mid-flight): Stop's kill escalation must reach them
+	// too, or shutdown would stall out the full banner timeout behind
+	// a wedged revival.
+	spawning map[*exec.Cmd]struct{}
+	stopping bool
+	wg       sync.WaitGroup // monitor goroutines
+}
+
+// servingLine matches the simd startup banner; the capture is the
+// actual bound address.
+var servingLine = regexp.MustCompile(`serving on (\S+)`)
+
+// spawnTimeout bounds how long a child may take to print its banner.
+const spawnTimeout = 15 * time.Second
+
+// respawnDelay paces revival attempts of a crashed child.
+const respawnDelay = 300 * time.Millisecond
+
+// respawnAttempts bounds CONSECUTIVE revival retries (the port might
+// be stolen, the binary deleted, the store poisoned...); past this
+// the shard stays down and the router serves explicit per-variant
+// errors for its keyspace. A child that then lives at least
+// stableUptime earns a fresh budget — bounded attempts stop a
+// crash-looping worker from burning CPU forever, while a rare crash
+// every few hours keeps being healed indefinitely.
+const respawnAttempts = 5
+
+// stableUptime is how long a child must survive for its crash to
+// count as fresh rather than a continuation of a crash loop.
+const stableUptime = 10 * time.Second
+
+// Spawn starts n backend processes from bin (a simd binary). argsFor
+// returns the extra command-line arguments for shard i — per-shard
+// store directories, worker counts — and must NOT include -addr,
+// which the supervisor owns (children bind port 0; respawns re-bind
+// the original port). logw receives child output (nil: os.Stderr).
+// On any child failing to start, everything already started is torn
+// down.
+func Spawn(bin string, n int, argsFor func(i int) []string, logw io.Writer) (*Supervisor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: spawn %d backends", n)
+	}
+	if logw == nil {
+		logw = os.Stderr
+	}
+	s := &Supervisor{bin: bin, log: logw, spawning: make(map[*exec.Cmd]struct{})}
+	for i := 0; i < n; i++ {
+		c := &child{index: i, addr: "127.0.0.1:0", args: argsFor(i)}
+		if err := s.start(c); err != nil {
+			s.Stop()
+			return nil, err
+		}
+		s.children = append(s.children, c)
+		s.monitor(c, c.cmd, 0)
+	}
+	return s, nil
+}
+
+// start launches one child and waits for its banner. On success
+// c.addr holds the bound address and c.cmd the running process.
+//
+// The child's stdout goes through an os.Pipe the supervisor owns, NOT
+// cmd.StdoutPipe: exec-managed pipes are closed by cmd.Wait, which the
+// monitor goroutine calls while the banner/drain goroutine is still
+// reading — a documented misuse that can drop the child's final
+// output (a dying shard's panic message, exactly the bytes worth
+// keeping). With our own pipe, Wait leaves it alone and the reader
+// drains to a clean EOF when the child exits.
+func (s *Supervisor) start(c *child) error {
+	args := append([]string{"-addr", c.addr}, c.args...)
+	cmd := exec.Command(s.bin, args...)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", c.index, err)
+	}
+	cmd.Stdout = pw
+	cmd.Stderr = &prefixWriter{w: s.log, prefix: fmt.Sprintf("[shard %d] ", c.index)}
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return fmt.Errorf("shard %d: starting %s: %w", c.index, s.bin, err)
+	}
+	// Drop the parent's writer copy: the child holds its own, so the
+	// reader's EOF tracks the child's lifetime exactly.
+	pw.Close()
+	// Register with Stop's escalation before the (up to spawnTimeout)
+	// banner wait; a Stop issued during a revival can then kill this
+	// process instead of stalling behind it.
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		cmd.Process.Kill()
+		cmd.Wait()
+		pr.Close()
+		return fmt.Errorf("shard %d: supervisor stopping", c.index)
+	}
+	s.spawning[cmd] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.spawning, cmd)
+		s.mu.Unlock()
+	}()
+
+	// The banner is the readiness signal: once it arrives the child is
+	// listening, so the router can dial it immediately.
+	type banner struct {
+		addr string
+		err  error
+	}
+	ch := make(chan banner, 1)
+	go func() {
+		defer pr.Close()
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := servingLine.FindStringSubmatch(line); m != nil {
+				ch <- banner{addr: m[1]}
+				// Keep draining so the child never blocks on a full
+				// pipe; forward its chatter like stderr.
+				logw := &prefixWriter{w: s.log, prefix: fmt.Sprintf("[shard %d] ", c.index)}
+				for sc.Scan() {
+					fmt.Fprintln(logw, sc.Text())
+				}
+				return
+			}
+		}
+		ch <- banner{err: fmt.Errorf("exited before announcing its address")}
+	}()
+	select {
+	case b := <-ch:
+		if b.err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("shard %d: %v", c.index, b.err)
+		}
+		c.addr = b.addr
+		c.cmd = cmd
+		return nil
+	case <-time.After(spawnTimeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("shard %d: no address banner within %v", c.index, spawnTimeout)
+	}
+}
+
+// monitor watches one child process and respawns it (same index, same
+// port) if it dies while the supervisor is running. The respawn's
+// banner wait happens outside the supervisor lock, so Stop is never
+// blocked behind a slow revival. failed carries the consecutive
+// short-lived-respawn count into the next incarnation's monitor: a
+// child that crashes again before stableUptime keeps consuming the
+// same budget instead of crash-looping forever.
+func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		started := time.Now()
+		cmd.Wait()
+		// A dying child's final stderr may not end in a newline (a
+		// SIGKILL cuts writes mid-line); push the residue to the log
+		// before deciding anything about the corpse.
+		if pw, ok := cmd.Stderr.(*prefixWriter); ok {
+			pw.Flush()
+		}
+		if time.Since(started) >= stableUptime {
+			failed = 0 // lived long enough; this crash starts a fresh budget
+		}
+		for attempt := failed + 1; attempt <= respawnAttempts; attempt++ {
+			s.mu.Lock()
+			stopping := s.stopping
+			s.mu.Unlock()
+			if stopping {
+				return
+			}
+			time.Sleep(respawnDelay)
+			// Re-bind the port the dead child held: the router's
+			// backend URL for this shard index must keep working.
+			nc := &child{index: c.index, addr: c.addr, args: c.args}
+			if err := s.start(nc); err != nil {
+				fmt.Fprintf(s.log, "shard %d: respawn attempt %d: %v\n", c.index, attempt, err)
+				continue
+			}
+			s.mu.Lock()
+			if s.stopping {
+				s.mu.Unlock()
+				nc.cmd.Process.Kill()
+				nc.cmd.Wait()
+				return
+			}
+			c.addr, c.cmd = nc.addr, nc.cmd
+			s.mu.Unlock()
+			fmt.Fprintf(s.log, "shard %d: respawned on %s (pid %d)\n", c.index, nc.addr, nc.cmd.Process.Pid)
+			s.monitor(c, nc.cmd, attempt)
+			return
+		}
+		fmt.Fprintf(s.log, "shard %d: down (respawn gave up after %d attempts)\n", c.index, respawnAttempts)
+	}()
+}
+
+// Procs returns the current backend processes in shard order.
+func (s *Supervisor) Procs() []Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Proc, len(s.children))
+	for i, c := range s.children {
+		p := Proc{Index: c.index, Addr: c.addr, URL: "http://" + c.addr}
+		if c.cmd != nil && c.cmd.Process != nil {
+			p.Pid = c.cmd.Process.Pid
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// URLs returns the backend base URLs in shard order — the Router's
+// Options.Backends. Stable across respawns.
+func (s *Supervisor) URLs() []string {
+	procs := s.Procs()
+	urls := make([]string, len(procs))
+	for i, p := range procs {
+		urls[i] = p.URL
+	}
+	return urls
+}
+
+// Stop terminates every child (graceful interrupt first, kill after a
+// drain window) and disables respawning. It returns when all children
+// and monitors are gone.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	s.stopping = true
+	cmds := s.liveCmdsLocked()
+	s.mu.Unlock()
+	for _, cmd := range cmds {
+		cmd.Process.Signal(os.Interrupt)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		// Re-snapshot at escalation: a respawn that was mid-banner-wait
+		// when Stop began is in the spawning set, not the original
+		// snapshot, and must be killed too or wg.Wait stalls out the
+		// full spawn timeout behind it.
+		s.mu.Lock()
+		cmds = s.liveCmdsLocked()
+		s.mu.Unlock()
+		for _, cmd := range cmds {
+			cmd.Process.Kill()
+		}
+		s.wg.Wait()
+	}
+}
+
+// liveCmdsLocked snapshots every process Stop must reach: confirmed
+// children plus in-flight respawns. Caller holds s.mu.
+func (s *Supervisor) liveCmdsLocked() []*exec.Cmd {
+	cmds := make([]*exec.Cmd, 0, len(s.children)+len(s.spawning))
+	for _, c := range s.children {
+		if c.cmd != nil && c.cmd.Process != nil {
+			cmds = append(cmds, c.cmd)
+		}
+	}
+	for cmd := range s.spawning {
+		if cmd.Process != nil {
+			cmds = append(cmds, cmd)
+		}
+	}
+	return cmds
+}
+
+// prefixWriter prefixes each written line — child process chatter
+// stays attributable in the shared supervisor log.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+	mu     sync.Mutex
+	buf    []byte
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, b...)
+	for {
+		nl := bytes.IndexByte(p.buf, '\n')
+		if nl < 0 {
+			return len(b), nil
+		}
+		fmt.Fprintf(p.w, "%s%s\n", p.prefix, p.buf[:nl])
+		p.buf = p.buf[nl+1:]
+	}
+}
+
+// Flush emits any buffered partial line — the writer's source may die
+// mid-line, and those final bytes are often the interesting ones.
+func (p *prefixWriter) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) > 0 {
+		fmt.Fprintf(p.w, "%s%s\n", p.prefix, p.buf)
+		p.buf = nil
+	}
+}

@@ -165,6 +165,75 @@ func TestOpenSweepsCorruptAndTempFiles(t *testing.T) {
 	}
 }
 
+func TestOpenRejectsNewerGenerationEnvelopesAndCrashedPutTmp(t *testing.T) {
+	// A store directory inherited from a NEWER binary generation: its
+	// envelope magic is unknown to this build, so the files must read
+	// as corrupt and be dropped — a downgraded process serves misses
+	// and recomputes, it never misparses a future format. Alongside it,
+	// a tmp file exactly as a Put crashed mid-write would leave it
+	// (CreateTemp name for a real key, valid-looking envelope inside):
+	// swept at Open, never indexed, never served.
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, 0)
+	if err := s1.Put("run:TL:old", []byte("from-this-generation")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The future-format file: shaped like an envelope, wrong magic.
+	future := filepath.Join(dir, fileName("run:TL:future"))
+	body := []byte("future-payload")
+	env := fmt.Sprintf("simstore2 %064x %d run:TL:future\n%s", 0, len(body), body)
+	if err := os.WriteFile(future, []byte(env), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The crashed Put: a tmp file whose CONTENT is a perfectly valid
+	// current-generation envelope — only the .tmp name marks it as
+	// never-committed. Indexing it anyway would resurrect a write that
+	// was never acknowledged.
+	crashed := filepath.Join(dir, fileName("run:TL:crashed")+".8821.tmp")
+	s2 := mustOpen(t, t.TempDir(), 0) // scratch store renders a valid envelope
+	if err := s2.Put("run:TL:crashed", []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(s2.Dir(), fileName("run:TL:crashed")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(crashed, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s3 := mustOpen(t, dir, 0)
+	if s3.Len() != 1 {
+		t.Fatalf("reopened store indexed %d entries, want 1", s3.Len())
+	}
+	if _, ok := s3.Get("run:TL:future"); ok {
+		t.Fatal("newer-generation envelope served")
+	}
+	if _, ok := s3.Get("run:TL:crashed"); ok {
+		t.Fatal("crashed Put's tmp file served")
+	}
+	if got, ok := s3.Get("run:TL:old"); !ok || !bytes.Equal(got, []byte("from-this-generation")) {
+		t.Fatalf("surviving entry lost: %q %v", got, ok)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 || left[0].Name() != fileName("run:TL:old") {
+		names := make([]string, len(left))
+		for i, de := range left {
+			names[i] = de.Name()
+		}
+		t.Fatalf("directory not swept: %v", names)
+	}
+	// The future file counted as corruption (it was removed on sight);
+	// the tmp sweep is routine, not corruption.
+	if st := s3.StatsSnapshot(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter %d, want 1", st.Corrupt)
+	}
+}
+
 func TestGCEvictsLeastRecentlyAccessed(t *testing.T) {
 	dir := t.TempDir()
 	body := bytes.Repeat([]byte("x"), 100)
