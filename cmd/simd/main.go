@@ -23,11 +23,14 @@
 //
 // Endpoints (identical in every mode):
 //
-//	POST /run       {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
-//	POST /compare   {"spec": {...} | "scenario": "name"}
-//	POST /sweep     {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
-//	GET  /scenarios the built-in scenario library with content hashes
-//	GET  /healthz   liveness and load counters (aggregated per shard in router modes)
+//	POST /run           {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
+//	POST /compare       {"spec": {...} | "scenario": "name"}
+//	POST /sweep         {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
+//	POST /sweep/analyze same grid + {"metric", "objective", "top_k", "frontier"} -> one
+//	                    analysis document (argmin/top-K/groups/Pareto frontier, with
+//	                    explicit incomplete metadata when shards or variants failed)
+//	GET  /scenarios     the built-in scenario library with content hashes
+//	GET  /healthz       liveness and load counters (aggregated per shard in router modes)
 //
 // Usage:
 //

@@ -13,9 +13,15 @@
 // the sweep simulates, ready to replay through `accuracy -spec` or
 // the simulation service.
 //
+// With -analyze each family additionally prints its aggregate answer
+// — the best variant on the family's headline metric and the
+// two-metric Pareto frontier — computed by internal/agg, the same
+// engine behind the service's POST /sweep/analyze, so the CLI table
+// and a cluster analysis of the same grid name the same winner.
+//
 // Usage:
 //
-//	sweep [-which wb|pipelining|bi|filters|pagepolicy|buswidth|all] [-txns N] [-workers N] [-dump DIR]
+//	sweep [-which wb|pipelining|bi|filters|pagepolicy|buswidth|all] [-txns N] [-workers N] [-dump DIR] [-analyze]
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/spec"
@@ -33,6 +40,9 @@ import (
 
 // workers is the farm bound shared by every sweep (-workers flag).
 var workers int
+
+// analyze toggles the per-family argmin/frontier summary (-analyze).
+var analyze bool
 
 // grid expands a single-axis sweep over the base spec.
 func grid(name string, base spec.Spec, param string, values []sweep.Value) []sweep.Variant {
@@ -105,16 +115,54 @@ func runAll(vs []sweep.Variant) []core.RunResult {
 	return results
 }
 
+// printAnalysis runs the aggregation engine over one finished family
+// and prints its verdict — the exact argmin/frontier code path the
+// service's POST /sweep/analyze serves, fed the in-process results.
+func printAnalysis(vs []sweep.Variant, results []core.RunResult, req agg.Request) {
+	if !analyze {
+		return
+	}
+	inputs := make([]agg.Input, len(vs))
+	for i, v := range vs {
+		inputs[i] = agg.Input{
+			Index: v.Index, Name: v.Spec.Name, Hash: v.Hash, Params: v.Params,
+			Metrics: agg.RunMetrics(uint64(results[i].Cycles), results[i].Violations, results[i].Stats),
+		}
+	}
+	a, err := agg.Analyze(req, false, nil, len(vs), inputs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: analysis: %v\n", err)
+		os.Exit(1)
+	}
+	dir := "lowest"
+	if a.Objective == agg.ObjectiveMax {
+		dir = "highest"
+	}
+	fmt.Printf("  best (%s %s): %s = %g at %s\n", dir, a.Metric, a.Metric, a.Best.Value, a.Best.Name)
+	if a.Frontier != nil {
+		fmt.Printf("  pareto frontier (%s %s vs %s %s):\n",
+			a.Frontier.XObjective, a.Frontier.X, a.Frontier.YObjective, a.Frontier.Y)
+		for _, p := range a.Frontier.Points {
+			fmt.Printf("    %-36s %s=%g %s=%g\n", p.Name, a.Frontier.X, p.X, a.Frontier.Y, p.Y)
+		}
+	}
+}
+
 func sweepWB(txns int) {
 	fmt.Println("A1: write-buffer depth sweep (saturating write-heavy 3-master workload)")
 	fmt.Printf("%8s %10s %12s %12s %14s %12s\n", "depth", "cycles", "meanLat(m0)", "meanLat(m1)", "util%", "fullStalls")
 	vs := wbVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%8s %10d %12.1f %12.1f %14.1f %12d\n",
 			vs[i].Labels[0], uint64(res.Cycles), res.Stats.Masters[0].MeanLatency(),
 			res.Stats.Masters[1].MeanLatency(),
 			100*res.Stats.Utilization(), res.Stats.WBFullStalls)
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric:   "cycles",
+		Frontier: &agg.FrontierSpec{X: "cycles", Y: "mean_latency/m0"},
+	})
 	fmt.Println()
 }
 
@@ -122,9 +170,14 @@ func sweepPipelining(txns int) {
 	fmt.Println("A2: request pipelining on/off (saturating 3-master workload)")
 	fmt.Printf("%12s %10s %14s\n", "pipelining", "cycles", "util%")
 	vs := pipeliningVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%12s %10d %14.1f\n", vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.Utilization())
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric:   "cycles",
+		Frontier: &agg.FrontierSpec{X: "cycles", Y: "utilization", YObjective: agg.ObjectiveMax},
+	})
 	fmt.Println()
 }
 
@@ -132,11 +185,16 @@ func sweepBI(txns int) {
 	fmt.Println("A3: BI / bank interleaving on/off (bank-striped streams)")
 	fmt.Printf("%6s %10s %12s %12s %12s\n", "BI", "cycles", "rowHit%", "hintActs", "util%")
 	vs := biVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%6s %10d %12.1f %12d %12.1f\n",
 			vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.DDR.HitRate(),
 			res.Stats.DDR.HintActivates, 100*res.Stats.Utilization())
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric:   "cycles",
+		Frontier: &agg.FrontierSpec{X: "cycles", Y: "ddr_hit_rate", YObjective: agg.ObjectiveMax},
+	})
 	fmt.Println()
 }
 
@@ -144,11 +202,16 @@ func sweepFilters(txns int) {
 	fmt.Println("A4: arbitration filters — full AHB+ set vs round-robin only (RT master m2)")
 	fmt.Printf("%12s %10s %14s %14s %12s\n", "filters", "cycles", "maxLat(RT)", "QoSviolations", "util%")
 	vs := filtersVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%12s %10d %14d %14d %12.1f\n",
 			vs[i].Labels[0], uint64(res.Cycles), uint64(res.Stats.Masters[2].LatencyMax),
 			res.Stats.TotalViolations(), 100*res.Stats.Utilization())
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric:   "max_latency/m2",
+		Frontier: &agg.FrontierSpec{X: "max_latency/m2", Y: "cycles"},
+	})
 	fmt.Println()
 }
 
@@ -156,9 +219,14 @@ func sweepPagePolicy(txns int) {
 	fmt.Println("A6: DDRC page policy (row-thrashing single master with think time)")
 	fmt.Printf("%14s %10s %12s\n", "policy", "cycles", "rowHit%")
 	vs := pagePolicyVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%14s %10d %12.1f\n", vs[i].Labels[0], uint64(res.Cycles), 100*res.Stats.DDR.HitRate())
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric:   "cycles",
+		Frontier: &agg.FrontierSpec{X: "cycles", Y: "ddr_hit_rate", YObjective: agg.ObjectiveMax},
+	})
 	fmt.Println()
 }
 
@@ -166,9 +234,14 @@ func sweepBusWidth(txns int) {
 	fmt.Println("A7: bus width (streaming DMA pair)")
 	fmt.Printf("%8s %10s %16s\n", "width", "cycles", "bytes/kcycle")
 	vs := busWidthVariants(txns)
-	for i, res := range runAll(vs) {
+	results := runAll(vs)
+	for i, res := range results {
 		fmt.Printf("%8s %10d %16.1f\n", vs[i].Labels[0], uint64(res.Cycles), res.Stats.ThroughputBytesPerKCycle())
 	}
+	printAnalysis(vs, results, agg.Request{
+		Metric: "throughput", Objective: agg.ObjectiveMax,
+		Frontier: &agg.FrontierSpec{X: "cycles", Y: "throughput", YObjective: agg.ObjectiveMax},
+	})
 	fmt.Println()
 }
 
@@ -210,6 +283,7 @@ func main() {
 	which := flag.String("which", "all", "sweep to run: wb|pipelining|bi|filters|pagepolicy|buswidth|all")
 	txns := flag.Int("txns", 500, "transactions per master")
 	dump := flag.String("dump", "", "write the sweep workload specs as JSON to this directory instead of simulating")
+	flag.BoolVar(&analyze, "analyze", false, "print each family's argmin + Pareto frontier (internal/agg)")
 	flag.IntVar(&workers, "workers", 0, "max concurrent runs (0 = one per CPU)")
 	flag.Parse()
 

@@ -20,7 +20,19 @@
 //     original port, re-sweeps (the dead shard's lost variants now
 //     compute; everything else replays), then sweeps once more and
 //     requires all 8 rows to be cache hits served from BOTH shards'
-//     disk stores, byte-identical to the recomputation.
+//     disk stores, byte-identical to the recomputation;
+//
+//  4. runs the same analysis grid through POST /sweep/analyze on the
+//     single process and the 2-shard cluster and requires the two
+//     JSON analysis documents to be byte-identical — aggregation is a
+//     pure function of the (deterministic) result set, wherever and
+//     in whatever order it was computed;
+//
+//  5. builds a 2-worker `-backends` cluster (no supervisor, so no
+//     respawn), SIGKILLs one worker, and requires the analysis of a
+//     grid spanning both shards to report `incomplete` truthfully —
+//     analyzed < variants, the dead shard's variants in the failed
+//     list — never a silently smaller frontier.
 //
 //     go run ./examples/shard_service [-simd PATH]
 //
@@ -32,6 +44,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/config"
 	"repro/internal/service"
 	"repro/internal/shard"
@@ -392,5 +406,109 @@ func main() {
 		fail("replay hits came from one shard only: %v", hitsByShard)
 	}
 	fmt.Printf("  full grid replays all-hit from both stores (%d + %d rows)\n", hitsByShard[0], hitsByShard[1])
-	fmt.Println("smoke OK: 2-shard cluster byte-identical, kill-mid-sweep explicit, respawn + replay verified")
+
+	// 4. /sweep/analyze: the single process and the 2-shard cluster
+	// must produce byte-identical analysis documents for the same grid
+	// — the tentpole contract of router-side aggregation. A fast TL
+	// grid keeps this step cheap; it is cold on both deployments, so
+	// the equality also covers completion-order independence.
+	fastSpec := fastBase()
+	analyzeReq := service.AnalyzeRequest{
+		SweepRequest: service.SweepRequest{
+			Base: &fastSpec, Name: "smoke/analyze", Model: "tl",
+			Axes: []service.SweepAxis{
+				{Param: "write_buffer_depth", Values: []any{0, 2, 8, 16}},
+				{Param: "bi_enabled", Values: []any{true, false}},
+			},
+		},
+		Request: agg.Request{
+			Metric: "cycles", TopK: 3,
+			Frontier: &agg.FrontierSpec{X: "cycles", Y: "throughput", YObjective: agg.ObjectiveMax},
+		},
+	}
+	_, body1 := postAnalyze(single.url, analyzeReq)
+	doc2, body2 := postAnalyze(cluster.url, analyzeReq)
+	if !bytes.Equal(body1, body2) {
+		fail("analysis documents differ between single-process and 2-shard:\n%s\n%s", body1, body2)
+	}
+	if doc2.Incomplete || doc2.Analyzed != 8 || doc2.Best == nil || doc2.Frontier == nil || len(doc2.Frontier.Points) == 0 {
+		fail("healthy analysis implausible: %s", body2)
+	}
+	fmt.Printf("analysis byte-identical across deployments: best %s=%g at %s, %d frontier points\n",
+		doc2.Metric, doc2.Best.Value, doc2.Best.Name, len(doc2.Frontier.Points))
+
+	// 5. Dead-shard honesty: a -backends cluster (externally managed
+	// workers, no supervisor respawn) loses one worker to SIGKILL; the
+	// analysis must say so instead of shrinking the frontier silently.
+	w1 := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "1")
+	defer w1.stop()
+	w2 := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "1")
+	defer w2.stop()
+	router := start(bin, 0, "-addr", "127.0.0.1:0", "-backends", w1.url+","+w2.url)
+	defer router.stop()
+
+	// Verify the analysis grid actually spans both shards, then kill
+	// shard 1's process outright.
+	analyzeVariants := sweep.MustExpand(sweep.Grid{
+		Name: "smoke/analyze", Base: fastBase(),
+		Axes: []sweep.Axis{
+			{Param: sweep.ParamWriteBufferDepth, Values: []sweep.Value{{V: 0}, {V: 2}, {V: 8}, {V: 16}}},
+			{Param: sweep.ParamBIEnabled, Values: []sweep.Value{{V: true}, {V: false}}},
+		},
+	})
+	deadOwned := 0
+	for _, v := range analyzeVariants {
+		if shard.Owner(v.Hash, 2) == 1 {
+			deadOwned++
+		}
+	}
+	if deadOwned == 0 || deadOwned == len(analyzeVariants) {
+		fail("degenerate analyze partition: shard 1 owns %d of %d", deadOwned, len(analyzeVariants))
+	}
+	w2.cmd.Process.Kill()
+	w2.cmd.Wait()
+
+	deadDoc, deadBody := postAnalyze(router.url, analyzeReq)
+	if !deadDoc.Incomplete {
+		fail("dead-shard analysis not marked incomplete: %s", deadBody)
+	}
+	if deadDoc.Variants != 8 || deadDoc.Analyzed != 8-deadOwned || len(deadDoc.Failed) != deadOwned {
+		fail("dead-shard analysis variants/analyzed/failed %d/%d/%d, want 8/%d/%d: %s",
+			deadDoc.Variants, deadDoc.Analyzed, len(deadDoc.Failed), 8-deadOwned, deadOwned, deadBody)
+	}
+	for _, f := range deadDoc.Failed {
+		if shard.Owner(f.Hash, 2) != 1 {
+			fail("failure %+v not owned by the dead shard", f)
+		}
+	}
+	fmt.Printf("dead-shard analysis truthful: incomplete=true, %d/%d analyzed, %d explicit failures\n",
+		deadDoc.Analyzed, deadDoc.Variants, len(deadDoc.Failed))
+
+	fmt.Println("smoke OK: 2-shard cluster byte-identical (rows AND analysis), kill-mid-sweep explicit, respawn + replay + incomplete-analysis honesty verified")
+}
+
+// fastBase is the analysis-drill workload: the same shape as slowBase
+// but light enough that an 8-variant TL grid is near-instant.
+func fastBase() spec.Spec {
+	return spec.Spec{
+		SpecVersion: spec.Version,
+		Name:        "smoke/fast",
+		Params:      config.Default(2),
+		Masters: []spec.GenSpec{
+			{Kind: spec.KindSequential, Base: 0, Beats: 8, Count: 300, Gap: 2, WrapBytes: 0x40000},
+			{Kind: spec.KindStream, Base: 0x80000, Beats: 4, Period: 40, Count: 150, WrapBytes: 0x20000},
+		},
+	}
+}
+
+// postAnalyze submits a /sweep/analyze request through the typed
+// client — the same exported API frontends use — returning the
+// decoded document plus the raw bytes for byte-identity checks.
+func postAnalyze(url string, req service.AnalyzeRequest) (agg.Analysis, []byte) {
+	client := &service.Client{Base: url}
+	doc, body, err := client.AnalyzeSweep(context.Background(), req)
+	if err != nil {
+		fail("analyze against %s: %v (%s)", url, err, body)
+	}
+	return *doc, body
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/agg"
 	"repro/internal/service"
 	"repro/internal/spec"
 )
@@ -228,5 +229,56 @@ func main() {
 	if jobs := srv2.CountersSnapshot().Jobs; jobs != 0 {
 		fail("restarted server re-simulated %d jobs", jobs)
 	}
-	fmt.Println("smoke OK: streaming sweep + disk store replay verified")
+
+	// 8. Analyze the same grid through POST /sweep/analyze: one JSON
+	// document — argmin, top-K, per-axis summaries and a Pareto
+	// frontier — computed from the same cached results (still zero new
+	// simulations), with the best variant agreeing with an argmin
+	// computed by hand from the raw sweep rows.
+	analyzeReq, _ := json.Marshal(map[string]any{
+		"base":  sp,
+		"name":  "demo/grid",
+		"model": "tl",
+		"axes": []map[string]any{
+			{"param": "write_buffer_depth", "values": []int{0, 2, 8, 16}},
+			{"param": "bi_enabled", "values": []bool{true, false}},
+		},
+		"metric":   "cycles",
+		"top_k":    3,
+		"frontier": map[string]any{"x": "cycles", "y": "throughput", "y_objective": "max"},
+	})
+	status, _, analysisBody, err := post(ts2.URL+"/sweep/analyze", analyzeReq)
+	if err != nil || status != http.StatusOK {
+		fail("analyze: status %d err %v: %s", status, err, analysisBody)
+	}
+	var doc agg.Analysis
+	if err := json.Unmarshal(analysisBody, &doc); err != nil {
+		fail("decoding analysis: %v", err)
+	}
+	if doc.Variants != 8 || doc.Analyzed != 8 || doc.Incomplete {
+		fail("analysis incomplete over a healthy grid: %s", analysisBody)
+	}
+	wantBest, wantCycles := "", float64(0)
+	for _, r := range rows2 {
+		var res service.RunResponse
+		if err := json.Unmarshal(r.Result, &res); err != nil {
+			fail("%v", err)
+		}
+		c := float64(res.Cycles)
+		if wantBest == "" || c < wantCycles || (c == wantCycles && r.Hash < wantBest) {
+			wantBest, wantCycles = r.Hash, c
+		}
+	}
+	if doc.Best == nil || doc.Best.Hash != wantBest || doc.Best.Value != wantCycles {
+		fail("analysis best %+v disagrees with row argmin (%s, %v)", doc.Best, wantBest, wantCycles)
+	}
+	if len(doc.Top) != 3 || len(doc.Groups) != 2 || doc.Frontier == nil || len(doc.Frontier.Points) == 0 {
+		fail("analysis document thin: %s", analysisBody)
+	}
+	if jobs := srv2.CountersSnapshot().Jobs; jobs != 0 {
+		fail("analyze re-simulated %d jobs", jobs)
+	}
+	fmt.Printf("analysis: best %s=%g at %s, %d frontier points, incomplete=%v\n",
+		doc.Metric, doc.Best.Value, doc.Best.Name, len(doc.Frontier.Points), doc.Incomplete)
+	fmt.Println("smoke OK: streaming sweep + disk store replay + grid analysis verified")
 }

@@ -1,0 +1,568 @@
+// Package agg is the sweep analysis engine: it folds the raw rows of
+// a parameter-grid sweep (one simulated variant each) into one
+// deterministic analysis document — argmin/argmax over a named
+// metric, top-K tables, grouped summaries per axis value, and a
+// two-metric Pareto frontier. This is the layer that turns "here are
+// 256 simulation results" into "this configuration is best, and here
+// is the latency/bandwidth trade-off curve" — the design-space
+// exploration the simulator exists to serve.
+//
+// Determinism is a contract, not an accident: the same set of inputs
+// produces the byte-identical document regardless of arrival order
+// (sweep rows complete in pool order, shards interleave arbitrarily).
+// Every aggregate sorts its inputs first, ties break on the variant's
+// spec content hash, and floating-point reductions run in variant
+// index order — so a single process and a sharded cluster answering
+// the same grid emit the same bytes, which CI asserts.
+//
+// Honesty is the other contract: an analysis computed from fewer
+// results than the grid expands to (a dead shard, failed variants) is
+// marked Incomplete with the failures listed — never a silently
+// smaller frontier that reads like the whole design space.
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Objective directions. ObjectiveMin is the default everywhere an
+// objective may be omitted.
+const (
+	ObjectiveMin = "min"
+	ObjectiveMax = "max"
+)
+
+// Request selects what the analysis computes. It is embedded in the
+// service's POST /sweep/analyze wire request, so the field tags are
+// part of the HTTP contract.
+type Request struct {
+	// Metric names the primary metric for best/worst/top/groups.
+	// Empty defaults to "cycles" (run models) or "abs_diff_pct"
+	// (compare model).
+	Metric string `json:"metric,omitempty"`
+	// Objective is "min" (default) or "max".
+	Objective string `json:"objective,omitempty"`
+	// TopK sizes the ranked table (0: omitted).
+	TopK int `json:"top_k,omitempty"`
+	// Frontier requests a two-metric Pareto frontier.
+	Frontier *FrontierSpec `json:"frontier,omitempty"`
+}
+
+// FrontierSpec names the two metrics of a Pareto frontier and the
+// direction each is optimized in.
+type FrontierSpec struct {
+	X string `json:"x"`
+	Y string `json:"y"`
+	// XObjective/YObjective are "min" (default) or "max".
+	XObjective string `json:"x_objective,omitempty"`
+	YObjective string `json:"y_objective,omitempty"`
+}
+
+// Axis is one swept dimension as the analyzer needs it: the parameter
+// name and the declared value order, which fixes the group ordering in
+// the document.
+type Axis struct {
+	Param  string
+	Values []any
+}
+
+// Input is one variant's outcome: identity, the applied axis
+// parameters, and either the extracted metric set or the error that
+// prevented one. Exactly one of Metrics and Err is meaningful.
+type Input struct {
+	Index   int
+	Name    string
+	Hash    string
+	Params  map[string]any
+	Metrics map[string]float64
+	Err     string
+}
+
+// PointValue is one variant scored on the primary metric.
+type PointValue struct {
+	Index  int            `json:"index"`
+	Name   string         `json:"name"`
+	Hash   string         `json:"hash"`
+	Params map[string]any `json:"params,omitempty"`
+	Value  float64        `json:"value"`
+}
+
+// Failure is one variant that produced no result.
+type Failure struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Hash  string `json:"hash"`
+	Error string `json:"error"`
+}
+
+// GroupValue summarizes the variants sharing one axis value. Min, Max
+// and Mean are omitted when no variant of the cell succeeded — a cell
+// with Count 0 carries no invented numbers.
+type GroupValue struct {
+	Value any      `json:"value"`
+	Count int      `json:"count"`
+	Min   *float64 `json:"min,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
+	Mean  *float64 `json:"mean,omitempty"`
+	// Best is the spec hash of the cell's best variant per the
+	// request's objective.
+	Best string `json:"best,omitempty"`
+}
+
+// Group is one axis's summary table, cells in declared value order.
+type Group struct {
+	Param  string       `json:"param"`
+	Values []GroupValue `json:"values"`
+}
+
+// FrontierPoint is one non-dominated variant.
+type FrontierPoint struct {
+	Index  int            `json:"index"`
+	Name   string         `json:"name"`
+	Hash   string         `json:"hash"`
+	Params map[string]any `json:"params,omitempty"`
+	X      float64        `json:"x"`
+	Y      float64        `json:"y"`
+}
+
+// Frontier is the Pareto-optimal set over two metrics, points ordered
+// along the X objective (ties by Y, then hash).
+type Frontier struct {
+	X          string          `json:"x"`
+	Y          string          `json:"y"`
+	XObjective string          `json:"x_objective"`
+	YObjective string          `json:"y_objective"`
+	Points     []FrontierPoint `json:"points"`
+}
+
+// Analysis is the complete document. Variants is the grid's expanded
+// size, Analyzed how many produced a result; Incomplete is true
+// whenever Analyzed < Variants — the explicit signal that Best, Top,
+// Groups and Frontier describe a SUBSET of the design space (dead
+// shard, failed runs) and must not be read as the full answer.
+type Analysis struct {
+	Variants   int          `json:"variants"`
+	Analyzed   int          `json:"analyzed"`
+	Incomplete bool         `json:"incomplete"`
+	Failed     []Failure    `json:"failed,omitempty"`
+	Metric     string       `json:"metric"`
+	Objective  string       `json:"objective"`
+	Best       *PointValue  `json:"best,omitempty"`
+	Worst      *PointValue  `json:"worst,omitempty"`
+	Top        []PointValue `json:"top,omitempty"`
+	Groups     []Group      `json:"groups,omitempty"`
+	Frontier   *Frontier    `json:"frontier,omitempty"`
+}
+
+// --- metric extraction ---
+
+// Scalar run metrics, valid for the "tl" and "rtl" models.
+var runScalarMetrics = []string{
+	"cycles", "violations", "utilization", "throughput", "total_txns",
+	"grants", "arb_rounds", "wb_full_stalls", "wb_posted", "ddr_hit_rate",
+}
+
+// Per-master run metric prefixes: "<prefix>/<port>" (e.g.
+// "mean_latency/m0", "bandwidth/m2").
+var runMasterMetrics = []string{
+	"mean_latency", "max_latency", "min_latency", "mean_wait",
+	"txns", "bytes", "bandwidth",
+}
+
+// Compare-model metrics.
+var compareMetrics = []string{"rtl_cycles", "tl_cycles", "diff_pct", "abs_diff_pct"}
+
+// DefaultMetric is the primary metric used when a request names none.
+func DefaultMetric(compare bool) string {
+	if compare {
+		return "abs_diff_pct"
+	}
+	return "cycles"
+}
+
+// ValidateMetric rejects metric names the given model cannot produce,
+// so a bad request fails before any simulation is paid for. Per-master
+// metrics are validated by prefix here; whether the named port exists
+// is checked against the actual results in Analyze.
+func ValidateMetric(metric string, compare bool) error {
+	if compare {
+		for _, m := range compareMetrics {
+			if metric == m {
+				return nil
+			}
+		}
+		return fmt.Errorf("agg: unknown compare metric %q (want one of %s)",
+			metric, strings.Join(compareMetrics, ", "))
+	}
+	for _, m := range runScalarMetrics {
+		if metric == m {
+			return nil
+		}
+	}
+	if base, port, found := strings.Cut(metric, "/"); found && port != "" {
+		for _, m := range runMasterMetrics {
+			if base == m {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("agg: unknown metric %q (want one of %s, or <%s>/<port>)",
+		metric, strings.Join(runScalarMetrics, ", "), strings.Join(runMasterMetrics, "|"))
+}
+
+// Validate checks the whole analysis request against the model before
+// any grid cost is paid.
+func (r Request) Validate(compare bool) error {
+	if _, err := objectiveDir(r.Objective); err != nil {
+		return err
+	}
+	if r.TopK < 0 {
+		return fmt.Errorf("agg: top_k %d negative", r.TopK)
+	}
+	metric := r.Metric
+	if metric == "" {
+		metric = DefaultMetric(compare)
+	}
+	if err := ValidateMetric(metric, compare); err != nil {
+		return err
+	}
+	if f := r.Frontier; f != nil {
+		if f.X == "" || f.Y == "" {
+			return fmt.Errorf("agg: frontier needs both x and y metrics")
+		}
+		if err := ValidateMetric(f.X, compare); err != nil {
+			return err
+		}
+		if err := ValidateMetric(f.Y, compare); err != nil {
+			return err
+		}
+		if _, err := objectiveDir(f.XObjective); err != nil {
+			return err
+		}
+		if _, err := objectiveDir(f.YObjective); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// objectiveDir normalizes an objective string to its sign: +1
+// minimizes, -1 maximizes (values are negated so every comparison
+// below minimizes).
+func objectiveDir(s string) (float64, error) {
+	switch s {
+	case "", ObjectiveMin:
+		return 1, nil
+	case ObjectiveMax:
+		return -1, nil
+	}
+	return 0, fmt.Errorf("agg: unknown objective %q (want %s or %s)", s, ObjectiveMin, ObjectiveMax)
+}
+
+// objectiveName normalizes an objective string for the document.
+func objectiveName(s string) string {
+	if s == ObjectiveMax {
+		return ObjectiveMax
+	}
+	return ObjectiveMin
+}
+
+// RunMetrics derives the named metric set from one /run result's
+// observable fields. cmd/sweep feeds it core.RunResult fields
+// directly; the HTTP path decodes the response body first
+// (MetricsFromResult) — both produce the same names and values, so a
+// CLI analysis and a service analysis of the same grid agree.
+func RunMetrics(cycles, violations uint64, bus *stats.Bus) map[string]float64 {
+	m := map[string]float64{
+		"cycles":     float64(cycles),
+		"violations": float64(violations),
+	}
+	if bus == nil {
+		return m
+	}
+	m["utilization"] = bus.Utilization()
+	m["throughput"] = bus.ThroughputBytesPerKCycle()
+	m["total_txns"] = float64(bus.TotalTxns())
+	m["grants"] = float64(bus.Grants)
+	m["arb_rounds"] = float64(bus.ArbRounds)
+	m["wb_full_stalls"] = float64(bus.WBFullStalls)
+	m["wb_posted"] = float64(bus.WBPosted)
+	m["ddr_hit_rate"] = bus.DDR.HitRate()
+	for i := range bus.Masters {
+		port := &bus.Masters[i]
+		m["mean_latency/"+port.Name] = port.MeanLatency()
+		m["max_latency/"+port.Name] = float64(port.LatencyMax)
+		m["min_latency/"+port.Name] = float64(port.LatencyMin)
+		m["mean_wait/"+port.Name] = port.MeanWait()
+		m["txns/"+port.Name] = float64(port.Txns)
+		m["bytes/"+port.Name] = float64(port.Bytes)
+		if bus.Cycles > 0 {
+			m["bandwidth/"+port.Name] = float64(port.Bytes) * 1000 / float64(bus.Cycles)
+		} else {
+			m["bandwidth/"+port.Name] = 0
+		}
+	}
+	return m
+}
+
+// CompareMetrics derives the compare-model metric set from one
+// accuracy row.
+func CompareMetrics(rtlCycles, tlCycles uint64, diffPct float64) map[string]float64 {
+	return map[string]float64{
+		"rtl_cycles":   float64(rtlCycles),
+		"tl_cycles":    float64(tlCycles),
+		"diff_pct":     diffPct,
+		"abs_diff_pct": math.Abs(diffPct),
+	}
+}
+
+// resultBody is the union of the /run and /compare response fields the
+// analyzer reads. Stats decodes through the same stats.Bus shape the
+// service marshals, so per-master names round-trip exactly.
+type resultBody struct {
+	Cycles     uint64     `json:"cycles"`
+	Violations uint64     `json:"violations"`
+	Stats      *stats.Bus `json:"stats"`
+	RTLCycles  uint64     `json:"rtl_cycles"`
+	TLCycles   uint64     `json:"tl_cycles"`
+	DiffPct    float64    `json:"diff_pct"`
+}
+
+// MetricsFromResult extracts the metric set from a raw /run or
+// /compare response body.
+func MetricsFromResult(compare bool, result []byte) (map[string]float64, error) {
+	var b resultBody
+	if err := json.Unmarshal(result, &b); err != nil {
+		return nil, fmt.Errorf("agg: parsing result: %w", err)
+	}
+	if compare {
+		return CompareMetrics(b.RTLCycles, b.TLCycles, b.DiffPct), nil
+	}
+	return RunMetrics(b.Cycles, b.Violations, b.Stats), nil
+}
+
+// --- analysis ---
+
+// Analyze folds the inputs into the document. total is the expanded
+// grid size — the number of variants the caller TRIED to resolve —
+// which is what Incomplete is judged against: inputs that never
+// arrived (cancelled, lost) count as missing exactly like explicit
+// failures. The document is a pure, order-independent function of
+// (req, axes, total, set-of-inputs).
+func Analyze(req Request, compare bool, axes []Axis, total int, inputs []Input) (*Analysis, error) {
+	if err := req.Validate(compare); err != nil {
+		return nil, err
+	}
+	metric := req.Metric
+	if metric == "" {
+		metric = DefaultMetric(compare)
+	}
+	dir, _ := objectiveDir(req.Objective)
+
+	// Split outcomes and fix the processing order: variant index is
+	// unique within a grid, so sorting on it makes every downstream
+	// reduction independent of arrival order.
+	var ok []Input
+	var failed []Failure
+	for _, in := range inputs {
+		if in.Err != "" {
+			failed = append(failed, Failure{Index: in.Index, Name: in.Name, Hash: in.Hash, Error: in.Err})
+			continue
+		}
+		ok = append(ok, in)
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].Index < ok[j].Index })
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
+
+	a := &Analysis{
+		Variants:   total,
+		Analyzed:   len(ok),
+		Incomplete: len(ok) < total,
+		Failed:     failed,
+		Metric:     metric,
+		Objective:  objectiveName(req.Objective),
+	}
+
+	vals, err := metricValues(ok, metric)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank on the primary metric: objective direction first, spec hash
+	// as the stable tie-break, so equal-valued variants order the same
+	// way no matter which shard answered first.
+	ranked := make([]PointValue, len(ok))
+	for i, in := range ok {
+		ranked[i] = PointValue{Index: in.Index, Name: in.Name, Hash: in.Hash, Params: in.Params, Value: vals[i]}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Value != ranked[j].Value {
+			return dir*ranked[i].Value < dir*ranked[j].Value
+		}
+		return ranked[i].Hash < ranked[j].Hash
+	})
+	if len(ranked) > 0 {
+		best, worst := ranked[0], ranked[len(ranked)-1]
+		a.Best, a.Worst = &best, &worst
+	}
+	if req.TopK > 0 {
+		k := req.TopK
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		a.Top = ranked[:k:k]
+	}
+
+	a.Groups = groupSummaries(axes, ok, vals, dir)
+
+	if req.Frontier != nil {
+		f, err := frontier(*req.Frontier, ok)
+		if err != nil {
+			return nil, err
+		}
+		a.Frontier = f
+	}
+	return a, nil
+}
+
+// metricValues reads one metric across the successful inputs; a
+// variant whose result lacks it (a per-master metric naming a port the
+// workload doesn't have) fails the whole analysis rather than being
+// silently skewed by partial coverage.
+func metricValues(inputs []Input, metric string) ([]float64, error) {
+	out := make([]float64, len(inputs))
+	for i, in := range inputs {
+		v, ok := in.Metrics[metric]
+		if !ok {
+			return nil, fmt.Errorf("agg: metric %q not present in result for variant %s", metric, in.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// groupSummaries builds one summary table per axis, cells in the
+// axis's declared value order. Membership matches on the canonical
+// string form of the applied parameter value, which is identical for
+// the wire (float64) and native (int) representations of the same
+// number.
+func groupSummaries(axes []Axis, ok []Input, vals []float64, dir float64) []Group {
+	if len(axes) == 0 {
+		return nil
+	}
+	groups := make([]Group, 0, len(axes))
+	for _, ax := range axes {
+		g := Group{Param: ax.Param}
+		for _, av := range ax.Values {
+			want := canonValue(av)
+			cell := GroupValue{Value: av}
+			var sum float64
+			bestHash := ""
+			var bestVal float64
+			for i, in := range ok { // index order: deterministic float reduction
+				if canonValue(in.Params[ax.Param]) != want {
+					continue
+				}
+				v := vals[i]
+				if cell.Count == 0 {
+					cell.Min, cell.Max = ptr(v), ptr(v)
+					bestHash, bestVal = in.Hash, v
+				} else {
+					if v < *cell.Min {
+						cell.Min = ptr(v)
+					}
+					if v > *cell.Max {
+						cell.Max = ptr(v)
+					}
+					if dir*v < dir*bestVal || (v == bestVal && in.Hash < bestHash) {
+						bestHash, bestVal = in.Hash, v
+					}
+				}
+				sum += v
+				cell.Count++
+			}
+			if cell.Count > 0 {
+				cell.Mean = ptr(sum / float64(cell.Count))
+				cell.Best = bestHash
+			}
+			g.Values = append(g.Values, cell)
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// canonValue is the group-matching form of an axis/parameter value:
+// fmt's default rendering, under which float64(8) and int(8) — the
+// wire and native forms of the same axis value — collapse.
+func canonValue(v any) string { return fmt.Sprintf("%v", v) }
+
+func ptr(v float64) *float64 { return &v }
+
+// frontier computes the two-metric Pareto-optimal set. Internally both
+// axes are sign-normalized to "minimize"; a point is dominated when
+// another is no worse on both metrics and strictly better on at least
+// one. Exact duplicates of a frontier point all survive (neither
+// dominates the other), so two configurations reaching the same
+// optimal trade-off are both reported.
+func frontier(spec FrontierSpec, ok []Input) (*Frontier, error) {
+	xs, err := metricValues(ok, spec.X)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := metricValues(ok, spec.Y)
+	if err != nil {
+		return nil, err
+	}
+	xdir, _ := objectiveDir(spec.XObjective)
+	ydir, _ := objectiveDir(spec.YObjective)
+
+	type cand struct {
+		p      FrontierPoint
+		nx, ny float64
+	}
+	cands := make([]cand, len(ok))
+	for i, in := range ok {
+		cands[i] = cand{
+			p:  FrontierPoint{Index: in.Index, Name: in.Name, Hash: in.Hash, Params: in.Params, X: xs[i], Y: ys[i]},
+			nx: xdir * xs[i],
+			ny: ydir * ys[i],
+		}
+	}
+	// Sort along the normalized X (ties: Y, then hash), then sweep:
+	// a point survives iff its Y strictly improves on everything with
+	// a no-worse X — or exactly duplicates the point that did.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].nx != cands[j].nx {
+			return cands[i].nx < cands[j].nx
+		}
+		if cands[i].ny != cands[j].ny {
+			return cands[i].ny < cands[j].ny
+		}
+		return cands[i].p.Hash < cands[j].p.Hash
+	})
+	f := &Frontier{
+		X: spec.X, Y: spec.Y,
+		XObjective: objectiveName(spec.XObjective),
+		YObjective: objectiveName(spec.YObjective),
+		Points:     []FrontierPoint{},
+	}
+	bestNy, bestNx := math.Inf(1), math.Inf(1)
+	haveBest := false
+	for _, c := range cands {
+		switch {
+		case !haveBest || c.ny < bestNy:
+			f.Points = append(f.Points, c.p)
+			bestNy, bestNx, haveBest = c.ny, c.nx, true
+		case c.ny == bestNy && c.nx == bestNx:
+			f.Points = append(f.Points, c.p) // exact duplicate of a frontier point
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,310 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// point builds one successful input with a single-metric set.
+func point(index int, hash string, metrics map[string]float64) Input {
+	return Input{
+		Index:   index,
+		Name:    "v" + hash,
+		Hash:    hash,
+		Params:  map[string]any{"depth": float64(index)},
+		Metrics: metrics,
+	}
+}
+
+func mustAnalyze(t *testing.T, req Request, compare bool, axes []Axis, total int, inputs []Input) *Analysis {
+	t.Helper()
+	a, err := Analyze(req, compare, axes, total, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestArgminTieBreaksOnHashDeterministically(t *testing.T) {
+	// Three variants tie on the metric; two more are worse. Whatever
+	// order the inputs arrive in — completion order is pool/shard
+	// scheduling, i.e. effectively random — the winner must be the
+	// tied variant with the smallest spec hash, and the whole document
+	// must be byte-identical.
+	inputs := []Input{
+		point(0, "cccc", map[string]float64{"cycles": 10}),
+		point(1, "aaaa", map[string]float64{"cycles": 10}),
+		point(2, "bbbb", map[string]float64{"cycles": 10}),
+		point(3, "dddd", map[string]float64{"cycles": 30}),
+		point(4, "eeee", map[string]float64{"cycles": 20}),
+	}
+	req := Request{Metric: "cycles", TopK: 3}
+
+	var want []byte
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Input(nil), inputs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a := mustAnalyze(t, req, false, nil, len(inputs), shuffled)
+		if a.Best == nil || a.Best.Hash != "aaaa" {
+			t.Fatalf("trial %d: best %+v, want hash aaaa", trial, a.Best)
+		}
+		if a.Worst == nil || a.Worst.Hash != "dddd" {
+			t.Fatalf("trial %d: worst %+v", trial, a.Worst)
+		}
+		if len(a.Top) != 3 || a.Top[0].Hash != "aaaa" || a.Top[1].Hash != "bbbb" || a.Top[2].Hash != "cccc" {
+			t.Fatalf("trial %d: top %+v", trial, a.Top)
+		}
+		got, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(want, got) {
+			t.Fatalf("trial %d: document differs across input orders:\n%s\n%s", trial, want, got)
+		}
+	}
+}
+
+func TestArgmaxObjective(t *testing.T) {
+	inputs := []Input{
+		point(0, "aa", map[string]float64{"throughput": 5}),
+		point(1, "bb", map[string]float64{"throughput": 9}),
+		point(2, "cc", map[string]float64{"throughput": 7}),
+	}
+	a := mustAnalyze(t, Request{Metric: "throughput", Objective: ObjectiveMax}, false, nil, 3, inputs)
+	if a.Best.Hash != "bb" || a.Best.Value != 9 {
+		t.Fatalf("best %+v", a.Best)
+	}
+	if a.Worst.Hash != "aa" {
+		t.Fatalf("worst %+v", a.Worst)
+	}
+	if a.Objective != ObjectiveMax {
+		t.Fatalf("objective %q", a.Objective)
+	}
+}
+
+func TestParetoFrontierHandChecked(t *testing.T) {
+	// Eight points, both metrics minimized. Hand-derived frontier:
+	// (1,9) (2,7) (4,4) (6,3) (8,1). The points (3,8), (5,6) and (7,5)
+	// are each dominated — e.g. (3,8) by (2,7).
+	xy := [][2]float64{
+		{1, 9}, {2, 7}, {3, 8}, {4, 4}, {5, 6}, {6, 3}, {7, 5}, {8, 1},
+	}
+	hashes := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	var inputs []Input
+	for i, p := range xy {
+		inputs = append(inputs, point(i, hashes[i], map[string]float64{"cycles": p[0], "violations": p[1]}))
+	}
+	req := Request{Metric: "cycles", Frontier: &FrontierSpec{X: "cycles", Y: "violations"}}
+	a := mustAnalyze(t, req, false, nil, len(inputs), inputs)
+	if a.Frontier == nil {
+		t.Fatal("frontier missing")
+	}
+	var got [][2]float64
+	for _, p := range a.Frontier.Points {
+		got = append(got, [2]float64{p.X, p.Y})
+	}
+	want := [][2]float64{{1, 9}, {2, 7}, {4, 4}, {6, 3}, {8, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("frontier %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier point %d: %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestParetoFrontierMaxObjectiveAndDuplicates(t *testing.T) {
+	// X minimized, Y maximized (cycles vs bandwidth). (2,8) appears
+	// twice — identical trade-offs are both reported, neither
+	// dominates the other — and (3,8) is dominated by them (same Y,
+	// worse X).
+	inputs := []Input{
+		point(0, "h0", map[string]float64{"cycles": 1, "throughput": 4}),
+		point(1, "h1", map[string]float64{"cycles": 2, "throughput": 8}),
+		point(2, "h2", map[string]float64{"cycles": 2, "throughput": 8}),
+		point(3, "h3", map[string]float64{"cycles": 3, "throughput": 8}),
+		point(4, "h4", map[string]float64{"cycles": 4, "throughput": 9}),
+		point(5, "h5", map[string]float64{"cycles": 5, "throughput": 2}),
+	}
+	req := Request{Metric: "cycles", Frontier: &FrontierSpec{
+		X: "cycles", Y: "throughput", YObjective: ObjectiveMax,
+	}}
+	a := mustAnalyze(t, req, false, nil, len(inputs), inputs)
+	var hashes []string
+	for _, p := range a.Frontier.Points {
+		hashes = append(hashes, p.Hash)
+	}
+	want := []string{"h0", "h1", "h2", "h4"}
+	if strings.Join(hashes, ",") != strings.Join(want, ",") {
+		t.Fatalf("frontier hashes %v, want %v", hashes, want)
+	}
+}
+
+func TestIncompleteIsTruthful(t *testing.T) {
+	// Two successes, one explicit failure, one variant that never
+	// produced a row at all (total 4): the analysis must say analyzed
+	// 2 of 4, incomplete, and list the explicit failure — the
+	// aggregates describe a subset and say so.
+	inputs := []Input{
+		point(0, "aa", map[string]float64{"cycles": 5}),
+		{Index: 1, Name: "dead", Hash: "bb", Err: "shard 1 unreachable"},
+		point(2, "cc", map[string]float64{"cycles": 3}),
+	}
+	a := mustAnalyze(t, Request{Metric: "cycles", Frontier: &FrontierSpec{X: "cycles", Y: "cycles"}}, false, nil, 4, inputs)
+	if !a.Incomplete {
+		t.Fatal("analysis of a partial grid not marked incomplete")
+	}
+	if a.Variants != 4 || a.Analyzed != 2 {
+		t.Fatalf("variants/analyzed %d/%d", a.Variants, a.Analyzed)
+	}
+	if len(a.Failed) != 1 || a.Failed[0].Hash != "bb" || a.Failed[0].Error == "" {
+		t.Fatalf("failed %+v", a.Failed)
+	}
+	// The frontier still exists — over the survivors — but the
+	// document-level incomplete flag governs its reading.
+	if a.Frontier == nil || len(a.Frontier.Points) == 0 {
+		t.Fatal("survivor frontier missing")
+	}
+	if a.Best == nil || a.Best.Hash != "cc" {
+		t.Fatalf("best %+v", a.Best)
+	}
+
+	// All-failed: no best/worst, still a complete truthful skeleton.
+	allDead := []Input{{Index: 0, Name: "d0", Hash: "aa", Err: "x"}}
+	a2 := mustAnalyze(t, Request{Metric: "cycles"}, false, nil, 2, allDead)
+	if !a2.Incomplete || a2.Analyzed != 0 || a2.Best != nil || a2.Worst != nil {
+		t.Fatalf("all-failed analysis %+v", a2)
+	}
+}
+
+func TestGroupSummaries(t *testing.T) {
+	// One axis, two values; wire-form float64 axis values must match
+	// the float64 params of the variants.
+	axes := []Axis{{Param: "write_buffer_depth", Values: []any{float64(0), float64(8), float64(99)}}}
+	in := func(index int, hash string, depth, cycles float64) Input {
+		return Input{
+			Index: index, Name: hash, Hash: hash,
+			Params:  map[string]any{"write_buffer_depth": depth},
+			Metrics: map[string]float64{"cycles": cycles},
+		}
+	}
+	inputs := []Input{
+		in(0, "aa", 0, 10),
+		in(1, "bb", 0, 30),
+		in(2, "cc", 8, 20),
+	}
+	a := mustAnalyze(t, Request{Metric: "cycles"}, false, axes, 3, inputs)
+	if len(a.Groups) != 1 || a.Groups[0].Param != "write_buffer_depth" || len(a.Groups[0].Values) != 3 {
+		t.Fatalf("groups %+v", a.Groups)
+	}
+	g0 := a.Groups[0].Values[0]
+	if g0.Count != 2 || *g0.Min != 10 || *g0.Max != 30 || *g0.Mean != 20 || g0.Best != "aa" {
+		t.Fatalf("depth-0 cell %+v", g0)
+	}
+	g1 := a.Groups[0].Values[1]
+	if g1.Count != 1 || *g1.Mean != 20 || g1.Best != "cc" {
+		t.Fatalf("depth-8 cell %+v", g1)
+	}
+	// The empty cell (no variant at depth 99) carries no invented
+	// statistics.
+	g2 := a.Groups[0].Values[2]
+	if g2.Count != 0 || g2.Min != nil || g2.Mean != nil || g2.Best != "" {
+		t.Fatalf("empty cell %+v", g2)
+	}
+}
+
+func TestMetricsFromRunResult(t *testing.T) {
+	bus := stats.NewBus(2)
+	bus.Cycles = 1000
+	bus.BusyBeats = 400
+	bus.Masters[0].RecordTxn(false, 4, 16, 2, 10, false)
+	bus.Masters[1].RecordTxn(true, 8, 32, 4, 20, true)
+	body, err := json.Marshal(struct {
+		Cycles     uint64     `json:"cycles"`
+		Violations uint64     `json:"violations"`
+		Stats      *stats.Bus `json:"stats"`
+	}{Cycles: 1000, Violations: 1, Stats: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MetricsFromResult(false, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"cycles":          1000,
+		"violations":      1,
+		"utilization":     0.4,
+		"throughput":      48, // (16+32)*1000/1000
+		"total_txns":      2,
+		"mean_latency/m0": 10,
+		"max_latency/m1":  20,
+		"bytes/m1":        32,
+		"bandwidth/m0":    16,
+	}
+	for name, want := range checks {
+		if got, ok := m[name]; !ok || got != want {
+			t.Errorf("metric %s = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+
+	cm, err := MetricsFromResult(true, []byte(`{"rtl_cycles":100,"tl_cycles":98,"diff_pct":-2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm["rtl_cycles"] != 100 || cm["tl_cycles"] != 98 || cm["diff_pct"] != -2 || cm["abs_diff_pct"] != 2 {
+		t.Fatalf("compare metrics %v", cm)
+	}
+}
+
+func TestValidateRejectsBadRequests(t *testing.T) {
+	cases := []struct {
+		name    string
+		req     Request
+		compare bool
+		want    string
+	}{
+		{"unknown metric", Request{Metric: "warp"}, false, "unknown metric"},
+		{"compare metric on run", Request{Metric: "rtl_cycles"}, false, "unknown metric"},
+		{"run metric on compare", Request{Metric: "cycles"}, true, "unknown compare metric"},
+		{"bad objective", Request{Metric: "cycles", Objective: "best"}, false, "unknown objective"},
+		{"negative topk", Request{Metric: "cycles", TopK: -1}, false, "negative"},
+		{"half frontier", Request{Metric: "cycles", Frontier: &FrontierSpec{X: "cycles"}}, false, "both x and y"},
+		{"bad frontier metric", Request{Metric: "cycles", Frontier: &FrontierSpec{X: "cycles", Y: "warp"}}, false, "unknown metric"},
+		{"bad frontier objective", Request{Metric: "cycles", Frontier: &FrontierSpec{X: "cycles", Y: "cycles", XObjective: "down"}}, false, "unknown objective"},
+		{"bad master metric shape", Request{Metric: "mean_latency/"}, false, "unknown metric"},
+	}
+	for _, c := range cases {
+		err := c.req.Validate(c.compare)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	// Defaults and per-master forms pass.
+	for _, req := range []Request{
+		{}, {Metric: "mean_latency/m3"}, {Metric: "bandwidth/wb"},
+		{Metric: "abs_diff_pct"},
+	} {
+		compare := req.Metric == "abs_diff_pct"
+		if err := req.Validate(compare); err != nil {
+			t.Errorf("valid request %+v rejected: %v", req, err)
+		}
+	}
+}
+
+func TestMissingMetricInResultsFailsLoudly(t *testing.T) {
+	inputs := []Input{point(0, "aa", map[string]float64{"cycles": 1})}
+	_, err := Analyze(Request{Metric: "mean_latency/m9"}, false, nil, 1, inputs)
+	if err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("err %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// POST /sweep/analyze: run a parameter grid and answer with one
+// deterministic analysis document instead of an NDJSON row stream.
+//
+// The request is a /sweep grid plus an analysis selector (metric,
+// objective, top-K, Pareto frontier — internal/agg); the variants run
+// through exactly the same cache/singleflight/pool path as /sweep
+// (collectRows), so an analysis warms the same result space a sweep
+// or a direct /run would, and a warm grid analyzes at cache speed
+// with zero simulations. The document is a pure function of the
+// result set: a single process and a sharded cluster (whose router
+// aggregates router-side) answer the same grid with byte-identical
+// bytes, which the smokes assert.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/agg"
+)
+
+// AnalyzeRequest is the body of POST /sweep/analyze — a sweep grid
+// plus the analysis selector, both inlined. The wire contract is
+// shared with frontends: the shard router decodes one to partition
+// the same grid and aggregate router-side.
+type AnalyzeRequest struct {
+	SweepRequest
+	agg.Request
+}
+
+// handleAnalyze serves POST /sweep/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	variants, err := ExpandSweepRequest(req.SweepRequest, s.scenarioByName)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, compare, err := sweepModel(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Reject a bad analysis selector BEFORE the grid costs anything:
+	// an unknown metric must not burn 256 simulations first.
+	if err := req.Request.Validate(compare); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	rows := make([]SweepRow, 0, len(variants))
+	if !s.collectRows(r.Context(), variants, model, compare, func(row SweepRow) {
+		rows = append(rows, row)
+	}) {
+		return // client gone; in-flight jobs still fill the cache
+	}
+	doc, err := AnalyzeRows(req.Request, compare, req.Axes, len(variants), rows)
+	if err != nil {
+		// The grid ran but the analysis cannot be computed from its
+		// results (a per-master metric naming a port the workload lacks
+		// slips past static validation). The results are cached, so a
+		// corrected request replays for free.
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	s.writeBody(w, http.StatusOK, body, "", "")
+}
+
+// AnalyzeRows folds completed sweep rows into the analysis document.
+// It is shared between the backend handler and the shard router so
+// both ends of a deployment derive byte-identical documents from
+// identical row sets: same metric extraction, same tie-breaking, same
+// marshalling. total is the expanded grid size — rows that never
+// arrived count against it as incomplete.
+func AnalyzeRows(req agg.Request, compare bool, axes []SweepAxis, total int, rows []SweepRow) (*agg.Analysis, error) {
+	inputs := make([]agg.Input, 0, len(rows))
+	for _, row := range rows {
+		in := agg.Input{Index: row.Index, Name: row.Name, Hash: row.Hash, Params: row.Params}
+		if row.Error != "" {
+			in.Err = row.Error
+		} else if m, err := agg.MetricsFromResult(compare, row.Result); err != nil {
+			in.Err = fmt.Sprintf("parsing result: %v", err)
+		} else {
+			in.Metrics = m
+		}
+		inputs = append(inputs, in)
+	}
+	aaxes := make([]agg.Axis, len(axes))
+	for i, ax := range axes {
+		aaxes[i] = agg.Axis{Param: ax.Param, Values: ax.Values}
+	}
+	return agg.Analyze(req, compare, aaxes, total, inputs)
+}

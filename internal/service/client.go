@@ -15,9 +15,75 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
+	"repro/internal/agg"
 	"repro/internal/spec"
 )
+
+// The one retry/backoff vocabulary for every client of a saturated
+// backend — the shard router's sweep fan-out and the service's own
+// in-process sweep rows both wait through RetryWait, so the two paths
+// cannot drift apart again.
+//
+// MinRetryWait floors the sleep (Retry-After is integer seconds, so
+// "0" means "soon", not "busy-loop"); MaxRetryWait caps it whatever
+// the header advertised; DefaultRetryWait is used when the header is
+// missing or unparseable — a 503 that advertised SOMETHING we cannot
+// read still said "busy", and the honest response is the wait a
+// minimally loaded server would have asked for (1s), not the floor.
+const (
+	MinRetryWait     = 50 * time.Millisecond
+	MaxRetryWait     = 5 * time.Second
+	DefaultRetryWait = time.Second
+)
+
+// RetryWait maps a 503's Retry-After header value onto the backoff a
+// retry loop should sleep. Integer seconds are honored and clamped to
+// [MinRetryWait, MaxRetryWait]; a missing or unparseable value (an
+// HTTP-date, garbage) yields DefaultRetryWait rather than silently
+// falling through to the floor and hammering a saturated pool.
+func RetryWait(header string) time.Duration {
+	secs, err := strconv.Atoi(header)
+	if err != nil || secs < 0 {
+		return DefaultRetryWait
+	}
+	return RetryWaitSeconds(secs)
+}
+
+// RetryWaitSeconds clamps an advertised whole-second wait to
+// [MinRetryWait, MaxRetryWait] — the in-process form of RetryWait for
+// callers that hold the number itself (the service's own sweep
+// retries) rather than a header to parse.
+func RetryWaitSeconds(secs int) time.Duration {
+	wait := time.Duration(secs) * time.Second
+	if wait < MinRetryWait {
+		return MinRetryWait
+	}
+	if wait > MaxRetryWait {
+		return MaxRetryWait
+	}
+	return wait
+}
+
+// SleepRetryAfter waits out RetryWait(header); false means ctx ended
+// first.
+func SleepRetryAfter(ctx context.Context, header string) bool {
+	return sleepFor(ctx, RetryWait(header))
+}
+
+// sleepFor sleeps d unless ctx ends first.
+func sleepFor(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // Client speaks the simd HTTP API to one backend server.
 type Client struct {
@@ -80,6 +146,34 @@ func (c *Client) CompareSpec(ctx context.Context, sp spec.Spec) (int, http.Heade
 		return 0, nil, nil, err
 	}
 	return c.PostJSON(ctx, "/compare", body)
+}
+
+// AnalyzeSweep submits a grid to POST /sweep/analyze and decodes the
+// analysis document. A non-2xx status returns the error body's
+// message; the raw body is returned alongside so callers that assert
+// byte-identity across deployments (the smokes) can compare exactly
+// what the server said.
+func (c *Client) AnalyzeSweep(ctx context.Context, req AnalyzeRequest) (*agg.Analysis, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	status, _, respBody, err := c.PostJSON(ctx, "/sweep/analyze", body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if status != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(respBody, &e) == nil && e.Error != "" {
+			return nil, respBody, fmt.Errorf("service: analyze status %d: %s", status, e.Error)
+		}
+		return nil, respBody, fmt.Errorf("service: analyze status %d", status)
+	}
+	var doc agg.Analysis
+	if err := json.Unmarshal(respBody, &doc); err != nil {
+		return nil, respBody, fmt.Errorf("service: decoding analysis: %w", err)
+	}
+	return &doc, respBody, nil
 }
 
 // DecodeSweepStream consumes an NDJSON /sweep response body: onRow is

@@ -22,7 +22,9 @@
 //     queueing unboundedly.
 //
 // Endpoints: POST /run, POST /compare, POST /sweep (NDJSON parameter
-// grids; see sweep.go), GET /scenarios, GET /healthz.
+// grids; see sweep.go), POST /sweep/analyze (grid aggregates —
+// argmin/top-K/groups/Pareto frontier; see analyze.go), GET
+// /scenarios, GET /healthz.
 package service
 
 import (
@@ -157,6 +159,7 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/compare", s.handleCompare)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/sweep/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil

@@ -20,7 +20,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/spec"
@@ -197,6 +196,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Client gone mid-grid: no terminal row — a truncated stream IS
+	// truncated, and saying otherwise to a half-closed socket helps
+	// nobody.
+	if s.collectRows(r.Context(), variants, model, compare, emit) {
+		finish()
+	}
+}
+
+// collectRows resolves every variant through the shared
+// cache/singleflight/pool path and invokes emit — always from this
+// goroutine — once per variant in completion order. It is the one
+// grid-resolution engine behind both the streaming /sweep handler
+// (emit encodes an NDJSON row) and /sweep/analyze (emit accumulates
+// rows for aggregation), so the two endpoints cannot diverge on
+// caching, backpressure or failure semantics. Returns false when ctx
+// ended first — the row set is then a subset and must not be read as
+// the whole grid.
+func (s *Server) collectRows(ctx context.Context, variants []sweep.Variant, model core.Model, compare bool, emit func(SweepRow)) bool {
 	// First pass: serve every memory-cached variant immediately, so a
 	// warm sweep streams at memory speed no matter how busy the pool
 	// is, and collect the rest for the workers. Disk-held variants
@@ -214,12 +231,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Second pass: resolve the misses concurrently (bounded by the
 	// worker count — the pool's queue bound stays the real limiter)
-	// and stream rows in completion order.
+	// and hand rows over in completion order.
 	if len(pending) == 0 {
-		finish()
-		return
+		return true
 	}
-	ctx := r.Context()
 	rows := make(chan SweepRow)
 	work := make(chan sweep.Variant)
 	workersN := min(s.workers, len(pending))
@@ -253,13 +268,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case row := <-rows:
 			emit(row)
 		case <-ctx.Done():
-			// Client gone mid-grid: no terminal row — this stream IS
-			// truncated, and saying otherwise to a half-closed socket
-			// helps nobody.
-			return
+			return false
 		}
 	}
-	finish()
+	return true
 }
 
 // sweepKey is the cache key a variant's result lives under — the same
@@ -293,7 +305,6 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 		return computeRun(v.Spec, v.Hash, model, wl)()
 	}
 	key := s.sweepKey(v, model, compare)
-	backoff := time.Millisecond
 	for attempt := 0; ; attempt++ {
 		status, body, disposition, err := s.executeOnce(ctx, key, compute, attempt > 0)
 		if err != nil {
@@ -308,14 +319,14 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 			return sweepRow(v, "", status, body), true
 		}
 		// Saturated: the sweep absorbs its own backpressure instead of
-		// surfacing a mid-stream 503 row.
-		select {
-		case <-ctx.Done():
+		// surfacing a mid-stream 503 row. The wait honors the SAME
+		// number a 503 response would have advertised in Retry-After —
+		// derived from live pool backlog, clamped exactly like the
+		// shard router's retries — not a hardcoded millisecond loop
+		// that hammers a saturated pool dozens of times a second per
+		// pending variant.
+		if !sleepFor(ctx, RetryWaitSeconds(s.retryAfterSeconds())) {
 			return SweepRow{}, false
-		case <-time.After(backoff):
-		}
-		if backoff < 50*time.Millisecond {
-			backoff *= 2
 		}
 	}
 }

@@ -56,14 +56,6 @@ const defaultSweepConcurrency = 4
 // hang on a dead peer.
 const healthTimeout = 2 * time.Second
 
-// maxRetryWait caps how long one 503 backoff sleeps, whatever
-// Retry-After advertised; minRetryWait floors it (Retry-After is
-// integer seconds, so "0" means "soon", not "busy-loop").
-const (
-	maxRetryWait = 5 * time.Second
-	minRetryWait = 50 * time.Millisecond
-)
-
 // shardState is one backend as the router sees it.
 type shardState struct {
 	index  int
@@ -131,6 +123,7 @@ func New(opt Options) (*Router, error) {
 	rt.mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/run") })
 	rt.mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/compare") })
 	rt.mux.HandleFunc("/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("/sweep/analyze", rt.handleAnalyze)
 	rt.mux.HandleFunc("/scenarios", rt.handleScenarios)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	return rt, nil
@@ -386,13 +379,6 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Partition the grid: each variant to its owner's work list.
-	perShard := make([][]sweep.Variant, len(rt.shards))
-	for _, v := range variants {
-		owner := Owner(v.Hash, len(rt.shards))
-		perShard[owner] = append(perShard[owner], v)
-	}
-
 	// The stream is committed: from here every failure is a row, and
 	// completion is the terminal summary line.
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -404,7 +390,43 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 
-	ctx := r.Context()
+	emitted, errored := 0, 0
+	complete := rt.collectRows(r.Context(), variants, path, runModel, func(row Row) {
+		enc.Encode(row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+		if row.Error != "" {
+			errored++
+		}
+	})
+	if !complete {
+		// Client gone mid-merge: the stream is truncated and must read
+		// as such — no terminal row.
+		return
+	}
+	enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// collectRows routes every variant to its owning shard and invokes
+// emit — always from this goroutine — once per variant in completion
+// order. It is the one fan-out engine behind both the streaming
+// /sweep handler and /sweep/analyze, so the two endpoints share
+// per-shard concurrency, retry semantics and dead-shard behavior.
+// Returns false when ctx ended first — the emitted rows are then a
+// subset of the grid.
+func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
+	// Partition the grid: each variant to its owner's work list.
+	perShard := make([][]sweep.Variant, len(rt.shards))
+	for _, v := range variants {
+		owner := Owner(v.Hash, len(rt.shards))
+		perShard[owner] = append(perShard[owner], v)
+	}
+
 	rows := make(chan Row)
 	var wg sync.WaitGroup
 	for i, sh := range rt.shards {
@@ -457,26 +479,71 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		close(rows)
 	}()
 
-	emitted, errored := 0, 0
 	for row := range rows {
-		enc.Encode(row)
-		if flusher != nil {
-			flusher.Flush()
-		}
-		emitted++
-		if row.Error != "" {
-			errored++
-		}
+		emit(row)
 	}
-	if ctx.Err() != nil {
-		// Client gone mid-merge: the stream is truncated and must read
-		// as such — no terminal row.
+	return ctx.Err() == nil
+}
+
+// handleAnalyze serves POST /sweep/analyze: expand the grid once, fan
+// the variants out per-owner exactly like /sweep, and aggregate
+// ROUTER-side into the same analysis document a single process
+// produces — byte-identical for identical results, because both ends
+// run the identical service.AnalyzeRows path. A dead shard's variants
+// arrive as error rows and surface in the document as explicit
+// incomplete metadata (failed list, analyzed < variants) — never a
+// silently-shrunk frontier that reads like the whole design space.
+func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
-	if flusher != nil {
-		flusher.Flush()
+	var req service.AnalyzeRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
 	}
+	variants, err := service.ExpandSweepRequest(req.SweepRequest, rt.scenarioByName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	path, runModel, err := sweepEndpoint(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	compare := path == "/compare"
+	// Reject a bad analysis selector before any backend cost, with the
+	// backend's own validation — router and worker accept exactly the
+	// same analyses.
+	if err := req.Request.Validate(compare); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	rows := make([]service.SweepRow, 0, len(variants))
+	if !rt.collectRows(r.Context(), variants, path, runModel, func(row Row) {
+		rows = append(rows, row.SweepRow)
+	}) {
+		return // client gone
+	}
+	doc, err := service.AnalyzeRows(req.Request, compare, req.Axes, len(variants), rows)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 // resolveVariant runs one variant against its owning shard, retrying
@@ -516,8 +583,11 @@ func (rt *Router) resolveVariant(ctx context.Context, sh *shardState, dead *atom
 			row.Result = json.RawMessage(body)
 			return row, true
 		case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
-			// Saturated, not shutting down: honor the advertised wait.
-			if !sleepRetryAfter(ctx, hdr.Get("Retry-After")) {
+			// Saturated, not shutting down: honor the advertised wait
+			// (the shared clamp — service.RetryWait — also covers the
+			// backend's own in-process sweep retries, so the two paths
+			// cannot drift).
+			if !service.SleepRetryAfter(ctx, hdr.Get("Retry-After")) {
 				return Row{}, false
 			}
 		default:
@@ -531,27 +601,5 @@ func (rt *Router) resolveVariant(ctx context.Context, sh *shardState, dead *atom
 			}
 			return row, true
 		}
-	}
-}
-
-// sleepRetryAfter waits out a 503's Retry-After (clamped to
-// [minRetryWait, maxRetryWait]); false means the context ended first.
-func sleepRetryAfter(ctx context.Context, header string) bool {
-	wait := minRetryWait
-	if secs, err := strconv.Atoi(header); err == nil {
-		if d := time.Duration(secs) * time.Second; d > wait {
-			wait = d
-		}
-	}
-	if wait > maxRetryWait {
-		wait = maxRetryWait
-	}
-	t := time.NewTimer(wait)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
 	}
 }

@@ -11,11 +11,13 @@
 // serving byte-identical replays from whichever stores already hold
 // them.
 //
-// The router (router.go) owns the public API — /run, /compare and
-// /sweep are fanned out per spec, /sweep additionally merging the
-// per-shard completion streams into one NDJSON stream with a terminal
-// summary row — and the supervisor (supervisor.go) spawns and babysits
-// local backend processes for `simd -shards N`.
+// The router (router.go) owns the public API — /run, /compare,
+// /sweep and /sweep/analyze are fanned out per spec, /sweep merging
+// the per-shard completion streams into one NDJSON stream with a
+// terminal summary row and /sweep/analyze aggregating router-side
+// into the same analysis document a single process produces — and the
+// supervisor (supervisor.go) spawns and babysits local backend
+// processes for `simd -shards N`.
 package shard
 
 import "strconv"

@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/agg"
 	"repro/internal/config"
 	"repro/internal/service"
 	"repro/internal/spec"
@@ -538,6 +540,166 @@ func TestRouterSweepRetriesSaturationButNotShutdown(t *testing.T) {
 	}
 	if term.calls != 1 {
 		t.Fatalf("terminal 503 retried: %d calls", term.calls)
+	}
+}
+
+// analyzeRequest is the canonical 8-variant grid plus an analysis
+// selector, mirroring the service-side test shape.
+func analyzeRequest(salt int) map[string]any {
+	req := gridRequest(salt)
+	req["metric"] = "cycles"
+	req["top_k"] = 3
+	req["frontier"] = map[string]any{"x": "cycles", "y": "throughput", "y_objective": "max"}
+	return req
+}
+
+func TestRouterAnalyzeByteIdenticalToSingleProcess(t *testing.T) {
+	// The acceptance bar of the analysis subsystem: one JSON document,
+	// byte-for-byte the same whether the grid ran in one process or
+	// across a 2-shard cluster — aggregation is a pure function of the
+	// (deterministic) result set, and completion order must not leak
+	// into the bytes.
+	_, singleTS := newBackend(t, service.Options{Workers: 2})
+	_, front := newCluster(t, 2, service.Options{Workers: 2})
+
+	req := analyzeRequest(12)
+	st1, _, b1 := post(t, singleTS.URL+"/sweep/analyze", req)
+	st2, h2, b2 := post(t, front+"/sweep/analyze", req)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("statuses %d/%d: %s / %s", st1, st2, b1, b2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("sharded analysis differs from single-process:\n%s\n%s", b1, b2)
+	}
+	if h2.Get("X-Sweep-Variants") != "8" {
+		t.Fatalf("X-Sweep-Variants %q", h2.Get("X-Sweep-Variants"))
+	}
+	var doc agg.Analysis
+	if err := json.Unmarshal(b2, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Incomplete || doc.Analyzed != 8 || doc.Best == nil || len(doc.Frontier.Points) == 0 {
+		t.Fatalf("doc %+v", doc)
+	}
+
+	// Warm repeat through the cluster: still byte-identical (cache
+	// hits complete in yet another order).
+	_, _, b3 := post(t, front+"/sweep/analyze", req)
+	if !bytes.Equal(b2, b3) {
+		t.Fatalf("warm cluster analysis differs:\n%s\n%s", b2, b3)
+	}
+}
+
+func TestRouterAnalyzeDeadShardReportsIncomplete(t *testing.T) {
+	// A dead shard must surface as explicit incomplete metadata —
+	// analyzed < variants, its variants in the failed list — never as
+	// a silently smaller frontier that reads like the whole design
+	// space.
+	_, tsA := newBackend(t, service.Options{Workers: 2})
+	_, tsB := newBackend(t, service.Options{Workers: 2})
+	rt, err := New(Options{Backends: []string{tsA.URL, tsB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	tsB.Close() // shard 1 dies
+
+	variants := expandGrid(t, 13)
+	deadOwned := 0
+	for _, v := range variants {
+		if Owner(v.Hash, 2) == 1 {
+			deadOwned++
+		}
+	}
+	if deadOwned == 0 || deadOwned == len(variants) {
+		t.Fatalf("degenerate partition: dead shard owns %d of %d", deadOwned, len(variants))
+	}
+
+	status, _, body := post(t, front.URL+"/sweep/analyze", analyzeRequest(13))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var doc agg.Analysis
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Incomplete {
+		t.Fatalf("dead-shard analysis not marked incomplete: %s", body)
+	}
+	if doc.Variants != 8 || doc.Analyzed != 8-deadOwned || len(doc.Failed) != deadOwned {
+		t.Fatalf("variants/analyzed/failed %d/%d/%d, want 8/%d/%d",
+			doc.Variants, doc.Analyzed, len(doc.Failed), 8-deadOwned, deadOwned)
+	}
+	for _, f := range doc.Failed {
+		if Owner(f.Hash, 2) != 1 || !strings.Contains(f.Error, "shard 1") {
+			t.Fatalf("failure %+v not attributed to the dead shard", f)
+		}
+	}
+	// The survivors still yield a (subset) answer.
+	if doc.Best == nil || Owner(doc.Best.Hash, 2) != 0 {
+		t.Fatalf("best %+v", doc.Best)
+	}
+}
+
+func TestRouterAnalyzeShapeErrors(t *testing.T) {
+	_, front := newCluster(t, 2, service.Options{Workers: 1})
+	cases := []struct {
+		req  map[string]any
+		want string
+	}{
+		{map[string]any{"metric": "cycles"}, "base spec or a scenario"},
+		{func() map[string]any {
+			r := analyzeRequest(14)
+			r["metric"] = "warp"
+			return r
+		}(), "unknown metric"},
+		{func() map[string]any {
+			r := analyzeRequest(14)
+			r["objective"] = "best"
+			return r
+		}(), "unknown objective"},
+	}
+	for _, c := range cases {
+		status, _, body := post(t, front+"/sweep/analyze", c.req)
+		if status != http.StatusBadRequest || !strings.Contains(string(body), c.want) {
+			t.Errorf("req %v: %d %s", c.req, status, body)
+		}
+	}
+}
+
+func TestRouterSweepSurvivesUnparseableRetryAfter(t *testing.T) {
+	// A backend advertising a Retry-After the router cannot parse (an
+	// HTTP-date, garbage) must be treated as the DEFAULT backoff — the
+	// retry still happens and the variant still lands; it just paces
+	// at 1s instead of hammering at the 50ms floor. (The wait mapping
+	// itself is pinned by service.TestRetryWaitParsesAndClamps.)
+	fake := &flakyBackend{statuses: []int{503, 200}, retryAfter: "Wed, 21 Oct 2198 07:28:00 GMT"}
+	ts := httptest.NewServer(fake.handler())
+	t.Cleanup(ts.Close)
+	rt, err := New(Options{Backends: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	req := map[string]any{
+		"base": testSpec(15), "model": "tl",
+		"axes": []map[string]any{{"param": "pipelining", "values": []bool{true}}},
+	}
+	start := time.Now()
+	_, rows, summary, done := readSweep(t, front.URL, req)
+	if !done || len(rows) != 1 || rows[0].Error != "" || summary.Errors != 0 {
+		t.Fatalf("sweep with unparseable Retry-After: done=%v rows=%+v", done, rows)
+	}
+	if fake.calls != 2 {
+		t.Fatalf("backend saw %d calls, want 2", fake.calls)
+	}
+	// The default backoff (1s) was actually honored — the old code
+	// fell through to the 50ms floor here.
+	if waited := time.Since(start); waited < service.DefaultRetryWait {
+		t.Fatalf("retry after only %v, want >= %v", waited, service.DefaultRetryWait)
 	}
 }
 
