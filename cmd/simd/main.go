@@ -21,6 +21,13 @@
 // `simd -backends URL,URL,...` runs the same router over externally
 // managed workers (one simd per machine). See internal/shard.
 //
+// The router degrades gracefully: a dead or circuit-open shard's
+// requests fail over to the next shard in the spec's rendezvous rank
+// order (tagged X-Failover), per-backend circuit breakers stop paying
+// dial timeouts for dead shards, -request-timeout bounds any single
+// simulation server-side (504 past budget), and -max-cycles rejects
+// pathological cycle budgets at validation time.
+//
 // Endpoints (identical in every mode):
 //
 //	POST /run           {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
@@ -30,11 +37,13 @@
 //	                    analysis document (argmin/top-K/groups/Pareto frontier, with
 //	                    explicit incomplete metadata when shards or variants failed)
 //	GET  /scenarios     the built-in scenario library with content hashes
-//	GET  /healthz       liveness and load counters (aggregated per shard in router modes)
+//	GET  /healthz       liveness and load counters (aggregated per shard in router modes,
+//	                    with per-shard breaker and supervisor process state)
 //
 // Usage:
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
+//	     [-request-timeout D] [-max-cycles N] [-attempt-timeout D]
 //	     [-shards N | -backends URL,URL,...]
 package main
 
@@ -64,6 +73,9 @@ func main() {
 	cache := flag.Int("cache", service.DefaultCacheEntries, "in-memory result-cache entries")
 	storeDir := flag.String("store", "", "disk result-store directory (empty = memory-only; shard mode uses DIR/shard-N per worker)")
 	storeMax := flag.Int64("store-max-bytes", 0, "disk store payload budget per process (0 = default)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request simulation deadline, queue wait included (0 = none); over budget answers 504")
+	maxCycles := flag.Uint64("max-cycles", 0, "reject specs whose max_cycles exceeds this at validation time (0 = the global bound)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "router-side timeout per backend attempt (0 = none); a hung shard is failed over")
 	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
 	backends := flag.String("backends", "", "comma-separated worker URLs to route over (externally managed shards)")
 	flag.Parse()
@@ -71,9 +83,13 @@ func main() {
 	if *shards > 0 && *backends != "" {
 		fatal("use -shards (local workers) or -backends (external workers), not both")
 	}
+	ropt := shard.Options{
+		AttemptTimeout: *attemptTimeout,
+		MaxCycles:      *maxCycles,
+	}
 	switch {
 	case *shards > 0:
-		runSupervised(*addr, *shards, *workers, *queue, *cache, *storeDir, *storeMax)
+		runSupervised(*addr, *shards, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, ropt)
 	case *backends != "":
 		// Tolerate "url, url" spacing: an invisible leading space would
 		// otherwise make that shard's URLs unparseable and its whole
@@ -84,9 +100,10 @@ func main() {
 				urls = append(urls, u)
 			}
 		}
-		runRouter(*addr, urls, nil, "")
+		ropt.Backends = urls
+		runRouter(*addr, ropt, nil, "")
 	default:
-		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax)
+		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, *maxCycles)
 	}
 }
 
@@ -137,10 +154,11 @@ func listen(addr, mode string) net.Listener {
 }
 
 // runSingle is one worker process: the whole service in one pool.
-func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64) {
+func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, maxCycles uint64) {
 	srv, err := service.New(service.Options{
 		Workers: workers, Queue: queue, CacheEntries: cache,
 		StoreDir: storeDir, StoreMaxBytes: storeMax,
+		RequestTimeout: reqTimeout, MaxCycles: maxCycles,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -157,17 +175,19 @@ func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax
 	serve(ln, srv.Handler(), srv.Close)
 }
 
-// runRouter serves the sharded frontend over the given backend URLs.
-// sup is non-nil in supervised mode and is stopped on shutdown — and
-// on every failure path here, so a router that cannot bind its port
-// (or build at all) never exits leaving the spawned workers orphaned.
-func runRouter(addr string, urls []string, sup *shard.Supervisor, note string) {
+// runRouter serves the sharded frontend with the given options (the
+// backend list filled in by the caller). sup is non-nil in supervised
+// mode and is stopped on shutdown — and on every failure path here,
+// so a router that cannot bind its port (or build at all) never exits
+// leaving the spawned workers orphaned.
+func runRouter(addr string, opt shard.Options, sup *shard.Supervisor, note string) {
 	cleanup := func() {
 		if sup != nil {
 			sup.Stop()
 		}
 	}
-	rt, err := shard.New(shard.Options{Backends: urls})
+	opt.Supervisor = sup
+	rt, err := shard.New(opt)
 	if err != nil {
 		cleanup()
 		fatal("%v", err)
@@ -175,20 +195,26 @@ func runRouter(addr string, urls []string, sup *shard.Supervisor, note string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		cleanup()
+		rt.Close()
 		fatal("%v", err)
 	}
 	if note == "" {
-		note = fmt.Sprintf("router over %d external backends", len(urls))
+		note = fmt.Sprintf("router over %d external backends", len(opt.Backends))
 	}
 	fmt.Printf("simd: serving on %s (%s)\n", ln.Addr(), note)
-	serve(ln, rt.Handler(), cleanup)
+	serve(ln, rt.Handler(), func() {
+		rt.Close()
+		cleanup()
+	})
 }
 
 // runSupervised spawns n worker copies of this binary and routes over
 // them. Each worker gets its own store directory (DIR/shard-i), so
 // the per-shard result stores stay disjoint and a respawned or
-// restarted worker replays exactly its own slice of the keyspace.
-func runSupervised(addr string, n, workers, queue, cache int, storeDir string, storeMax int64) {
+// restarted worker replays exactly its own slice of the keyspace. The
+// workers inherit the deadline and cycle-cap flags, so cluster and
+// single-process deployments enforce identical limits.
+func runSupervised(addr string, n, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, ropt shard.Options) {
 	bin, err := os.Executable()
 	if err != nil {
 		fatal("%v", err)
@@ -199,6 +225,8 @@ func runSupervised(addr string, n, workers, queue, cache int, storeDir string, s
 			"-queue", strconv.Itoa(queue),
 			"-cache", strconv.Itoa(cache),
 			"-store-max-bytes", strconv.FormatInt(storeMax, 10),
+			"-request-timeout", reqTimeout.String(),
+			"-max-cycles", strconv.FormatUint(ropt.MaxCycles, 10),
 		}
 		if storeDir != "" {
 			args = append(args, "-store", filepath.Join(storeDir, fmt.Sprintf("shard-%d", i)))
@@ -214,5 +242,6 @@ func runSupervised(addr string, n, workers, queue, cache int, storeDir string, s
 	for _, p := range sup.Procs() {
 		fmt.Printf("simd: shard %d pid=%d addr=%s\n", p.Index, p.Pid, p.Addr)
 	}
-	runRouter(addr, sup.URLs(), sup, fmt.Sprintf("router over %d local shards", n))
+	ropt.Backends = sup.URLs()
+	runRouter(addr, ropt, sup, fmt.Sprintf("router over %d local shards", n))
 }

@@ -9,18 +9,18 @@
 //     scenario's X-Shard matching the rendezvous owner computed
 //     locally (placement is a pure function of the content hash);
 //
-//  2. streams a cold 8-variant RTL sweep through the cluster and
-//     SIGKILLs one worker process mid-stream: the dead shard's
-//     remaining variants must come back as explicit error rows naming
-//     the shard, the survivor's variants must succeed, and the stream
-//     must end with a truthful terminal summary — never a hang, never
-//     a silent truncation;
-//
-//  3. waits for the supervisor to respawn the killed worker on its
-//     original port, re-sweeps (the dead shard's lost variants now
-//     compute; everything else replays), then sweeps once more and
-//     requires all 8 rows to be cache hits served from BOTH shards'
-//     disk stores, byte-identical to the recomputation;
+//  2. runs the kill drill — TWICE, against a freshly salted cold grid
+//     each round: stream an 8-variant RTL sweep through the cluster
+//     and SIGKILL the busiest worker process mid-stream. Under
+//     rendezvous failover the stream must still deliver all 8 rows
+//     with ZERO error rows: the dead shard's remaining variants are
+//     served by the survivor and tagged with their failover path, and
+//     the stream ends with a truthful terminal summary — never a
+//     hang, never a silent truncation. Each round then waits for the
+//     supervisor to respawn the victim on its original port,
+//     re-sweeps (every row owner-placed again, byte-identical to
+//     what failover produced), and replays the grid all-hit from
+//     BOTH shards' disk stores;
 //
 //  4. runs the same analysis grid through POST /sweep/analyze on the
 //     single process and the 2-shard cluster and requires the two
@@ -29,10 +29,14 @@
 //     in whatever order it was computed;
 //
 //  5. builds a 2-worker `-backends` cluster (no supervisor, so no
-//     respawn), SIGKILLs one worker, and requires the analysis of a
-//     grid spanning both shards to report `incomplete` truthfully —
-//     analyzed < variants, the dead shard's variants in the failed
-//     list — never a silently smaller frontier.
+//     respawn), SIGKILLs one worker, and requires the analysis to
+//     stay COMPLETE and byte-identical to the single-process
+//     reference (the survivor covers the dead shard's variants, the
+//     direct /run of a dead-owned spec carries X-Failover); then
+//     SIGKILLs the second worker and requires the analysis to report
+//     `incomplete` truthfully — zero analyzed, every variant in the
+//     failed list naming "no live shard" — never a silently smaller
+//     frontier.
 //
 //     go run ./examples/shard_service [-simd PATH]
 //
@@ -54,6 +58,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -293,119 +298,12 @@ func main() {
 	}
 	fmt.Printf("%d library scenarios byte-identical across single-process and 2-shard mode\n", checked)
 
-	// 2. Kill a worker mid-sweep. The victim is the shard owning the
-	// most variants; the assignment is computed locally from the same
-	// rendezvous hash the router uses.
-	variants := sweep.MustExpand(sweep.Grid{
-		Name: "smoke/grid", Base: slowBase(),
-		Axes: []sweep.Axis{
-			{Param: sweep.ParamWriteBufferDepth, Values: []sweep.Value{{V: 0}, {V: 2}, {V: 8}, {V: 16}}},
-			{Param: sweep.ParamBIEnabled, Values: []sweep.Value{{V: true}, {V: false}}},
-		},
-	})
-	owners := map[string]int{}
-	perShard := []int{0, 0}
-	for _, v := range variants {
-		o := shard.Owner(v.Hash, 2)
-		owners[v.Hash] = o
-		perShard[o]++
+	// 2. The kill drill, twice: the second round proves the respawned
+	// worker is a first-class shard again — it serves, fails over and
+	// revives exactly like the original process did.
+	for round := 1; round <= 2; round++ {
+		killDrill(cluster, round)
 	}
-	if perShard[0] == 0 || perShard[1] == 0 {
-		fail("degenerate partition %v; regenerate the grid", perShard)
-	}
-	victim := 0
-	if perShard[1] > perShard[0] {
-		victim = 1
-	}
-	victimPid := cluster.shardPids[victim]
-	fmt.Printf("sweeping 8 RTL variants (shard split %v); killing shard %d (pid %d) after its first row\n",
-		perShard, victim, victimPid)
-
-	gridReq, _ := json.Marshal(map[string]any{
-		"base": slowBase(), "name": "smoke/grid", "model": "rtl",
-		"axes": []map[string]any{
-			{"param": "write_buffer_depth", "values": []int{0, 2, 8, 16}},
-			{"param": "bi_enabled", "values": []bool{true, false}},
-		},
-	})
-	killed := false
-	rows, summary := runSweep(cluster.url, gridReq, func(r shard.Row) {
-		if !killed && r.Shard == victim && r.Error == "" {
-			syscall.Kill(victimPid, syscall.SIGKILL)
-			killed = true
-			fmt.Printf("  killed shard %d after row %s\n", victim, r.Name)
-		}
-	})
-	if !killed {
-		fail("victim shard produced no successful row to trigger on")
-	}
-	if len(rows) != 8 {
-		fail("kill sweep produced %d rows, want 8", len(rows))
-	}
-	errRows := 0
-	for _, r := range rows {
-		if owners[r.Hash] != r.Shard {
-			fail("row %s on shard %d, owner %d", r.Name, r.Shard, owners[r.Hash])
-		}
-		if r.Error != "" {
-			if r.Shard != victim {
-				fail("surviving shard %d produced an error row: %s", r.Shard, r.Error)
-			}
-			errRows++
-			continue
-		}
-	}
-	if errRows == 0 {
-		fail("kill produced no error rows — the drill never exercised shard death")
-	}
-	if summary.Errors != errRows {
-		fail("terminal summary reports %d errors, stream carried %d", summary.Errors, errRows)
-	}
-	fmt.Printf("  stream complete despite dead shard: 8 rows, %d explicit errors, truthful terminal summary\n", errRows)
-
-	// 3. The supervisor respawns the dead worker on its original port;
-	// once the cluster is whole, the failed variants compute and the
-	// grid replays all-hit from both shards' stores.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		h, err := clusterHealth(cluster.url)
-		if err == nil && h.OK {
-			break
-		}
-		if time.Now().After(deadline) {
-			fail("shard %d never respawned: %+v (err %v)", victim, h, err)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	fmt.Printf("  shard %d respawned\n", victim)
-
-	recomputed, summary2 := runSweep(cluster.url, gridReq, nil)
-	if len(recomputed) != 8 || summary2.Errors != 0 {
-		fail("post-respawn sweep: %d rows, %d errors", len(recomputed), summary2.Errors)
-	}
-	byHash := map[string][]byte{}
-	for _, r := range recomputed {
-		byHash[r.Hash] = r.Result
-	}
-
-	replayed, summary3 := runSweep(cluster.url, gridReq, nil)
-	if len(replayed) != 8 || summary3.Errors != 0 {
-		fail("replay sweep: %d rows, %d errors", len(replayed), summary3.Errors)
-	}
-	hitsByShard := []int{0, 0}
-	for _, r := range replayed {
-		if r.Cache != "hit" {
-			fail("replay row %s disposition %q, want hit", r.Name, r.Cache)
-		}
-		if !bytes.Equal(r.Result, byHash[r.Hash]) {
-			fail("replay row %s differs from its recomputation", r.Name)
-		}
-		hitsByShard[r.Shard]++
-	}
-	if hitsByShard[0] == 0 || hitsByShard[1] == 0 {
-		fail("replay hits came from one shard only: %v", hitsByShard)
-	}
-	fmt.Printf("  full grid replays all-hit from both stores (%d + %d rows)\n", hitsByShard[0], hitsByShard[1])
 
 	// 4. /sweep/analyze: the single process and the 2-shard cluster
 	// must produce byte-identical analysis documents for the same grid
@@ -437,9 +335,12 @@ func main() {
 	fmt.Printf("analysis byte-identical across deployments: best %s=%g at %s, %d frontier points\n",
 		doc2.Metric, doc2.Best.Value, doc2.Best.Name, len(doc2.Frontier.Points))
 
-	// 5. Dead-shard honesty: a -backends cluster (externally managed
-	// workers, no supervisor respawn) loses one worker to SIGKILL; the
-	// analysis must say so instead of shrinking the frontier silently.
+	// 5. Failover honesty on a -backends cluster (externally managed
+	// workers, no supervisor, no respawn). Losing ONE worker must not
+	// degrade anything: the survivor covers the dead shard's variants
+	// and the analysis stays complete and byte-identical to the
+	// single-process reference. Losing BOTH workers must be reported
+	// truthfully — never a silently smaller frontier.
 	w1 := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "1")
 	defer w1.stop()
 	w2 := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "1")
@@ -447,8 +348,8 @@ func main() {
 	router := start(bin, 0, "-addr", "127.0.0.1:0", "-backends", w1.url+","+w2.url)
 	defer router.stop()
 
-	// Verify the analysis grid actually spans both shards, then kill
-	// shard 1's process outright.
+	// Verify the analysis grid actually spans both shards, and keep a
+	// spec the doomed shard owns for the direct-/run failover probe.
 	analyzeVariants := sweep.MustExpand(sweep.Grid{
 		Name: "smoke/analyze", Base: fastBase(),
 		Axes: []sweep.Axis{
@@ -457,9 +358,14 @@ func main() {
 		},
 	})
 	deadOwned := 0
+	var deadSpec *spec.Spec
 	for _, v := range analyzeVariants {
 		if shard.Owner(v.Hash, 2) == 1 {
 			deadOwned++
+			if deadSpec == nil {
+				sp := v.Spec
+				deadSpec = &sp
+			}
 		}
 	}
 	if deadOwned == 0 || deadOwned == len(analyzeVariants) {
@@ -468,23 +374,207 @@ func main() {
 	w2.cmd.Process.Kill()
 	w2.cmd.Wait()
 
+	// A dead-owned spec still runs — served by the survivor, with the
+	// failover path announced in the response headers.
+	st, hdr, runBody := postRun(router.url, map[string]any{"spec": deadSpec, "model": "tl"})
+	if st != http.StatusOK {
+		fail("dead-owned /run after single loss: %d %s", st, runBody)
+	}
+	if hdr.Get("X-Shard") != "0" || hdr.Get("X-Failover") != "1->0" {
+		fail("dead-owned /run shard %q failover %q, want shard 0 via 1->0", hdr.Get("X-Shard"), hdr.Get("X-Failover"))
+	}
+
+	oneDoc, oneBody := postAnalyze(router.url, analyzeReq)
+	if oneDoc.Incomplete || oneDoc.Analyzed != 8 || len(oneDoc.Failed) != 0 {
+		fail("single-loss analysis degraded: %s", oneBody)
+	}
+	if !bytes.Equal(oneBody, body1) {
+		fail("single-loss analysis differs from the single-process reference:\n%s\n%s", oneBody, body1)
+	}
+	fmt.Printf("single worker lost: /run fails over (X-Failover 1->0), analysis still complete and byte-identical\n")
+
+	// Both workers down: nothing left to fail over to, and the
+	// analysis must say exactly that.
+	w1.cmd.Process.Kill()
+	w1.cmd.Wait()
+
 	deadDoc, deadBody := postAnalyze(router.url, analyzeReq)
 	if !deadDoc.Incomplete {
-		fail("dead-shard analysis not marked incomplete: %s", deadBody)
+		fail("all-dead analysis not marked incomplete: %s", deadBody)
 	}
-	if deadDoc.Variants != 8 || deadDoc.Analyzed != 8-deadOwned || len(deadDoc.Failed) != deadOwned {
-		fail("dead-shard analysis variants/analyzed/failed %d/%d/%d, want 8/%d/%d: %s",
-			deadDoc.Variants, deadDoc.Analyzed, len(deadDoc.Failed), 8-deadOwned, deadOwned, deadBody)
+	if deadDoc.Variants != 8 || deadDoc.Analyzed != 0 || len(deadDoc.Failed) != 8 {
+		fail("all-dead analysis variants/analyzed/failed %d/%d/%d, want 8/0/8: %s",
+			deadDoc.Variants, deadDoc.Analyzed, len(deadDoc.Failed), deadBody)
 	}
 	for _, f := range deadDoc.Failed {
-		if shard.Owner(f.Hash, 2) != 1 {
-			fail("failure %+v not owned by the dead shard", f)
+		if !strings.Contains(f.Error, "no live shard") {
+			fail("all-dead failure %+v does not name the exhausted cluster", f)
 		}
 	}
-	fmt.Printf("dead-shard analysis truthful: incomplete=true, %d/%d analyzed, %d explicit failures\n",
-		deadDoc.Analyzed, deadDoc.Variants, len(deadDoc.Failed))
+	fmt.Printf("all workers lost: analysis truthful — incomplete=true, 0/%d analyzed, %d explicit failures\n",
+		deadDoc.Variants, len(deadDoc.Failed))
 
-	fmt.Println("smoke OK: 2-shard cluster byte-identical (rows AND analysis), kill-mid-sweep explicit, respawn + replay + incomplete-analysis honesty verified")
+	fmt.Println("smoke OK: 2-shard cluster byte-identical (rows AND analysis), double kill drill survived with zero error rows, respawn + replay + failover/incompleteness honesty verified")
+}
+
+// killDrill streams one cold 8-variant RTL sweep through the cluster
+// and SIGKILLs the busiest shard after its first successful row. The
+// failover contract under test: all 8 rows arrive with ZERO errors,
+// dead-owned rows are served by the survivor and tagged with their
+// failover path, and once the supervisor revives the victim the grid
+// recomputes owner-placed — byte-identical to what failover produced
+// — and replays all-hit from both shards' disk stores. The round
+// number salts the workload so every drill starts cold.
+func killDrill(cluster *proc, round int) {
+	base := slowBase()
+	// New hashes each round: same shape, one extra beat of work.
+	base.Masters[0].Count += round
+
+	variants := sweep.MustExpand(sweep.Grid{
+		Name: "smoke/grid", Base: base,
+		Axes: []sweep.Axis{
+			{Param: sweep.ParamWriteBufferDepth, Values: []sweep.Value{{V: 0}, {V: 2}, {V: 8}, {V: 16}}},
+			{Param: sweep.ParamBIEnabled, Values: []sweep.Value{{V: true}, {V: false}}},
+		},
+	})
+	owners := map[string]int{}
+	perShard := []int{0, 0}
+	for _, v := range variants {
+		o := shard.Owner(v.Hash, 2)
+		owners[v.Hash] = o
+		perShard[o]++
+	}
+	if perShard[0] == 0 || perShard[1] == 0 {
+		fail("round %d: degenerate partition %v; re-salt the grid", round, perShard)
+	}
+	victim := 0
+	if perShard[1] > perShard[0] {
+		victim = 1
+	}
+	survivor := 1 - victim
+
+	// The victim's CURRENT pid comes from healthz, not the startup
+	// banner: after round 1's respawn the banner pid is stale.
+	h, err := clusterHealth(cluster.url)
+	if err != nil || !h.OK {
+		fail("round %d: cluster unhealthy before the drill: %+v (err %v)", round, h, err)
+	}
+	if h.Shards[victim].Proc == nil {
+		fail("round %d: healthz carries no process status for shard %d", round, victim)
+	}
+	victimPid := h.Shards[victim].Proc.Pid
+	priorRespawns := h.Shards[victim].Proc.Respawns
+	fmt.Printf("kill drill %d: sweeping 8 RTL variants (shard split %v); killing shard %d (pid %d) after its first row\n",
+		round, perShard, victim, victimPid)
+
+	gridReq, _ := json.Marshal(map[string]any{
+		"base": base, "name": "smoke/grid", "model": "rtl",
+		"axes": []map[string]any{
+			{"param": "write_buffer_depth", "values": []int{0, 2, 8, 16}},
+			{"param": "bi_enabled", "values": []bool{true, false}},
+		},
+	})
+	killed := false
+	rows, summary := runSweep(cluster.url, gridReq, func(r shard.Row) {
+		if !killed && r.Shard == victim && r.Error == "" {
+			syscall.Kill(victimPid, syscall.SIGKILL)
+			killed = true
+			fmt.Printf("  killed shard %d after row %s\n", victim, r.Name)
+		}
+	})
+	if !killed {
+		fail("round %d: victim shard produced no successful row to trigger on", round)
+	}
+	if len(rows) != 8 {
+		fail("round %d: kill sweep produced %d rows, want 8", round, len(rows))
+	}
+	byHash := map[string][]byte{}
+	failovers := 0
+	for _, r := range rows {
+		if r.Error != "" {
+			fail("round %d: error row %s under single-shard loss (%s) — failover must cover a dead owner", round, r.Name, r.Error)
+		}
+		byHash[r.Hash] = r.Result
+		if r.Failover == "" {
+			// Owner-served: before the kill, or after the breaker let
+			// the revived victim back in mid-sweep.
+			if owners[r.Hash] != r.Shard {
+				fail("round %d: row %s on shard %d without a failover tag, owner %d", round, r.Name, r.Shard, owners[r.Hash])
+			}
+			continue
+		}
+		failovers++
+		if owners[r.Hash] != victim || r.Shard != survivor {
+			fail("round %d: failover row %s owner %d served by shard %d (victim %d)", round, r.Name, owners[r.Hash], r.Shard, victim)
+		}
+		if want := fmt.Sprintf("%d->%d", victim, survivor); r.Failover != want {
+			fail("round %d: row %s failover %q, want %q", round, r.Name, r.Failover, want)
+		}
+	}
+	if failovers == 0 {
+		fail("round %d: no row failed over — the drill never exercised shard death", round)
+	}
+	if summary.Errors != 0 {
+		fail("round %d: terminal summary reports %d errors, stream carried none", round, summary.Errors)
+	}
+	fmt.Printf("  stream complete despite the kill: 8 rows, 0 errors, %d failover rows (%d->%d), truthful summary\n",
+		failovers, victim, survivor)
+
+	// The supervisor revives the victim on its original port; wait
+	// until the router's breaker trusts it again so the re-sweep is
+	// owner-placed throughout.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := clusterHealth(cluster.url)
+		if err == nil && h.OK && h.Shards[victim].Proc != nil &&
+			h.Shards[victim].Proc.Pid != victimPid &&
+			h.Shards[victim].Proc.Respawns > priorRespawns &&
+			h.Shards[victim].Breaker != "open" {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("round %d: shard %d never respawned cleanly: %+v (err %v)", round, victim, h, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("  shard %d respawned (respawns > %d), breaker closed\n", victim, priorRespawns)
+
+	// Re-sweep: every row owner-placed again. Dead-owned rows that
+	// failed over were never written through to the victim, so the
+	// revived victim recomputes them — and must land on exactly the
+	// bytes the survivor produced under failover.
+	recomputed, summary2 := runSweep(cluster.url, gridReq, nil)
+	if len(recomputed) != 8 || summary2.Errors != 0 {
+		fail("round %d: post-respawn sweep: %d rows, %d errors", round, len(recomputed), summary2.Errors)
+	}
+	for _, r := range recomputed {
+		if r.Failover != "" || r.Shard != owners[r.Hash] {
+			fail("round %d: post-respawn row %s on shard %d (failover %q), owner %d", round, r.Name, r.Shard, r.Failover, owners[r.Hash])
+		}
+		if !bytes.Equal(r.Result, byHash[r.Hash]) {
+			fail("round %d: row %s recomputed after respawn differs from its failover result", round, r.Name)
+		}
+	}
+
+	// Replay: the whole grid is now a disk hit on BOTH shards.
+	replayed, summary3 := runSweep(cluster.url, gridReq, nil)
+	if len(replayed) != 8 || summary3.Errors != 0 {
+		fail("round %d: replay sweep: %d rows, %d errors", round, len(replayed), summary3.Errors)
+	}
+	hitsByShard := []int{0, 0}
+	for _, r := range replayed {
+		if r.Cache != "hit" {
+			fail("round %d: replay row %s disposition %q, want hit", round, r.Name, r.Cache)
+		}
+		if !bytes.Equal(r.Result, byHash[r.Hash]) {
+			fail("round %d: replay row %s differs from its recomputation", round, r.Name)
+		}
+		hitsByShard[r.Shard]++
+	}
+	if hitsByShard[0] == 0 || hitsByShard[1] == 0 {
+		fail("round %d: replay hits came from one shard only: %v", round, hitsByShard)
+	}
+	fmt.Printf("  full grid replays all-hit from both stores (%d + %d rows)\n", hitsByShard[0], hitsByShard[1])
 }
 
 // fastBase is the analysis-drill workload: the same shape as slowBase

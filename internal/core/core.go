@@ -103,6 +103,9 @@ type RunResult struct {
 	Wall time.Duration
 	// Violations is the number of protocol property violations.
 	Violations uint64
+	// Interrupted reports that Options.Interrupt cut the run short;
+	// Cycles/Stats describe the partial run and Completed is false.
+	Interrupted bool
 }
 
 // KCyclesPerSec returns the simulation speed in kilocycles per second
@@ -125,7 +128,26 @@ type Options struct {
 	// Waveform receives a VCD dump of the AHB signals (pin-accurate
 	// model only).
 	Waveform io.Writer
+	// Interrupt, when non-nil, is polled between simulation slices
+	// (every interruptStride cycles) and aborts the run when it
+	// returns true — the hook a serving deadline hangs off. It must be
+	// cheap and safe to call from the running goroutine. nil runs the
+	// workload in one uninterruptible shot, byte-identical to builds
+	// before the hook existed; a hook that never fires produces the
+	// identical result too, because slicing a discrete-event
+	// simulation at a cycle boundary does not perturb it.
+	Interrupt func() bool
 }
+
+// interruptStride is how many simulated cycles run between Interrupt
+// polls: small enough that a deadline cuts a hung workload within a
+// fraction of a second of host time, large enough that the poll is
+// free next to the simulation itself.
+const interruptStride sim.Cycle = 1 << 18
+
+// defaultMaxCycles mirrors the buses' own generous default cap for
+// MaxCycles == 0 (tlm.Bus.Run / rtl.Bus.Run use the same value).
+const defaultMaxCycles sim.Cycle = 50_000_000
 
 // Run executes the workload on the chosen model.
 func Run(w Workload, m Model, opt Options) RunResult {
@@ -138,15 +160,15 @@ func Run(w Workload, m Model, opt Options) RunResult {
 	switch m {
 	case TLM:
 		b := tlm.New(tlm.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer})
-		res := b.Run(w.MaxCycles)
-		out = RunResult{Model: TLM, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+		res, interrupted := runTLM(b, w.MaxCycles, opt.Interrupt)
+		out = RunResult{Model: TLM, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats, Interrupted: interrupted}
 		// The backing store is not part of the result; recycle its pages
 		// so back-to-back runs stop paying the page-allocation GC tax.
 		b.Mem().Release()
 	case RTL:
 		b := rtl.New(rtl.Config{Params: w.Params, Gens: w.Gens(), Checker: chk, Tracer: opt.Tracer, Waveform: opt.Waveform})
-		res := b.Run(w.MaxCycles)
-		out = RunResult{Model: RTL, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats}
+		res, interrupted := runRTL(b, w.MaxCycles, opt.Interrupt)
+		out = RunResult{Model: RTL, Cycles: res.Cycles, Completed: res.Completed, Stats: res.Stats, Interrupted: interrupted}
 		b.Mem().Release()
 	default:
 		panic(fmt.Sprintf("core: unknown model %d", m))
@@ -154,6 +176,62 @@ func Run(w Workload, m Model, opt Options) RunResult {
 	out.Wall = time.Since(start)
 	out.Violations = chk.Total()
 	return out
+}
+
+// runTLM runs the transaction-level bus, in one shot when there is no
+// interrupt hook, otherwise in interruptStride slices. tlm.Bus.Run's
+// limit is an ABSOLUTE cycle, and its scheduler resumes exactly where
+// the previous slice stopped, so the sliced run visits the identical
+// event sequence as the single-shot one — the slice boundary only
+// decides when the hook is polled.
+func runTLM(b *tlm.Bus, maxCycles sim.Cycle, interrupt func() bool) (tlm.Result, bool) {
+	if interrupt == nil {
+		return b.Run(maxCycles), false
+	}
+	max := maxCycles
+	if max == 0 {
+		max = defaultMaxCycles
+	}
+	var res tlm.Result
+	for limit := interruptStride; ; limit += interruptStride {
+		if limit > max {
+			limit = max
+		}
+		res = b.Run(limit)
+		if res.Completed || limit >= max {
+			return res, false
+		}
+		if interrupt() {
+			return res, true
+		}
+	}
+}
+
+// runRTL is runTLM's pin-accurate twin. rtl.Bus.Run's budget is
+// RELATIVE (the kernel advances up to that many cycles from now), so
+// each slice passes the remaining absolute budget down.
+func runRTL(b *rtl.Bus, maxCycles sim.Cycle, interrupt func() bool) (rtl.Result, bool) {
+	if interrupt == nil {
+		return b.Run(maxCycles), false
+	}
+	max := maxCycles
+	if max == 0 {
+		max = defaultMaxCycles
+	}
+	var res rtl.Result
+	for {
+		step := interruptStride
+		if remaining := max - b.Now(); remaining < step {
+			step = remaining
+		}
+		res = b.Run(step)
+		if res.Completed || b.Now() >= max {
+			return res, false
+		}
+		if interrupt() {
+			return res, true
+		}
+	}
 }
 
 // AccuracyRow is one line of the Table 1 reproduction: the same
@@ -174,16 +252,27 @@ type AccuracyRow struct {
 // state (each Run builds its own platform and generators), so the
 // parallel rows are bit-identical to sequential ones.
 func Compare(w Workload) AccuracyRow {
+	row, _ := CompareInterruptible(w, nil)
+	return row
+}
+
+// CompareInterruptible is Compare with an interrupt hook applied to
+// both model runs (each gets its own Options so nothing else is
+// shared between the concurrent runs). The hook must be safe to call
+// from two goroutines — a context check is. interrupted reports that
+// either run was cut short; the row then describes partial runs and
+// must not be treated as an accuracy result.
+func CompareInterruptible(w Workload, interrupt func() bool) (row AccuracyRow, interrupted bool) {
 	var r, t RunResult
 	farm.Pair(
-		func() { r = Run(w, RTL, Options{}) },
-		func() { t = Run(w, TLM, Options{}) },
+		func() { r = Run(w, RTL, Options{Interrupt: interrupt}) },
+		func() { t = Run(w, TLM, Options{Interrupt: interrupt}) },
 	)
 	d := float64(r.Cycles) - float64(t.Cycles)
 	if d < 0 {
 		d = -d
 	}
-	row := AccuracyRow{
+	row = AccuracyRow{
 		Name:      w.Name,
 		RTLCycles: r.Cycles,
 		TLMCycles: t.Cycles,
@@ -192,7 +281,7 @@ func Compare(w Workload) AccuracyRow {
 	if r.Cycles > 0 {
 		row.ErrPct = 100 * d / float64(r.Cycles)
 	}
-	return row
+	return row, r.Interrupted || t.Interrupted
 }
 
 // CompareAll runs Compare over the workloads and returns the rows plus

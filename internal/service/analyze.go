@@ -49,6 +49,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := s.checkCycleCaps(variants); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	model, compare, err := sweepModel(req.Model)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)

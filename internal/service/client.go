@@ -57,12 +57,15 @@ func RetryWait(header string) time.Duration {
 // callers that hold the number itself (the service's own sweep
 // retries) rather than a header to parse.
 func RetryWaitSeconds(secs int) time.Duration {
+	// Cap before multiplying: a huge advertised wait must clamp to
+	// MaxRetryWait, not overflow time.Duration into the 50ms floor and
+	// hammer the one backend that asked for the most patience.
+	if secs > int(MaxRetryWait/time.Second) {
+		return MaxRetryWait
+	}
 	wait := time.Duration(secs) * time.Second
 	if wait < MinRetryWait {
 		return MinRetryWait
-	}
-	if wait > MaxRetryWait {
-		return MaxRetryWait
 	}
 	return wait
 }

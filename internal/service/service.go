@@ -39,12 +39,14 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 // Options sizes a server.
@@ -62,6 +64,17 @@ type Options struct {
 	// StoreMaxBytes bounds the disk store's payload (<= 0:
 	// store.DefaultMaxBytes). Ignored without StoreDir.
 	StoreMaxBytes int64
+	// RequestTimeout bounds one simulation job, measured from
+	// submission (queue wait counts — that is the time the client
+	// experiences). A job over budget is interrupted at the next cycle
+	// slice and answered 504; the worker is back in the pool
+	// immediately, never poisoned by a pathological spec. <= 0: no
+	// deadline.
+	RequestTimeout time.Duration
+	// MaxCycles caps any accepted spec's max_cycles at validation
+	// time, rejecting pathological cycle budgets with a 400 before
+	// they cost a worker (<= 0: the global spec.MaxRunCycles bound).
+	MaxCycles uint64
 }
 
 // DefaultCacheEntries is the default result-cache capacity.
@@ -97,6 +110,8 @@ type Server struct {
 
 	jobs, hits, coalesced, rejected, storeHits atomic.Uint64
 	workers, queue                             int
+	requestTimeout                             time.Duration
+	maxSpecCycles                              uint64
 
 	// The scenario library is immutable for the server's lifetime:
 	// the /scenarios body and the by-name index are built once in New
@@ -146,13 +161,19 @@ func New(opt Options) (*Server, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
+	maxSpecCycles := opt.MaxCycles
+	if maxSpecCycles == 0 {
+		maxSpecCycles = spec.MaxRunCycles
+	}
 	s := &Server{
-		pool:    farm.NewPool(opt.Workers, opt.Queue),
-		cache:   newLRU(opt.CacheEntries),
-		disk:    disk,
-		flights: make(map[string]*flight),
-		workers: opt.Workers,
-		queue:   opt.Queue,
+		pool:           farm.NewPool(opt.Workers, opt.Queue),
+		cache:          newLRU(opt.CacheEntries),
+		disk:           disk,
+		flights:        make(map[string]*flight),
+		workers:        opt.Workers,
+		queue:          opt.Queue,
+		requestTimeout: opt.RequestTimeout,
+		maxSpecCycles:  maxSpecCycles,
 	}
 	s.buildScenarioLibrary()
 	s.mux = http.NewServeMux()
@@ -297,6 +318,9 @@ func (s *Server) decodeRequest(r *http.Request) (RunRequest, spec.Spec, string, 
 	default:
 		return req, sp, "", core.Workload{}, fmt.Errorf("request needs a spec or a scenario name")
 	}
+	if err := s.checkCycleCap(sp); err != nil {
+		return req, sp, "", core.Workload{}, err
+	}
 	w, err := core.FromSpec(sp)
 	if err != nil {
 		return req, sp, "", core.Workload{}, err
@@ -306,6 +330,30 @@ func (s *Server) decodeRequest(r *http.Request) (RunRequest, spec.Spec, string, 
 		return req, sp, "", core.Workload{}, err
 	}
 	return req, sp, hash, w, nil
+}
+
+// checkCycleCap enforces the server's configured max_cycles cap — a
+// validation-time rejection, so a pathological cycle budget costs a
+// 400, not a worker. The global spec.MaxRunCycles bound is enforced
+// by spec.Validate regardless; this is the deployment's (usually
+// tighter) limit.
+func (s *Server) checkCycleCap(sp spec.Spec) error {
+	if sp.MaxCycles > s.maxSpecCycles {
+		return fmt.Errorf("spec %s: max_cycles %d exceeds the server cap %d", sp.Name, sp.MaxCycles, s.maxSpecCycles)
+	}
+	return nil
+}
+
+// checkCycleCaps applies checkCycleCap to every expanded sweep
+// variant (a max_cycles sweep axis can exceed the cap even when the
+// base spec doesn't).
+func (s *Server) checkCycleCaps(variants []sweep.Variant) error {
+	for _, v := range variants {
+		if err := s.checkCycleCap(v.Spec); err != nil {
+			return fmt.Errorf("variant %d: %w", v.Index, err)
+		}
+	}
+	return nil
 }
 
 // handleRun serves POST /run: one workload through one model.
@@ -336,11 +384,30 @@ func runKey(model core.Model, hash string) string {
 	return "run:" + model.String() + ":" + hash
 }
 
+// errDeadline marks a simulation cut short by the server's request
+// deadline; executeOnce's job wrapper turns it into a 504.
+var errDeadline = errors.New("request deadline exceeded")
+
+// interruptFrom adapts a job context into the simulator's Interrupt
+// hook. A context that can never be cancelled returns nil, selecting
+// the single-shot uninterruptible run path — byte-for-byte the
+// pre-deadline behavior.
+func interruptFrom(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
 // computeRun returns the deterministic body builder for one
-// single-model run; it executes on a pool worker.
-func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) func() ([]byte, error) {
-	return func() ([]byte, error) {
-		res := core.Run(wl, model, core.Options{})
+// single-model run; it executes on a pool worker, under the job's
+// deadline context.
+func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) func(context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
+		res := core.Run(wl, model, core.Options{Interrupt: interruptFrom(ctx)})
+		if res.Interrupted {
+			return nil, errDeadline
+		}
 		return json.Marshal(RunResponse{
 			Name:       sp.Name,
 			Hash:       hash,
@@ -371,10 +438,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 func compareKey(hash string) string { return "compare:" + hash }
 
 // computeCompare returns the deterministic body builder for one
-// accuracy row; it executes on a pool worker.
-func computeCompare(sp spec.Spec, hash string, wl core.Workload) func() ([]byte, error) {
-	return func() ([]byte, error) {
-		row := core.Compare(wl)
+// accuracy row; it executes on a pool worker, under the job's
+// deadline context.
+func computeCompare(sp spec.Spec, hash string, wl core.Workload) func(context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
+		row, interrupted := core.CompareInterruptible(wl, interruptFrom(ctx))
+		if interrupted {
+			return nil, errDeadline
+		}
 		return json.Marshal(CompareResponse{
 			Name:      sp.Name,
 			Hash:      hash,
@@ -448,7 +519,7 @@ func (s *Server) persist(key string, body []byte) {
 // re-probe below still rescues a disk-resident result). A non-nil
 // error means ctx ended before the result was ready — the job itself
 // still completes and fills the cache.
-func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]byte, error), recheck bool) (status int, body []byte, disposition string, err error) {
+func (s *Server) executeOnce(ctx context.Context, key string, compute func(context.Context) ([]byte, error), recheck bool) (status int, body []byte, disposition string, err error) {
 	probe := s.lookup
 	if recheck {
 		probe = s.lookupMemory
@@ -507,6 +578,14 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]
 		}
 	}
 
+	// The deadline clock starts at submission, not at execution: the
+	// queue wait is part of what the client experiences, so a job that
+	// waited out most of its budget in the queue gets only the
+	// remainder to simulate.
+	var deadline time.Time
+	if s.requestTimeout > 0 {
+		deadline = time.Now().Add(s.requestTimeout)
+	}
 	_, serr := s.pool.Submit(func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -521,13 +600,32 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]
 			s.mu.Unlock()
 			close(f.done)
 		}()
-		s.jobs.Add(1)
-		body, err := compute()
-		if err != nil {
-			panic(err)
+		// The job context carries ONLY the server's own deadline —
+		// never the client's: a vanished client must not cancel the
+		// simulation that is about to fill the cache for the next one.
+		jobCtx := context.Background()
+		if !deadline.IsZero() {
+			var cancel context.CancelFunc
+			jobCtx, cancel = context.WithDeadline(jobCtx, deadline)
+			defer cancel()
 		}
-		f.status = http.StatusOK
-		f.body = body
+		s.jobs.Add(1)
+		body, err := compute(jobCtx)
+		switch {
+		case errors.Is(err, errDeadline):
+			// Interrupted, not failed: the worker is already free (the
+			// simulator returned at a cycle-slice boundary). 504, never
+			// cached or persisted — a retry under a lighter load may
+			// finish within budget.
+			f.status = http.StatusGatewayTimeout
+			f.body, _ = json.Marshal(errorResponse{Error: fmt.Sprintf(
+				"simulation aborted: exceeded the server's %v request deadline", s.requestTimeout)})
+		case err != nil:
+			panic(err)
+		default:
+			f.status = http.StatusOK
+			f.body = body
+		}
 	})
 	if serr != nil {
 		// Fill the flight before closing it: requests that already
@@ -566,7 +664,7 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func() ([]
 // serveCached is the HTTP face of executeOnce: the resolved response
 // is written with its cache-disposition header, a client that gave up
 // gets nothing (the job still completes and fills the cache).
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func() ([]byte, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func(context.Context) ([]byte, error)) {
 	status, body, disposition, err := s.executeOnce(r.Context(), key, compute, false)
 	if err != nil {
 		return

@@ -155,6 +155,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := s.checkCycleCaps(variants); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	model, compare, err := sweepModel(req.Model)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -294,15 +298,15 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 	// from disk compiles nothing). Expand already validated the spec,
 	// so a FromSpec failure is a programming error the job surfaces as
 	// its panic-captured 500 body.
-	compute := func() ([]byte, error) {
+	compute := func(jobCtx context.Context) ([]byte, error) {
 		wl, err := core.FromSpec(v.Spec)
 		if err != nil {
 			return nil, err
 		}
 		if compare {
-			return computeCompare(v.Spec, v.Hash, wl)()
+			return computeCompare(v.Spec, v.Hash, wl)(jobCtx)
 		}
-		return computeRun(v.Spec, v.Hash, model, wl)()
+		return computeRun(v.Spec, v.Hash, model, wl)(jobCtx)
 	}
 	key := s.sweepKey(v, model, compare)
 	for attempt := 0; ; attempt++ {

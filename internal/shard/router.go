@@ -5,9 +5,21 @@
 // sharded cluster is byte-identical to a single process); /sweep
 // expands the grid here, routes every variant to its owner, and
 // interleaves the per-shard results into one completion-ordered
-// NDJSON stream ending in a terminal summary row. A dead shard costs
-// exactly its own variants — explicit error rows, never a hang or a
-// silent truncation.
+// NDJSON stream ending in a terminal summary row.
+//
+// Failure is handled by failover, not by reporting: results are
+// content-addressed and bit-reproducible, so ownership only decides
+// cache placement — any live shard computes the byte-identical
+// answer. When a spec's owner is dead (transport error, terminal 503)
+// or its circuit is open, the router walks the spec's rendezvous rank
+// order (shard.Rank) to the next live shard and tags the response
+// X-Failover: <owner>-><served>. The failover path writes through
+// nothing: the owner's store repopulates from replay when it comes
+// back. Per-backend circuit breakers (breaker.go) make a dead shard
+// cost one background /healthz probe per recovery interval instead of
+// a dial timeout per variant. An error row appears only when EVERY
+// shard has refused a variant — never a hang, never a silent
+// truncation.
 package shard
 
 import (
@@ -22,7 +34,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/service"
@@ -46,6 +57,25 @@ type Options struct {
 	// stays the real limiter — this only keeps the router from
 	// provoking gratuitous 503 churn.
 	SweepConcurrency int
+	// AttemptTimeout bounds one backend call (<= 0: none). A hung
+	// backend is then indistinguishable from a dead one: the attempt
+	// is cut, the breaker charged, and the request fails over.
+	AttemptTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit (<= 0: defaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerInterval paces the open-circuit /healthz probes (<= 0:
+	// defaultBreakerInterval).
+	BreakerInterval time.Duration
+	// MaxCycles caps any spec's max_cycles at validation time (<= 0:
+	// only the global spec.MaxRunCycles bound applies). Should match
+	// the backends' -max-cycles so the router rejects pathological
+	// budgets before they cost a forward.
+	MaxCycles uint64
+	// Supervisor, when the router fronts locally supervised backends,
+	// lets the aggregated healthz report process state (running /
+	// respawning / dead-after-give-up) per shard.
+	Supervisor *Supervisor
 }
 
 // defaultSweepConcurrency is the per-shard variant fan-out used when
@@ -58,19 +88,27 @@ const healthTimeout = 2 * time.Second
 
 // shardState is one backend as the router sees it.
 type shardState struct {
-	index  int
-	client *service.Client
-	conc   int
+	index   int
+	client  *service.Client
+	conc    int
+	breaker *breaker
 }
 
-// Router is the sharded frontend. It is stateless apart from its
-// backend list: every routing decision derives from the request's
-// spec hash, so any number of router replicas agree.
+// Router is the sharded frontend. Apart from its backend list it
+// holds only per-backend circuit state: every routing decision
+// derives from the request's spec hash, so any number of router
+// replicas agree on ownership and failover order (breaker state may
+// briefly differ per replica — it converges via the shared probes).
 type Router struct {
 	shards         []*shardState
 	mux            *http.ServeMux
 	scenariosBody  []byte
 	scenarioByName map[string]spec.Spec
+	attemptTimeout time.Duration
+	maxCycles      uint64
+	sup            *Supervisor
+	stop           chan struct{}
+	stopOnce       sync.Once
 }
 
 // New builds a router over the given backends. Construction never
@@ -81,7 +119,12 @@ func New(opt Options) (*Router, error) {
 	if len(opt.Backends) == 0 {
 		return nil, errors.New("shard: no backends")
 	}
-	rt := &Router{}
+	rt := &Router{
+		attemptTimeout: opt.AttemptTimeout,
+		maxCycles:      opt.MaxCycles,
+		sup:            opt.Supervisor,
+		stop:           make(chan struct{}),
+	}
 	rt.scenariosBody, rt.scenarioByName = service.ScenarioLibrary()
 	for i, base := range opt.Backends {
 		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
@@ -96,10 +139,15 @@ func New(opt Options) (*Router, error) {
 		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
 			return nil, fmt.Errorf("shard: backend %d URL %q must be http(s)://host[:port]", i, base)
 		}
+		client := &service.Client{Base: base, HTTP: opt.HTTP}
 		rt.shards = append(rt.shards, &shardState{
 			index:  i,
-			client: &service.Client{Base: base, HTTP: opt.HTTP},
+			client: client,
 			conc:   opt.SweepConcurrency,
+			breaker: newBreaker(opt.BreakerThreshold, opt.BreakerInterval, func(ctx context.Context) error {
+				_, err := client.FetchHealth(ctx)
+				return err
+			}, rt.stop),
 		})
 	}
 	var wg sync.WaitGroup
@@ -135,6 +183,12 @@ func (rt *Router) Shards() int { return len(rt.shards) }
 // Handler returns the HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
+// Close stops the router's background work (open-circuit probers).
+// In-flight requests are unaffected; Close exists so embedding tests
+// and servers can shut down without leaking probe goroutines against
+// permanently dead backends.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
 // maxBodyBytes mirrors the backend's request-body bound.
 const maxBodyBytes = 1 << 20
 
@@ -153,42 +207,69 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Write(errorBody(format, args...))
 }
 
-// resolveHash decodes a /run-shaped body far enough to route it: the
-// spec's content hash. Validation beyond that stays on the backend —
-// the router forwards the original bytes, so the backend's strict
-// decode sees exactly what the client sent.
-func (rt *Router) resolveHash(body []byte) (string, error) {
+// resolveSpec decodes a /run-shaped body far enough to route it: the
+// spec and its content hash. Validation beyond the routing needs (and
+// the router's own max_cycles cap) stays on the backend — the router
+// forwards the original bytes, so the backend's strict decode sees
+// exactly what the client sent.
+func (rt *Router) resolveSpec(body []byte) (spec.Spec, string, error) {
 	var req service.RunRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return "", fmt.Errorf("parsing request: %w", err)
+		return spec.Spec{}, "", fmt.Errorf("parsing request: %w", err)
 	}
 	var sp spec.Spec
 	switch {
 	case req.Spec != nil && req.Scenario != "":
-		return "", errors.New("request has both spec and scenario; send one")
+		return sp, "", errors.New("request has both spec and scenario; send one")
 	case req.Spec != nil:
 		sp = *req.Spec
 	case req.Scenario != "":
 		found, ok := rt.scenarioByName[req.Scenario]
 		if !ok {
-			return "", fmt.Errorf("unknown scenario %q", req.Scenario)
+			return sp, "", fmt.Errorf("unknown scenario %q", req.Scenario)
 		}
 		sp = found
 	default:
-		return "", errors.New("request needs a spec or a scenario name")
+		return sp, "", errors.New("request needs a spec or a scenario name")
 	}
-	return sp.Hash()
+	hash, err := sp.Hash()
+	return sp, hash, err
+}
+
+// checkCycleCap enforces the router's configured max_cycles cap — the
+// same bound the backends enforce via -max-cycles, applied here so a
+// pathological budget is rejected before it costs a forward.
+func (rt *Router) checkCycleCap(sp spec.Spec) error {
+	if rt.maxCycles > 0 && sp.MaxCycles > rt.maxCycles {
+		return fmt.Errorf("spec %s: max_cycles %d exceeds the cluster cap %d", sp.Name, sp.MaxCycles, rt.maxCycles)
+	}
+	return nil
+}
+
+// post sends one backend call, bounded by the per-attempt timeout
+// when configured. The attempt context is derived from the caller's,
+// so a vanished client still cancels the forward immediately.
+func (rt *Router) post(ctx context.Context, sh *shardState, path string, body []byte) (int, http.Header, []byte, error) {
+	if rt.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.attemptTimeout)
+		defer cancel()
+	}
+	return sh.client.PostJSON(ctx, path, body)
 }
 
 // proxyHeaders is the response-header allowlist forwarded from a
 // backend: the cache/replay contract plus backpressure.
 var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-After", "X-Terminal"}
 
-// handleProxy serves POST /run and /compare: hash, pick the owner,
-// forward verbatim, relay the response. The router adds exactly one
-// header of its own (X-Shard) so operators can see placement.
+// handleProxy serves POST /run and /compare: hash, walk the spec's
+// rendezvous rank order starting at its owner, forward verbatim to
+// the first live shard, relay the response. The router adds X-Shard
+// (the shard that served) and, when that isn't the owner, X-Failover
+// ("owner->served") so operators can see both placement and
+// degradation. 502 only when every shard refused.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -199,29 +280,55 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 		writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
-	hash, err := rt.resolveHash(body)
+	sp, hash, err := rt.resolveSpec(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sh := rt.shards[Owner(hash, len(rt.shards))]
-	status, hdr, respBody, err := sh.client.PostJSON(r.Context(), path, body)
-	if err != nil {
-		if r.Context().Err() != nil {
-			return // client gone; nothing to say and no one to say it to
-		}
-		w.Header().Set("X-Shard", strconv.Itoa(sh.index))
-		writeError(w, http.StatusBadGateway, "shard %d (%s) unreachable: %v", sh.index, sh.client.Base, err)
+	if err := rt.checkCycleCap(sp); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	for _, name := range proxyHeaders {
-		if v := hdr.Get(name); v != "" {
-			w.Header().Set(name, v)
+	ranks := Rank(hash, len(rt.shards))
+	owner := ranks[0]
+	lastErr := ""
+	for _, idx := range ranks {
+		sh := rt.shards[idx]
+		if !sh.breaker.allow() {
+			lastErr = fmt.Sprintf("shard %d (%s): circuit open", idx, sh.client.Base)
+			continue
 		}
+		status, hdr, respBody, err := rt.post(r.Context(), sh, path, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nothing to say and no one to say it to
+			}
+			sh.breaker.failure()
+			lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", idx, sh.client.Base, err)
+			continue
+		}
+		if status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") != "" {
+			// Shutting down — as dead as a failed dial for routing
+			// purposes; the next-ranked shard serves.
+			sh.breaker.failure()
+			lastErr = fmt.Sprintf("shard %d (%s) shutting down", idx, sh.client.Base)
+			continue
+		}
+		sh.breaker.success()
+		for _, name := range proxyHeaders {
+			if v := hdr.Get(name); v != "" {
+				w.Header().Set(name, v)
+			}
+		}
+		w.Header().Set("X-Shard", strconv.Itoa(idx))
+		if idx != owner {
+			w.Header().Set("X-Failover", fmt.Sprintf("%d->%d", owner, idx))
+		}
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
 	}
-	w.Header().Set("X-Shard", strconv.Itoa(sh.index))
-	w.WriteHeader(status)
-	w.Write(respBody)
+	writeError(w, http.StatusBadGateway, "no live shard for spec (owner %d): %s", owner, lastErr)
 }
 
 // handleScenarios serves GET /scenarios — the same library every
@@ -242,6 +349,12 @@ type ShardHealth struct {
 	Addr  string `json:"addr"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Breaker is the router's circuit state for this backend:
+	// "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Proc is the supervisor's process view (supervised clusters
+	// only): running / respawning / dead, plus the respawn count.
+	Proc *ProcStatus `json:"proc,omitempty"`
 	// Health is the backend's own /healthz body, absent when the
 	// shard is unreachable.
 	Health *service.Health `json:"health,omitempty"`
@@ -249,8 +362,9 @@ type ShardHealth struct {
 
 // ClusterHealth is the router's GET /healthz body: per-shard liveness
 // and occupancy plus cluster totals. OK is the conjunction — a
-// cluster with a dead shard is degraded (its keyspace slice fails),
-// and monitoring must see that even while the healthy shards serve.
+// cluster with a dead shard is degraded (its keyspace is served by
+// failover, without its warm store), and monitoring must see that
+// even while every request still succeeds.
 type ClusterHealth struct {
 	OK     bool          `json:"ok"`
 	Shards []ShardHealth `json:"shards"`
@@ -269,6 +383,10 @@ type ClusterHealth struct {
 // FetchClusterHealth probes every backend concurrently and aggregates.
 func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 	out := ClusterHealth{OK: true, Shards: make([]ShardHealth, len(rt.shards))}
+	var procs []ProcStatus
+	if rt.sup != nil {
+		procs = rt.sup.Status()
+	}
 	var wg sync.WaitGroup
 	for i, sh := range rt.shards {
 		wg.Add(1)
@@ -285,6 +403,13 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 		}(i, sh)
 	}
 	wg.Wait()
+	for i, sh := range rt.shards {
+		out.Shards[i].Breaker = sh.breaker.State()
+		if i < len(procs) {
+			p := procs[i]
+			out.Shards[i].Proc = &p
+		}
+	}
 	for _, s := range out.Shards {
 		if !s.OK || s.Health == nil {
 			out.OK = false
@@ -327,12 +452,15 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // Row is one NDJSON data line of the router's /sweep stream: the
-// backend's row plus the shard that owned the variant. Shard is
+// backend's row plus the shard that served the variant. Shard is
 // always present (0 is a real shard), which is why this is a distinct
 // wire type rather than an omitempty field on the backend row.
+// Failover is set ("owner->served") when the serving shard is not the
+// owner — the stream-level twin of the X-Failover header.
 type Row struct {
 	service.SweepRow
-	Shard int `json:"shard"`
+	Shard    int    `json:"shard"`
+	Failover string `json:"failover,omitempty"`
 }
 
 // sweepEndpoint maps the request's model selector onto the per-variant
@@ -347,13 +475,29 @@ func sweepEndpoint(model string) (path, runModel string, err error) {
 	return "", "", fmt.Errorf("unknown model %q (want tl, rtl or compare)", model)
 }
 
+// expandVariants runs the backend's own grid expansion plus the
+// router's max_cycles cap over every variant — router and worker
+// accept exactly the same grids, by construction.
+func (rt *Router) expandVariants(req service.SweepRequest) ([]sweep.Variant, error) {
+	variants, err := service.ExpandSweepRequest(req, rt.scenarioByName)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range variants {
+		if err := rt.checkCycleCap(v.Spec); err != nil {
+			return nil, fmt.Errorf("variant %d: %w", v.Index, err)
+		}
+	}
+	return variants, nil
+}
+
 // handleSweep serves POST /sweep: expand the grid once, route each
 // variant to its owning shard as an individual /run (or /compare)
 // call, and merge the results into one completion-ordered stream.
 // Per-variant forwarding — rather than forwarding sub-grids — is what
 // lets every variant share the backend's full cache/coalescing path
-// with direct requests, and keeps a dead shard's blast radius to
-// exactly the variants it owns.
+// with direct requests, and what makes failover per-variant: a dead
+// shard's keyspace is simply computed by the next-ranked live shard.
 func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -366,9 +510,7 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	// The backend's own expansion logic: router and worker accept
-	// exactly the same grids, by construction.
-	variants, err := service.ExpandSweepRequest(req, rt.scenarioByName)
+	variants, err := rt.expandVariants(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -416,11 +558,15 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 // emit — always from this goroutine — once per variant in completion
 // order. It is the one fan-out engine behind both the streaming
 // /sweep handler and /sweep/analyze, so the two endpoints share
-// per-shard concurrency, retry semantics and dead-shard behavior.
-// Returns false when ctx ended first — the emitted rows are then a
-// subset of the grid.
+// per-shard concurrency, retry and failover semantics. Returns false
+// when ctx ended first — the emitted rows are then a subset of the
+// grid.
 func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
-	// Partition the grid: each variant to its owner's work list.
+	// Partition the grid: each variant to its owner's work list. The
+	// owner drives the partition even when dead — its breaker redirects
+	// each variant at resolve time — so the per-shard concurrency
+	// bounds stay attached to the shard doing the owning, and a
+	// recovered shard picks its keyspace back up mid-sweep.
 	perShard := make([][]sweep.Variant, len(rt.shards))
 	for _, v := range variants {
 		owner := Owner(v.Hash, len(rt.shards))
@@ -434,19 +580,14 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 		if len(work) == 0 {
 			continue
 		}
-		// dead is per-sweep state: the first transport failure fails
-		// this sweep's remaining variants on the shard immediately
-		// (fast explicit errors, no per-variant timeout crawl), while
-		// the next sweep re-probes — a respawned shard serves again.
-		dead := &atomic.Bool{}
 		queue := make(chan sweep.Variant)
 		workers := min(sh.conc, len(work))
 		for k := 0; k < workers; k++ {
 			wg.Add(1)
-			go func(sh *shardState) {
+			go func() {
 				defer wg.Done()
 				for v := range queue {
-					row, ok := rt.resolveVariant(ctx, sh, dead, v, path, runModel)
+					row, ok := rt.resolveVariant(ctx, v, path, runModel)
 					if !ok {
 						return // client gone
 					}
@@ -456,7 +597,7 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 						return
 					}
 				}
-			}(sh)
+			}()
 		}
 		wg.Add(1)
 		go func(work []sweep.Variant) {
@@ -489,10 +630,11 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 // the variants out per-owner exactly like /sweep, and aggregate
 // ROUTER-side into the same analysis document a single process
 // produces — byte-identical for identical results, because both ends
-// run the identical service.AnalyzeRows path. A dead shard's variants
-// arrive as error rows and surface in the document as explicit
-// incomplete metadata (failed list, analyzed < variants) — never a
-// silently-shrunk frontier that reads like the whole design space.
+// run the identical service.AnalyzeRows path. Failover keeps the
+// document complete across single-shard loss; only a variant no shard
+// could serve surfaces as explicit incomplete metadata (failed list,
+// analyzed < variants) — never a silently-shrunk frontier that reads
+// like the whole design space.
 func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -505,7 +647,7 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	variants, err := service.ExpandSweepRequest(req.SweepRequest, rt.scenarioByName)
+	variants, err := rt.expandVariants(req.SweepRequest)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -546,60 +688,97 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-// resolveVariant runs one variant against its owning shard, retrying
-// saturation 503s with the backend's own Retry-After as the backoff —
-// the honest signal: a deep backlog advertises a long wait, and the
-// router paces itself accordingly instead of hammering. ok=false
-// means the client's context ended.
-func (rt *Router) resolveVariant(ctx context.Context, sh *shardState, dead *atomic.Bool, v sweep.Variant, path, runModel string) (Row, bool) {
+// resolveVariant runs one variant against the cluster: the shards in
+// the variant's rendezvous rank order, starting at its owner. On each
+// live shard, saturation 503s are retried with the backend's own
+// Retry-After as the backoff — the honest signal: a deep backlog
+// advertises a long wait, and the router paces itself accordingly
+// instead of hammering. A dead shard (circuit open, transport error,
+// terminal 503) costs one step down the rank order; a served-by-
+// non-owner row carries the Failover tag. A deterministic non-503
+// error (bad spec: 400/500) is NOT failed over — every shard would
+// answer identically. The error row exists only when every shard
+// refused. ok=false means the client's context ended.
+func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, runModel string) (Row, bool) {
+	ranks := Rank(v.Hash, len(rt.shards))
+	owner := ranks[0]
 	row := Row{SweepRow: service.SweepRow{
 		Index:  v.Index,
 		Name:   v.Spec.Name,
 		Hash:   v.Hash,
 		Params: v.Params,
-	}, Shard: sh.index}
+	}, Shard: owner}
 	reqBody, err := json.Marshal(service.RunRequest{Spec: &v.Spec, Model: runModel})
 	if err != nil {
 		row.Error = err.Error()
 		return row, true
 	}
-	for {
-		if dead.Load() {
-			row.Error = fmt.Sprintf("shard %d (%s) is down", sh.index, sh.client.Base)
-			return row, true
+	lastErr := ""
+	for _, idx := range ranks {
+		if ctx.Err() != nil {
+			return Row{}, false
 		}
-		status, hdr, body, err := sh.client.PostJSON(ctx, path, reqBody)
-		if err != nil {
-			if ctx.Err() != nil {
-				return Row{}, false
-			}
-			dead.Store(true)
-			row.Error = fmt.Sprintf("shard %d (%s) unreachable: %v", sh.index, sh.client.Base, err)
-			return row, true
+		sh := rt.shards[idx]
+		if !sh.breaker.allow() {
+			lastErr = fmt.Sprintf("shard %d (%s): circuit open", idx, sh.client.Base)
+			continue
 		}
-		switch {
-		case status == http.StatusOK:
-			row.Cache = hdr.Get("X-Cache")
-			row.Result = json.RawMessage(body)
-			return row, true
-		case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
-			// Saturated, not shutting down: honor the advertised wait
-			// (the shared clamp — service.RetryWait — also covers the
-			// backend's own in-process sweep retries, so the two paths
-			// cannot drift).
-			if !service.SleepRetryAfter(ctx, hdr.Get("Retry-After")) {
-				return Row{}, false
+	attempt:
+		for {
+			status, hdr, body, err := rt.post(ctx, sh, path, reqBody)
+			if err != nil {
+				if ctx.Err() != nil {
+					return Row{}, false
+				}
+				sh.breaker.failure()
+				lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", idx, sh.client.Base, err)
+				break attempt // next-ranked shard
 			}
-		default:
-			var e struct {
-				Error string `json:"error"`
+			switch {
+			case status == http.StatusOK:
+				sh.breaker.success()
+				row.Shard = idx
+				if idx != owner {
+					row.Failover = fmt.Sprintf("%d->%d", owner, idx)
+				}
+				row.Cache = hdr.Get("X-Cache")
+				row.Result = json.RawMessage(body)
+				return row, true
+			case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
+				// Saturated, not shutting down: a LIVE backend asking for
+				// patience — honor the advertised wait (the shared clamp —
+				// service.RetryWait — also covers the backend's own
+				// in-process sweep retries, so the two paths cannot
+				// drift), and stay on this shard: its queue drains, and
+				// failing over a mere burst would shed the owner's warm
+				// cache for nothing.
+				sh.breaker.success()
+				if !service.SleepRetryAfter(ctx, hdr.Get("Retry-After")) {
+					return Row{}, false
+				}
+			case status == http.StatusServiceUnavailable:
+				// Terminal: the backend is going away.
+				sh.breaker.failure()
+				lastErr = fmt.Sprintf("shard %d (%s) shutting down", idx, sh.client.Base)
+				break attempt // next-ranked shard
+			default:
+				// A deterministic error (bad spec, simulation failure):
+				// every shard computes the same answer, so failing over
+				// would just repeat it more expensively.
+				sh.breaker.success()
+				row.Shard = idx
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(body, &e) == nil && e.Error != "" {
+					row.Error = e.Error
+				} else {
+					row.Error = fmt.Sprintf("status %d", status)
+				}
+				return row, true
 			}
-			if json.Unmarshal(body, &e) == nil && e.Error != "" {
-				row.Error = e.Error
-			} else {
-				row.Error = fmt.Sprintf("status %d", status)
-			}
-			return row, true
 		}
 	}
+	row.Error = fmt.Sprintf("no live shard for variant (owner %d): %s", owner, lastErr)
+	return row, true
 }

@@ -20,7 +20,10 @@
 // processes for `simd -shards N`.
 package shard
 
-import "strconv"
+import (
+	"sort"
+	"strconv"
+)
 
 // Owner returns the shard index in [0, n) that owns the given spec
 // content hash, by rendezvous (highest-random-weight) hashing: score
@@ -47,6 +50,35 @@ func Owner(hash string, n int) int {
 		}
 	}
 	return best
+}
+
+// Rank returns every shard index ordered by descending rendezvous
+// score for the given hash: Rank(h, n)[0] == Owner(h, n), and the
+// rest is the deterministic failover order. Because the scores are a
+// pure function of (hash, n), every router replica computes the same
+// preference list, so "the next-ranked live shard" is a well-defined
+// cluster-wide notion without any coordination. Results are
+// content-addressed and bit-reproducible, which is what makes walking
+// this list semantically free: any live shard computes the
+// byte-identical answer, the owner merely holds the warm cache.
+func Rank(hash string, n int) []int {
+	if n <= 1 {
+		return []int{0}
+	}
+	scores := make([]uint64, n)
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		scores[i] = rendezvousScore(hash, i)
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b] // deterministic on (improbable) ties
+	})
+	return order
 }
 
 // rendezvousScore is FNV-1a over "hash/shard-index". FNV is not

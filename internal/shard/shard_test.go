@@ -63,6 +63,7 @@ func newCluster(t *testing.T, n int, opt service.Options) ([]*service.Server, st
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(rt.Close)
 	front := httptest.NewServer(rt.Handler())
 	t.Cleanup(front.Close)
 	return backends, front.URL
@@ -308,11 +309,14 @@ func TestRouterSweepMergesShardsWithTerminalRow(t *testing.T) {
 	}
 }
 
-func TestRouterSweepDeadShardFailsOnlyItsVariants(t *testing.T) {
-	// Two backends; one is torn down before the sweep. Its variants
-	// must come back as explicit error rows naming the shard, the
-	// survivor's variants must succeed, and the stream must end with a
-	// truthful terminal summary — not hang, not truncate.
+func TestRouterSweepDeadShardFailsOverToSurvivor(t *testing.T) {
+	// Two backends; one is torn down before the sweep. Results are
+	// content-addressed, so ownership only decides cache placement:
+	// the dead shard's variants must fail over to the survivor — zero
+	// error rows, Failover tags naming the reroute — and the stream
+	// must end with a truthful terminal summary. The dead backend's
+	// breaker must be open by the end (its variants each cost at most
+	// one dial, then the circuit eats the rest).
 	srvA, tsA := newBackend(t, service.Options{Workers: 2})
 	_, tsB := newBackend(t, service.Options{Workers: 2})
 	urls := []string{tsA.URL, tsB.URL}
@@ -320,6 +324,7 @@ func TestRouterSweepDeadShardFailsOnlyItsVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(rt.Close)
 	front := httptest.NewServer(rt.Handler())
 	t.Cleanup(front.Close)
 	tsB.Close() // shard 1 dies
@@ -339,42 +344,96 @@ func TestRouterSweepDeadShardFailsOnlyItsVariants(t *testing.T) {
 	if len(rows) != 8 || !done {
 		t.Fatalf("%d rows, done=%v", len(rows), done)
 	}
-	if summary.Rows != 8 || summary.Errors != deadOwned {
-		t.Fatalf("summary %+v, want %d errors", summary, deadOwned)
+	if summary.Rows != 8 || summary.Errors != 0 {
+		t.Fatalf("summary %+v, want 0 errors", summary)
 	}
+	failedOver := 0
 	for _, row := range rows {
+		if row.Error != "" {
+			t.Fatalf("row %s errored despite a live shard: %q", row.Name, row.Error)
+		}
 		owner := Owner(row.Hash, 2)
 		switch owner {
 		case 0:
-			if row.Error != "" || row.Cache != "miss" {
-				t.Fatalf("live-shard row %s failed: %q", row.Name, row.Error)
+			if row.Shard != 0 || row.Failover != "" {
+				t.Fatalf("live-owned row %s served by %d failover %q", row.Name, row.Shard, row.Failover)
 			}
 		case 1:
-			if row.Error == "" || !strings.Contains(row.Error, "shard 1") {
-				t.Fatalf("dead-shard row %s error %q", row.Name, row.Error)
+			if row.Shard != 0 || row.Failover != "1->0" {
+				t.Fatalf("dead-owned row %s served by %d failover %q, want shard 0 via 1->0", row.Name, row.Shard, row.Failover)
 			}
 		}
-		if row.Shard != owner {
-			t.Fatalf("row %s shard %d, owner %d", row.Name, row.Shard, owner)
+	}
+	for _, row := range rows {
+		if row.Failover != "" {
+			failedOver++
 		}
 	}
-	if jobs := srvA.CountersSnapshot().Jobs; jobs != uint64(8-deadOwned) {
-		t.Fatalf("live shard ran %d jobs, owns %d", jobs, 8-deadOwned)
+	if failedOver != deadOwned {
+		t.Fatalf("%d failover rows, dead shard owned %d", failedOver, deadOwned)
+	}
+	// The survivor computed the WHOLE grid (its own variants plus the
+	// failed-over ones).
+	if jobs := srvA.CountersSnapshot().Jobs; jobs != 8 {
+		t.Fatalf("live shard ran %d jobs, want all 8", jobs)
+	}
+	// deadOwned >= breaker threshold here, so the circuit must be open
+	// (or already probed into half-open — never closed: the backend is
+	// still down and the probe cannot have succeeded).
+	if deadOwned >= defaultBreakerThreshold {
+		if st := rt.shards[1].breaker.State(); st != breakerOpen {
+			t.Fatalf("dead shard breaker %q, want open", st)
+		}
 	}
 
-	// Direct /run of a dead-shard spec: explicit 502, not a hang.
+	// Direct /run of a dead-shard spec: 200 via failover, tagged.
 	for _, v := range variants {
 		if Owner(v.Hash, 2) != 1 {
 			continue
 		}
 		status, hdr, body := post(t, front.URL+"/run", map[string]any{"spec": v.Spec, "model": "tl"})
-		if status != http.StatusBadGateway || !strings.Contains(string(body), "shard 1") {
+		if status != http.StatusOK {
 			t.Fatalf("dead-shard /run: %d %s", status, body)
 		}
-		if hdr.Get("X-Shard") != "1" {
-			t.Fatalf("dead-shard X-Shard %q", hdr.Get("X-Shard"))
+		if hdr.Get("X-Shard") != "0" || hdr.Get("X-Failover") != "1->0" {
+			t.Fatalf("dead-shard /run X-Shard %q X-Failover %q", hdr.Get("X-Shard"), hdr.Get("X-Failover"))
 		}
 		break
+	}
+}
+
+func TestRouterAllShardsDeadIsExplicit(t *testing.T) {
+	// Failover has somewhere to go only while a shard lives. With the
+	// whole cluster down the router must say so: 502 on /run, explicit
+	// error rows plus a truthful summary on /sweep — never a hang.
+	_, tsA := newBackend(t, service.Options{Workers: 2})
+	_, tsB := newBackend(t, service.Options{Workers: 2})
+	rt, err := New(Options{Backends: []string{tsA.URL, tsB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	tsA.Close()
+	tsB.Close()
+
+	status, _, body := post(t, front.URL+"/run", map[string]any{"spec": testSpec(29), "model": "tl"})
+	if status != http.StatusBadGateway || !strings.Contains(string(body), "no live shard") {
+		t.Fatalf("all-dead /run: %d %s", status, body)
+	}
+
+	_, rows, summary, done := readSweep(t, front.URL, gridRequest(29))
+	if len(rows) != 8 || !done {
+		t.Fatalf("%d rows, done=%v", len(rows), done)
+	}
+	if summary.Errors != 8 {
+		t.Fatalf("summary %+v, want 8 errors", summary)
+	}
+	for _, row := range rows {
+		if !strings.Contains(row.Error, "no live shard") {
+			t.Fatalf("row %s error %q", row.Name, row.Error)
+		}
 	}
 }
 
@@ -590,31 +649,60 @@ func TestRouterAnalyzeByteIdenticalToSingleProcess(t *testing.T) {
 	}
 }
 
-func TestRouterAnalyzeDeadShardReportsIncomplete(t *testing.T) {
-	// A dead shard must surface as explicit incomplete metadata —
-	// analyzed < variants, its variants in the failed list — never as
-	// a silently smaller frontier that reads like the whole design
-	// space.
+func TestRouterAnalyzeDeadShardStaysComplete(t *testing.T) {
+	// Single-shard loss must not dent the analysis document: failover
+	// computes the dead shard's variants on the survivor, and the
+	// resulting document is byte-identical to a healthy single-process
+	// run — complete, no failed list.
 	_, tsA := newBackend(t, service.Options{Workers: 2})
 	_, tsB := newBackend(t, service.Options{Workers: 2})
 	rt, err := New(Options{Backends: []string{tsA.URL, tsB.URL}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(rt.Close)
 	front := httptest.NewServer(rt.Handler())
 	t.Cleanup(front.Close)
 	tsB.Close() // shard 1 dies
 
-	variants := expandGrid(t, 13)
-	deadOwned := 0
-	for _, v := range variants {
-		if Owner(v.Hash, 2) == 1 {
-			deadOwned++
-		}
+	_, single := newBackend(t, service.Options{Workers: 2})
+	wantStatus, _, wantBody := post(t, single.URL+"/sweep/analyze", analyzeRequest(13))
+	if wantStatus != http.StatusOK {
+		t.Fatalf("single-process analyze: %d %s", wantStatus, wantBody)
 	}
-	if deadOwned == 0 || deadOwned == len(variants) {
-		t.Fatalf("degenerate partition: dead shard owns %d of %d", deadOwned, len(variants))
+
+	status, _, body := post(t, front.URL+"/sweep/analyze", analyzeRequest(13))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
 	}
+	if !bytes.Equal(body, wantBody) {
+		t.Fatalf("degraded-cluster analysis diverged from single process:\n%s\nvs\n%s", body, wantBody)
+	}
+	var doc agg.Analysis
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Incomplete || doc.Analyzed != 8 || len(doc.Failed) != 0 {
+		t.Fatalf("incomplete/analyzed/failed %v/%d/%d, want complete 8", doc.Incomplete, doc.Analyzed, len(doc.Failed))
+	}
+}
+
+func TestRouterAnalyzeAllShardsDeadReportsIncomplete(t *testing.T) {
+	// With no shard left to fail over to, the document must carry
+	// explicit incomplete metadata — analyzed 0, every variant in the
+	// failed list — never a silently-shrunk frontier that reads like
+	// the whole design space.
+	_, tsA := newBackend(t, service.Options{Workers: 2})
+	_, tsB := newBackend(t, service.Options{Workers: 2})
+	rt, err := New(Options{Backends: []string{tsA.URL, tsB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	tsA.Close()
+	tsB.Close()
 
 	status, _, body := post(t, front.URL+"/sweep/analyze", analyzeRequest(13))
 	if status != http.StatusOK {
@@ -625,20 +713,19 @@ func TestRouterAnalyzeDeadShardReportsIncomplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !doc.Incomplete {
-		t.Fatalf("dead-shard analysis not marked incomplete: %s", body)
+		t.Fatalf("all-dead analysis not marked incomplete: %s", body)
 	}
-	if doc.Variants != 8 || doc.Analyzed != 8-deadOwned || len(doc.Failed) != deadOwned {
-		t.Fatalf("variants/analyzed/failed %d/%d/%d, want 8/%d/%d",
-			doc.Variants, doc.Analyzed, len(doc.Failed), 8-deadOwned, deadOwned)
+	if doc.Variants != 8 || doc.Analyzed != 0 || len(doc.Failed) != 8 {
+		t.Fatalf("variants/analyzed/failed %d/%d/%d, want 8/0/8",
+			doc.Variants, doc.Analyzed, len(doc.Failed))
 	}
 	for _, f := range doc.Failed {
-		if Owner(f.Hash, 2) != 1 || !strings.Contains(f.Error, "shard 1") {
-			t.Fatalf("failure %+v not attributed to the dead shard", f)
+		if !strings.Contains(f.Error, "no live shard") {
+			t.Fatalf("failure %+v lacks the no-live-shard attribution", f)
 		}
 	}
-	// The survivors still yield a (subset) answer.
-	if doc.Best == nil || Owner(doc.Best.Hash, 2) != 0 {
-		t.Fatalf("best %+v", doc.Best)
+	if doc.Best != nil {
+		t.Fatalf("best %+v from zero analyzed rows", doc.Best)
 	}
 }
 

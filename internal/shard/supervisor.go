@@ -2,11 +2,15 @@
 // `simd -shards N`, learns each child's actual listen address from
 // its startup banner (children bind 127.0.0.1:0 — no port guessing,
 // no collision window), and babysits them. A child that dies is
-// respawned on the SAME port after a short delay, so the router's
-// backend list — which is what gives shard indices their identity —
-// never changes while the cluster runs; with per-shard store
-// directories, the revived process reopens its store and replays its
-// slice of the keyspace byte-identically.
+// respawned on the SAME port after an exponentially backed-off delay,
+// so the router's backend list — which is what gives shard indices
+// their identity — never changes while the cluster runs; with
+// per-shard store directories, the revived process reopens its store
+// and replays its slice of the keyspace byte-identically. A child
+// that keeps dying is eventually abandoned: the supervisor marks it
+// dead (visible in Status and the router's healthz) instead of
+// forking forever, and the router's failover serves its keyspace from
+// the surviving shards.
 package shard
 
 import (
@@ -14,6 +18,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"regexp"
@@ -32,17 +37,67 @@ type Proc struct {
 	Pid int
 }
 
+// Process states reported by Status.
+const (
+	// ProcRunning: the child is up (banner seen, not yet exited).
+	ProcRunning = "running"
+	// ProcRespawning: the child died and a revival is in progress
+	// (backoff sleep or banner wait).
+	ProcRespawning = "respawning"
+	// ProcDead: the respawn budget is exhausted; the supervisor has
+	// given up on this shard. Terminal until the supervisor restarts.
+	ProcDead = "dead"
+)
+
+// ProcStatus is one shard's process state as reported by Status and
+// embedded in the router's aggregated healthz.
+type ProcStatus struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+	Pid   int    `json:"pid"`
+	State string `json:"state"`
+	// Respawns counts successful revivals over the supervisor's
+	// lifetime (a crash-looping child shows this climbing before the
+	// state goes dead).
+	Respawns int `json:"respawns"`
+}
+
 // child is the supervisor's mutable view of one backend slot.
 type child struct {
-	index int
-	addr  string
-	args  []string // argsFor(index), without -addr
-	cmd   *exec.Cmd
+	index    int
+	addr     string
+	args     []string // argsFor(index), without -addr
+	cmd      *exec.Cmd
+	state    string
+	respawns int
+}
+
+// SpawnOptions tunes the supervisor's respawn policy. The zero value
+// selects the defaults; tests and the chaos harness shrink the
+// timings to exercise crash loops in milliseconds.
+type SpawnOptions struct {
+	// Log receives child stderr/stdout chatter, prefixed per shard
+	// (nil: os.Stderr).
+	Log io.Writer
+	// RespawnBase is the first revival delay (<= 0: 300ms). Each
+	// consecutive short-lived respawn doubles it — with jitter, so a
+	// cluster of crash-looping shards doesn't thunder back in sync.
+	RespawnBase time.Duration
+	// RespawnMax caps the backoff (<= 0: 5s).
+	RespawnMax time.Duration
+	// RespawnAttempts bounds CONSECUTIVE revival retries (<= 0: 5);
+	// past this the shard is marked dead and stays down.
+	RespawnAttempts int
+	// StableUptime is how long a child must survive for its next
+	// crash to count as fresh rather than a continuation of a crash
+	// loop (<= 0: 10s).
+	StableUptime time.Duration
 }
 
 // Supervisor owns a set of locally spawned backend processes.
 type Supervisor struct {
 	bin string
+	opt SpawnOptions
 	// Log receives child stderr/stdout chatter, prefixed per shard.
 	log io.Writer
 
@@ -64,39 +119,50 @@ var servingLine = regexp.MustCompile(`serving on (\S+)`)
 // spawnTimeout bounds how long a child may take to print its banner.
 const spawnTimeout = 15 * time.Second
 
-// respawnDelay paces revival attempts of a crashed child.
-const respawnDelay = 300 * time.Millisecond
-
-// respawnAttempts bounds CONSECUTIVE revival retries (the port might
-// be stolen, the binary deleted, the store poisoned...); past this
-// the shard stays down and the router serves explicit per-variant
-// errors for its keyspace. A child that then lives at least
-// stableUptime earns a fresh budget — bounded attempts stop a
+// Respawn-policy defaults; see SpawnOptions. Bounded attempts stop a
 // crash-looping worker from burning CPU forever, while a rare crash
 // every few hours keeps being healed indefinitely.
-const respawnAttempts = 5
+const (
+	defaultRespawnBase     = 300 * time.Millisecond
+	defaultRespawnMax      = 5 * time.Second
+	defaultRespawnAttempts = 5
+	defaultStableUptime    = 10 * time.Second
+)
 
-// stableUptime is how long a child must survive for its crash to
-// count as fresh rather than a continuation of a crash loop.
-const stableUptime = 10 * time.Second
-
-// Spawn starts n backend processes from bin (a simd binary). argsFor
-// returns the extra command-line arguments for shard i — per-shard
-// store directories, worker counts — and must NOT include -addr,
-// which the supervisor owns (children bind port 0; respawns re-bind
-// the original port). logw receives child output (nil: os.Stderr).
-// On any child failing to start, everything already started is torn
-// down.
+// Spawn starts n backend processes from bin (a simd binary) with the
+// default respawn policy. argsFor returns the extra command-line
+// arguments for shard i — per-shard store directories, worker counts
+// — and must NOT include -addr, which the supervisor owns (children
+// bind port 0; respawns re-bind the original port). logw receives
+// child output (nil: os.Stderr). On any child failing to start,
+// everything already started is torn down.
 func Spawn(bin string, n int, argsFor func(i int) []string, logw io.Writer) (*Supervisor, error) {
+	return SpawnWith(bin, n, argsFor, SpawnOptions{Log: logw})
+}
+
+// SpawnWith is Spawn with an explicit respawn policy.
+func SpawnWith(bin string, n int, argsFor func(i int) []string, opt SpawnOptions) (*Supervisor, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: spawn %d backends", n)
 	}
-	if logw == nil {
-		logw = os.Stderr
+	if opt.Log == nil {
+		opt.Log = os.Stderr
 	}
-	s := &Supervisor{bin: bin, log: logw, spawning: make(map[*exec.Cmd]struct{})}
+	if opt.RespawnBase <= 0 {
+		opt.RespawnBase = defaultRespawnBase
+	}
+	if opt.RespawnMax <= 0 {
+		opt.RespawnMax = defaultRespawnMax
+	}
+	if opt.RespawnAttempts <= 0 {
+		opt.RespawnAttempts = defaultRespawnAttempts
+	}
+	if opt.StableUptime <= 0 {
+		opt.StableUptime = defaultStableUptime
+	}
+	s := &Supervisor{bin: bin, opt: opt, log: opt.Log, spawning: make(map[*exec.Cmd]struct{})}
 	for i := 0; i < n; i++ {
-		c := &child{index: i, addr: "127.0.0.1:0", args: argsFor(i)}
+		c := &child{index: i, addr: "127.0.0.1:0", args: argsFor(i), state: ProcRunning}
 		if err := s.start(c); err != nil {
 			s.Stop()
 			return nil, err
@@ -195,13 +261,38 @@ func (s *Supervisor) start(c *child) error {
 	}
 }
 
+// respawnDelay is the backoff before revival attempt n (1-based):
+// base doubled per consecutive failure, capped, with ±25% jitter so a
+// whole cluster crash-looping on the same bug doesn't hammer in
+// lockstep.
+func (s *Supervisor) respawnDelay(attempt int) time.Duration {
+	d := s.opt.RespawnBase
+	for i := 1; i < attempt && d < s.opt.RespawnMax; i++ {
+		d *= 2
+	}
+	if d > s.opt.RespawnMax {
+		d = s.opt.RespawnMax
+	}
+	// Jitter in [0.75, 1.25); crash-loop tests only rely on the sum
+	// staying the same order of magnitude.
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+}
+
+// setState updates a child's Status-visible state under the lock.
+func (s *Supervisor) setState(c *child, state string) {
+	s.mu.Lock()
+	c.state = state
+	s.mu.Unlock()
+}
+
 // monitor watches one child process and respawns it (same index, same
 // port) if it dies while the supervisor is running. The respawn's
 // banner wait happens outside the supervisor lock, so Stop is never
 // blocked behind a slow revival. failed carries the consecutive
 // short-lived-respawn count into the next incarnation's monitor: a
-// child that crashes again before stableUptime keeps consuming the
-// same budget instead of crash-looping forever.
+// child that crashes again before StableUptime keeps consuming the
+// same budget — and the backoff keeps growing — instead of
+// crash-looping forever.
 func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
 	s.wg.Add(1)
 	go func() {
@@ -214,17 +305,18 @@ func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
 		if pw, ok := cmd.Stderr.(*prefixWriter); ok {
 			pw.Flush()
 		}
-		if time.Since(started) >= stableUptime {
+		if time.Since(started) >= s.opt.StableUptime {
 			failed = 0 // lived long enough; this crash starts a fresh budget
 		}
-		for attempt := failed + 1; attempt <= respawnAttempts; attempt++ {
+		s.setState(c, ProcRespawning)
+		for attempt := failed + 1; attempt <= s.opt.RespawnAttempts; attempt++ {
 			s.mu.Lock()
 			stopping := s.stopping
 			s.mu.Unlock()
 			if stopping {
 				return
 			}
-			time.Sleep(respawnDelay)
+			time.Sleep(s.respawnDelay(attempt))
 			// Re-bind the port the dead child held: the router's
 			// backend URL for this shard index must keep working.
 			nc := &child{index: c.index, addr: c.addr, args: c.args}
@@ -240,12 +332,15 @@ func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
 				return
 			}
 			c.addr, c.cmd = nc.addr, nc.cmd
+			c.state = ProcRunning
+			c.respawns++
 			s.mu.Unlock()
 			fmt.Fprintf(s.log, "shard %d: respawned on %s (pid %d)\n", c.index, nc.addr, nc.cmd.Process.Pid)
 			s.monitor(c, nc.cmd, attempt)
 			return
 		}
-		fmt.Fprintf(s.log, "shard %d: down (respawn gave up after %d attempts)\n", c.index, respawnAttempts)
+		s.setState(c, ProcDead)
+		fmt.Fprintf(s.log, "shard %d: down (respawn gave up after %d attempts)\n", c.index, s.opt.RespawnAttempts)
 	}()
 }
 
@@ -260,6 +355,23 @@ func (s *Supervisor) Procs() []Proc {
 			p.Pid = c.cmd.Process.Pid
 		}
 		out[i] = p
+	}
+	return out
+}
+
+// Status returns each shard's process state in shard order: whether
+// it is running (and under which pid), mid-respawn, or abandoned
+// after exhausting its respawn budget.
+func (s *Supervisor) Status() []ProcStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProcStatus, len(s.children))
+	for i, c := range s.children {
+		st := ProcStatus{Index: c.index, Addr: c.addr, State: c.state, Respawns: c.respawns}
+		if c.state == ProcRunning && c.cmd != nil && c.cmd.Process != nil {
+			st.Pid = c.cmd.Process.Pid
+		}
+		out[i] = st
 	}
 	return out
 }

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -72,6 +73,13 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	// Corrupt counts files rejected (and removed) by load verification.
 	Corrupt uint64 `json:"corrupt"`
+	// CorruptAtOpen is the subset of Corrupt found (and deleted) while
+	// indexing the directory at Open — damage that happened while the
+	// store was closed (crash mid-write, disk rot, a chaos drill).
+	// Exposed separately, and logged per file, because silent deletion
+	// at startup is indistinguishable from data never written: a
+	// recovery drill asserts on this counter.
+	CorruptAtOpen uint64 `json:"corrupt_at_open"`
 }
 
 // entry is the in-memory bookkeeping for one stored result; its
@@ -127,6 +135,19 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 
 // index scans the store directory, rebuilding the entry table and the
 // LRU order from file modification times.
+// dropCorruptAtOpen deletes an unreadable envelope found while
+// indexing and accounts for it — loudly. Deleting is the right
+// recovery (every result is recomputable from its spec), but doing it
+// silently would make startup corruption indistinguishable from data
+// never written; the log line plus the CorruptAtOpen counter give
+// operators and chaos drills something to see.
+func (s *Store) dropCorruptAtOpen(path, reason string) {
+	s.stats.Corrupt++
+	s.stats.CorruptAtOpen++
+	log.Printf("store: deleting corrupt envelope %s at open: %s", path, reason)
+	os.Remove(path)
+}
+
 func (s *Store) index() error {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -157,15 +178,13 @@ func (s *Store) index() error {
 		// every Get verifies the full envelope and deletes on failure.
 		key, size, err := readHeader(path)
 		if err != nil {
-			s.stats.Corrupt++
-			os.Remove(path)
+			s.dropCorruptAtOpen(path, err.Error())
 			continue
 		}
 		if fileName(key) != name {
 			// A foreign or renamed file; its header key doesn't produce
 			// this name, so Get would never find it. Drop it.
-			s.stats.Corrupt++
-			os.Remove(path)
+			s.dropCorruptAtOpen(path, "header key does not match file name")
 			continue
 		}
 		info, err := de.Info()

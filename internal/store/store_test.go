@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
@@ -496,5 +498,56 @@ func TestFileNameSanitization(t *testing.T) {
 	got := fileName("run:TL:ab/cd é")
 	if strings.ContainsAny(got, ":/ é") || !strings.HasSuffix(got, suffix) {
 		t.Fatalf("fileName = %q", got)
+	}
+}
+
+func TestOpenCountsAndLogsCorruptEnvelopes(t *testing.T) {
+	// The startup sweep must not just silently tidy up: operators need
+	// the count (surfaced through healthz via Stats) to notice a disk
+	// or crash-corruption problem before it becomes a re-simulation
+	// storm. chaos.CorruptResults is the same fault the cluster drills
+	// use, so this pins the exact envelope damage they inject.
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, 0)
+	keys := []string{"run:TL:aa", "run:TL:bb", "run:TL:cc", "run:TL:dd"}
+	for _, k := range keys {
+		if err := s1.Put(k, []byte("payload for "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damaged, err := chaos.CorruptResults(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 3 {
+		t.Fatalf("damaged %d envelopes, want 3", damaged)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	st := s2.StatsSnapshot()
+	if st.CorruptAtOpen != 3 || st.Corrupt != 3 {
+		t.Fatalf("stats %+v, want 3 corrupt at open", st)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want the 1 survivor", s2.Len())
+	}
+	// The damaged envelopes are deleted, not quarantined: a later Put
+	// of the same key must start clean.
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, de := range left {
+		if strings.HasSuffix(de.Name(), ".res") {
+			files++
+		}
+	}
+	if files != 1 {
+		t.Fatalf("%d envelope files survive, want 1", files)
+	}
+	// A second reopen of the now-clean directory counts zero.
+	if st := mustOpen(t, dir, 0).StatsSnapshot(); st.CorruptAtOpen != 0 {
+		t.Fatalf("clean reopen reports %d corrupt", st.CorruptAtOpen)
 	}
 }
