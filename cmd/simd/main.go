@@ -43,8 +43,13 @@
 // Usage:
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
-//	     [-request-timeout D] [-max-cycles N] [-attempt-timeout D]
+//	     [-request-timeout D] [-max-cycles N] [-attempt-timeout D] [-debug-addr ADDR]
 //	     [-shards N | -backends URL,URL,...]
+//
+// Every mode also serves GET /metrics (Prometheus text; the router
+// re-exposes each worker's series under a shard label) and GET
+// /version. -debug-addr serves net/http/pprof on a SEPARATE listener
+// — profiling stays off the public port and off by default.
 package main
 
 import (
@@ -53,6 +58,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +82,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request simulation deadline, queue wait included (0 = none); over budget answers 504")
 	maxCycles := flag.Uint64("max-cycles", 0, "reject specs whose max_cycles exceeds this at validation time (0 = the global bound)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "router-side timeout per backend attempt (0 = none); a hung shard is failed over")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); NOT inherited by -shards workers")
 	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
 	backends := flag.String("backends", "", "comma-separated worker URLs to route over (externally managed shards)")
 	flag.Parse()
@@ -83,6 +90,7 @@ func main() {
 	if *shards > 0 && *backends != "" {
 		fatal("use -shards (local workers) or -backends (external workers), not both")
 	}
+	serveDebug(*debugAddr)
 	ropt := shard.Options{
 		AttemptTimeout: *attemptTimeout,
 		MaxCycles:      *maxCycles,
@@ -110,6 +118,29 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// serveDebug starts the pprof listener when -debug-addr is set. It is
+// deliberately a separate listener serving http.DefaultServeMux (where
+// the net/http/pprof import registers), so profiling endpoints never
+// ride the public API port. A bind failure is fatal: asking for
+// profiling and silently not getting it is worse than not starting.
+// Supervised workers do NOT inherit the flag — N processes cannot
+// share one debug port; profile a worker by running it standalone.
+func serveDebug(addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("debug listener: %v", err)
+	}
+	fmt.Printf("simd: pprof on %s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "simd: debug listener: %v\n", err)
+		}
+	}()
 }
 
 // serve runs an HTTP server over ln until SIGINT/SIGTERM, then drains

@@ -51,6 +51,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -58,6 +59,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/chaos"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/spec"
@@ -451,5 +453,62 @@ func main() {
 	}
 	fmt.Printf("final sweep over the degraded cluster: 64 rows, 0 errors, byte-identical\n")
 
-	fmt.Println("chaos smoke OK: kill mid-sweep, crash loop to give-up, and store corruption all absorbed — zero error rows, byte-identical analyses, truthful healthz")
+	// 6. The router's metrics must have recorded the whole campaign in
+	// monotonic counters — the drill gates on trips and failovers, NOT
+	// on the instantaneous breaker-state gauge, which races against the
+	// supervisor's fast respawns. The dead shard's own series are
+	// absent from the aggregated scrape (nothing answers), and
+	// simd_shard_up says so explicitly.
+	fams := scrapeMetrics(front.URL)
+	if n := sumCounter(fams, "simd_router_failovers_total"); n == 0 {
+		fail("simd_router_failovers_total is zero after the kill drills")
+	}
+	if n := sumCounter(fams, "simd_router_breaker_opens_total"); n == 0 {
+		fail("simd_router_breaker_opens_total is zero — dead shards never tripped a breaker")
+	}
+	if n := sumCounter(fams, "simd_router_shard_restarts_total"); n < 4 {
+		fail("restart counter %d, want >= 4 (1 kill + 3 crash-loop respawns)", n)
+	}
+	if v := obs.Find(fams, "simd_shard_up", "shard", strconv.Itoa(crash)); len(v) != 1 || v[0] != "0" {
+		fail("dead shard %d not reported down by simd_shard_up: %v", crash, v)
+	}
+	if v := obs.Find(fams, "simd_shard_up", "shard", strconv.Itoa(victim)); len(v) != 1 || v[0] != "1" {
+		fail("revived shard %d not scrapeable: %v", victim, v)
+	}
+	fmt.Printf("metrics truthful: failovers=%d breaker_opens=%d restarts=%d, dead shard down in simd_shard_up\n",
+		sumCounter(fams, "simd_router_failovers_total"),
+		sumCounter(fams, "simd_router_breaker_opens_total"),
+		sumCounter(fams, "simd_router_shard_restarts_total"))
+
+	fmt.Println("chaos smoke OK: kill mid-sweep, crash loop to give-up, and store corruption all absorbed — zero error rows, byte-identical analyses, truthful healthz and metrics")
+}
+
+// scrapeMetrics fetches and parses the router's aggregated /metrics.
+func scrapeMetrics(url string) []obs.Family {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("metrics status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		fail("parsing metrics: %v", err)
+	}
+	return fams
+}
+
+// sumCounter totals a counter family across all its label sets.
+func sumCounter(fams []obs.Family, name string) int {
+	total := 0
+	for _, v := range obs.Find(fams, name) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fail("counter %s value %q: %v", name, v, err)
+		}
+		total += n
+	}
+	return total
 }

@@ -64,6 +64,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/spec"
@@ -230,6 +231,45 @@ func slowBase() spec.Spec {
 	}
 }
 
+// scrapeMetrics fetches and parses an aggregated GET /metrics.
+func scrapeMetrics(url string) []obs.Family {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("metrics status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		fail("parsing metrics: %v", err)
+	}
+	return fams
+}
+
+// findSeries returns the one matching sample value, or "".
+func findSeries(fams []obs.Family, name string, labels ...string) string {
+	vals := obs.Find(fams, name, labels...)
+	if len(vals) != 1 {
+		return ""
+	}
+	return vals[0]
+}
+
+// sumCounter totals a counter family across all its label sets.
+func sumCounter(fams []obs.Family, name string) int {
+	total := 0
+	for _, v := range obs.Find(fams, name) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fail("counter %s value %q: %v", name, v, err)
+		}
+		total += n
+	}
+	return total
+}
+
 // clusterHealth polls the router's aggregated healthz.
 func clusterHealth(url string) (shard.ClusterHealth, error) {
 	resp, err := http.Get(url + "/healthz")
@@ -298,12 +338,79 @@ func main() {
 	}
 	fmt.Printf("%d library scenarios byte-identical across single-process and 2-shard mode\n", checked)
 
+	// Request tracing end to end: a rid sent to the router must come
+	// back in the BACKEND's error body — the router forwards backend
+	// bodies verbatim, so seeing it there proves the ID crossed the
+	// proxy hop into the worker. An empty master list passes the
+	// router's routing checks (it hashes fine) but fails the backend's
+	// strict validation, so the 400 below is authored by the worker.
+	invalid := spec.Spec{SpecVersion: spec.Version, Name: "smoke/invalid", Params: config.Default(2)}
+	ridBody, _ := json.Marshal(map[string]any{"spec": invalid, "model": "tl"})
+	ridReq, _ := http.NewRequest(http.MethodPost, cluster.url+"/run", bytes.NewReader(ridBody))
+	ridReq.Header.Set("Content-Type", "application/json")
+	ridReq.Header.Set("X-Request-ID", "shard-smoke-rid-1")
+	ridResp, err := http.DefaultClient.Do(ridReq)
+	if err != nil {
+		fail("traced request: %v", err)
+	}
+	ridRespBody, _ := io.ReadAll(ridResp.Body)
+	ridResp.Body.Close()
+	if ridResp.StatusCode != http.StatusBadRequest {
+		fail("traced request status %d: %s", ridResp.StatusCode, ridRespBody)
+	}
+	if got := ridResp.Header.Get("X-Request-ID"); got != "shard-smoke-rid-1" {
+		fail("router did not echo the request ID: %q", got)
+	}
+	var ridErr struct {
+		RequestID string `json:"request_id"`
+	}
+	if json.Unmarshal(ridRespBody, &ridErr) != nil || ridErr.RequestID != "shard-smoke-rid-1" {
+		fail("backend error body lost the request ID: %s", ridRespBody)
+	}
+	fmt.Println("request ID propagates router -> worker and back (echoed header + backend error body)")
+
+	// Timing breakdown survives the proxy hop on a cold run.
+	tb := fastBase()
+	tb.Name = "smoke/timing"
+	_, timingHdr, _ := postRun(cluster.url, map[string]any{"spec": tb, "model": "tl"})
+	if tm := timingHdr.Get("X-Timing"); !strings.Contains(tm, "simulate=") {
+		fail("X-Timing not forwarded through the router: %q", tm)
+	}
+
 	// 2. The kill drill, twice: the second round proves the respawned
 	// worker is a first-class shard again — it serves, fails over and
 	// revives exactly like the original process did.
 	for round := 1; round <= 2; round++ {
 		killDrill(cluster, round)
 	}
+
+	// 3. Cluster observability after the drills: one router scrape
+	// carries the whole story — both shards scrapeable under their
+	// labels, the failovers the kills forced, and the supervisor
+	// respawns surfaced as restart counters (the counter-reset warning
+	// for anyone summing worker series).
+	fams := scrapeMetrics(cluster.url)
+	for i := 0; i < 2; i++ {
+		label := strconv.Itoa(i)
+		if v := findSeries(fams, "simd_shard_up", "shard", label); v != "1" {
+			fail("simd_shard_up{shard=%s} = %q after respawn", label, v)
+		}
+		if v := findSeries(fams, "simd_jobs_total", "shard", label); v == "" {
+			fail("shard %s series missing from the aggregated scrape", label)
+		}
+	}
+	if n := sumCounter(fams, "simd_router_failovers_total"); n == 0 {
+		fail("kill drills produced no simd_router_failovers_total increments")
+	}
+	if n := sumCounter(fams, "simd_router_shard_restarts_total"); n < 2 {
+		fail("restart counter %d after two kill drills, want >= 2", n)
+	}
+	h2, err := clusterHealth(cluster.url)
+	if err != nil || h2.Restarts < 2 {
+		fail("healthz restarts %d (err %v), want >= 2", h2.Restarts, err)
+	}
+	fmt.Printf("metrics: failovers=%d restarts=%d, both shards scrapeable under shard labels\n",
+		sumCounter(fams, "simd_router_failovers_total"), sumCounter(fams, "simd_router_shard_restarts_total"))
 
 	// 4. /sweep/analyze: the single process and the 2-shard cluster
 	// must produce byte-identical analysis documents for the same grid

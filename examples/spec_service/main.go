@@ -24,7 +24,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"strconv"
+	"strings"
+
 	"repro/internal/agg"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/spec"
 )
@@ -280,5 +284,60 @@ func main() {
 	}
 	fmt.Printf("analysis: best %s=%g at %s, %d frontier points, incomplete=%v\n",
 		doc.Metric, doc.Best.Value, doc.Best.Name, len(doc.Frontier.Points), doc.Incomplete)
-	fmt.Println("smoke OK: streaming sweep + disk store replay + grid analysis verified")
+
+	// 9. Observability. A request that misses carries a per-stage
+	// X-Timing breakdown and echoes the caller's X-Request-ID; the
+	// /metrics scrape shows the restart-replay as disk_hit tier counts
+	// (8 sweep rows + the compare), not re-simulations.
+	missReq, _ := json.Marshal(map[string]any{"scenario": infos[0].Name, "model": "rtl"})
+	hreq, _ := http.NewRequest(http.MethodPost, ts2.URL+"/run", bytes.NewReader(missReq))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.RequestIDHeader, "smoke-trace-1")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		fail("traced run: %v", err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || hresp.Header.Get("X-Cache") != "miss" {
+		fail("traced run: status %d X-Cache %q, want a 200 miss", hresp.StatusCode, hresp.Header.Get("X-Cache"))
+	}
+	if rid := hresp.Header.Get(obs.RequestIDHeader); rid != "smoke-trace-1" {
+		fail("request ID not echoed: %q", rid)
+	}
+	timing := hresp.Header.Get(service.TimingHeader)
+	if !strings.Contains(timing, "queue=") || !strings.Contains(timing, "simulate=") || !strings.Contains(timing, "encode=") {
+		fail("miss response X-Timing %q lacks the per-stage breakdown", timing)
+	}
+
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	fams, err := obs.ParseText(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		fail("parsing metrics: %v", err)
+	}
+	tier := func(name string) int {
+		vals := obs.Find(fams, "simd_cache_requests_total", "tier", name)
+		if len(vals) != 1 {
+			fail("tier %s: %v", name, vals)
+		}
+		n, err := strconv.Atoi(vals[0])
+		if err != nil {
+			fail("tier %s: %v", name, err)
+		}
+		return n
+	}
+	diskHits := tier("disk_hit")
+	if diskHits < 8 {
+		fail("disk_hit tier = %d after restart replay, want >= 8", diskHits)
+	}
+	if up := obs.Find(fams, "simd_http_requests_total", "endpoint", "/run", "code", "200"); len(up) != 1 {
+		fail("simd_http_requests_total{/run,200} missing: %v", up)
+	}
+	fmt.Printf("metrics: tiers disk_hit=%d memory_hit=%d miss=%d; X-Timing %q\n",
+		diskHits, tier("memory_hit"), tier("miss"), timing)
+	fmt.Println("smoke OK: streaming sweep + disk store replay + grid analysis + metrics/tracing verified")
 }

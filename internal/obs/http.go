@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RequestIDHeader is the tracing header both tiers speak: the router
+// mints one per request (or honors a well-formed client value) and
+// forwards it to the owning/failover shard, so one ID stitches the
+// hop chain together in logs and error bodies.
+const RequestIDHeader = "X-Request-ID"
+
+// ridKey is the context key carrying the request ID.
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying rid.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// validRequestID accepts client-supplied IDs that are safe to echo
+// into headers and logs: 1-64 chars of [A-Za-z0-9._-].
+func validRequestID(rid string) bool {
+	if len(rid) == 0 || len(rid) > 64 {
+		return false
+	}
+	for i := 0; i < len(rid); i++ {
+		c := rid[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewRequestID mints a 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// constant here only degrades log correlation, not serving.
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureRequestID returns the request's ID — the client's if
+// well-formed, otherwise freshly minted — and a context carrying it.
+func EnsureRequestID(r *http.Request) (string, context.Context) {
+	rid := r.Header.Get(RequestIDHeader)
+	if !validRequestID(rid) {
+		rid = NewRequestID()
+	}
+	return rid, WithRequestID(r.Context(), rid)
+}
+
+// HTTPMetrics instruments handlers with per-endpoint request counts
+// and latency histograms, and enforces the request-ID contract on
+// every wrapped endpoint.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+}
+
+// NewHTTPMetrics registers <prefix>http_requests_total{endpoint,code}
+// and <prefix>http_request_seconds{endpoint} on reg.
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(prefix+"http_requests_total", "HTTP requests by endpoint and status code.", "endpoint", "code"),
+		latency:  reg.HistogramVec(prefix+"http_request_seconds", "HTTP request latency by endpoint.", DefTimeBuckets, "endpoint"),
+	}
+}
+
+// statusWriter records the response code. It forwards Flush because
+// the NDJSON sweep stream depends on per-row flushes reaching the
+// client — a wrapper that swallows Flusher would silently rebuffer
+// the stream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Wrap instruments h: ensures a request ID (echoed on the response
+// and carried in the request context), counts the request under
+// endpoint/code, observes latency, and logs a structured line for
+// non-2xx responses.
+func (m *HTTPMetrics) Wrap(endpoint string, h http.Handler) http.Handler {
+	lat := m.latency.With(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid, ctx := EnsureRequestID(r)
+		w.Header().Set(RequestIDHeader, rid)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.requests.With(endpoint, strconv.Itoa(status)).Inc()
+		lat.Observe(elapsed.Seconds())
+		if status < 200 || status > 299 {
+			log.Printf("request endpoint=%s status=%d rid=%s dur=%s", endpoint, status, rid, elapsed.Round(time.Microsecond))
+		}
+	})
+}

@@ -1,0 +1,347 @@
+// Package obs is the observability layer: a zero-dependency metrics
+// registry (counters, gauges, fixed-bucket histograms) with
+// deterministic Prometheus text-format exposition, a parser for the
+// same format (the shard router re-exposes its backends' series under
+// a shard label), and the HTTP instrumentation middleware both tiers
+// share (per-endpoint request counters, latency histograms and the
+// X-Request-ID contract).
+//
+// Hot-path cost is kept to atomics: a counter increment is one
+// atomic add, a histogram observation is one atomic bucket add plus
+// one CAS-loop float add. Label lookup (Vec.With) takes a read lock
+// and a map probe, so instrumented code resolves its series once at
+// construction and holds the pointer — never per event. Exposition
+// walks the registry under its lock, but scrapes are rare and cheap
+// relative to simulations.
+//
+// Exposition is deterministic: families sort by name, series within a
+// family sort by label values, floats render via strconv 'g'
+// formatting, histogram buckets emit in ascending bound order with
+// the +Inf bucket equal to _count. Determinism is what makes the
+// format golden-file-testable and cluster merges stable.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric family types, as emitted on # TYPE lines.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// DefTimeBuckets is the default latency histogram layout (seconds):
+// half-millisecond resolution at the fast end (a warm cache hit),
+// ten-second reach at the slow end (a cold RTL sweep variant under a
+// saturated pool).
+var DefTimeBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*familyState
+}
+
+// familyState is one registered family: fixed metadata plus its live
+// series, keyed by joined label values.
+type familyState struct {
+	name, help string
+	typ        string
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one label combination's live state. Exactly one of the
+// value holders is used, per the family type.
+type series struct {
+	labelValues []string
+
+	count   atomic.Uint64   // counter
+	fnU     func() uint64   // counter sourced from a callback
+	gauge   atomic.Uint64   // gauge (float bits)
+	fnF     func() float64  // gauge sourced from a callback
+	buckets []atomic.Uint64 // histogram: one per bound, non-cumulative
+	inf     atomic.Uint64   // histogram: observations past the last bound
+	sum     atomic.Uint64   // histogram: float bits, CAS-added
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*familyState)}
+}
+
+// register installs a family; a duplicate name is a programming error.
+func (r *Registry) register(name, help, typ string, labelNames []string, buckets []float64) *familyState {
+	if name == "" {
+		panic("obs: metric with an empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &familyState{name: name, help: help, typ: typ, labelNames: labelNames, buckets: buckets, series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+// with resolves (creating if needed) the series for the given label
+// values; arity mismatches are programming errors.
+func (f *familyState) with(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	if f.typ == TypeHistogram {
+		s.buckets = make([]atomic.Uint64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.count.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.count.Add(n) }
+
+// Value returns the current count (tests and gates).
+func (c *Counter) Value() uint64 { return c.s.count.Load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *familyState }
+
+// With resolves one label combination. Resolve once and keep the
+// pointer — With takes a lock.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{v.f.with(values)} }
+
+// Func registers a callback-backed counter under one label
+// combination — for counters that already live elsewhere as atomics
+// (per-tier cache dispositions derived from healthz counters).
+func (v *CounterVec) Func(fn func() uint64, values ...string) { v.f.with(values).fnU = fn }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r.register(name, help, TypeCounter, nil, nil).with(nil)}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labelNames, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for counters that already live
+// elsewhere as atomics (the service's healthz counters).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, TypeCounter, nil, nil).with(nil).fnU = fn
+}
+
+// Gauge is a settable float64.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.gauge.Store(math.Float64bits(v)) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *familyState }
+
+// With resolves one label combination.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{v.f.with(values)} }
+
+// Func registers a callback-backed gauge under one label combination
+// (per-shard breaker state, per-pool queue depth).
+func (v *GaugeVec) Func(fn func() float64, values ...string) { v.f.with(values).fnF = fn }
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r.register(name, help, TypeGauge, nil, nil).with(nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labelNames, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, nil, nil).with(nil).fnF = fn
+}
+
+// Histogram is a fixed-bucket distribution.
+type Histogram struct {
+	s      *series
+	bounds []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (tens) and the scan is
+	// branch-predictable; a binary search saves nothing at this size.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.s.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.s.inf.Add(1)
+	}
+	for {
+		old := h.s.sum.Load()
+		if h.s.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *familyState }
+
+// With resolves one label combination.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{s: v.f.with(values), bounds: v.f.buckets}
+}
+
+// Histogram registers an unlabeled fixed-bucket histogram. Buckets
+// are upper bounds in ascending order; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, checkBuckets(name, buckets))
+	return &Histogram{s: f.with(nil), bounds: f.buckets}
+}
+
+// HistogramVec registers a labeled fixed-bucket histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, labelNames, checkBuckets(name, buckets))}
+}
+
+// checkBuckets validates ascending finite bounds (programming errors).
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " with no buckets")
+	}
+	for i, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) || (i > 0 && b <= buckets[i-1]) {
+			panic("obs: histogram " + name + " buckets must be finite and ascending")
+		}
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// formatFloat renders a float deterministically ('g', shortest).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Families snapshots the registry as parsed-form families — the
+// exchange format the shard router merges its backends' scrapes into.
+// Families sort by name, series by label values; sample values are
+// rendered strings, so a snapshot round-trips through WriteFamilies
+// byte-identically.
+func (r *Registry) Families() []Family {
+	r.mu.Lock()
+	states := make([]*familyState, 0, len(r.families))
+	for _, f := range r.families {
+		states = append(states, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+
+	out := make([]Family, 0, len(states))
+	for _, f := range states {
+		fam := Family{Name: f.name, Type: f.typ, Help: f.help}
+		f.mu.RLock()
+		ordered := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ordered = append(ordered, s)
+		}
+		f.mu.RUnlock()
+		sort.Slice(ordered, func(i, j int) bool {
+			return strings.Join(ordered[i].labelValues, "\x00") < strings.Join(ordered[j].labelValues, "\x00")
+		})
+		for _, s := range ordered {
+			labels := make([]Label, len(f.labelNames))
+			for i, n := range f.labelNames {
+				labels[i] = Label{Name: n, Value: s.labelValues[i]}
+			}
+			switch f.typ {
+			case TypeCounter:
+				v := s.count.Load()
+				if s.fnU != nil {
+					v = s.fnU()
+				}
+				fam.Samples = append(fam.Samples, Sample{Name: f.name, Labels: labels, Value: strconv.FormatUint(v, 10)})
+			case TypeGauge:
+				v := math.Float64frombits(s.gauge.Load())
+				if s.fnF != nil {
+					v = s.fnF()
+				}
+				fam.Samples = append(fam.Samples, Sample{Name: f.name, Labels: labels, Value: formatFloat(v)})
+			case TypeHistogram:
+				// Cumulative buckets ascending, then +Inf == _count, then
+				// _sum and _count — the histogram exposition invariants.
+				var cum uint64
+				for i, b := range f.buckets {
+					cum += s.buckets[i].Load()
+					bl := append(append([]Label(nil), labels...), Label{Name: "le", Value: formatFloat(b)})
+					fam.Samples = append(fam.Samples, Sample{Name: f.name + "_bucket", Labels: bl, Value: strconv.FormatUint(cum, 10)})
+				}
+				cum += s.inf.Load()
+				bl := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+				fam.Samples = append(fam.Samples, Sample{Name: f.name + "_bucket", Labels: bl, Value: strconv.FormatUint(cum, 10)})
+				fam.Samples = append(fam.Samples,
+					Sample{Name: f.name + "_sum", Labels: labels, Value: formatFloat(math.Float64frombits(s.sum.Load()))},
+					Sample{Name: f.name + "_count", Labels: labels, Value: strconv.FormatUint(cum, 10)})
+			}
+		}
+		out = append(out, fam)
+	}
+	return out
+}
+
+// WriteText renders the registry in Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error { return WriteFamilies(w, r.Families()) }
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}
+
+// ContentType is the exposition MIME type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"

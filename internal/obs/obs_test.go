@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every metric kind and
+// deliberately awkward label values, in non-alphabetical registration
+// order so the test proves exposition sorting, not insertion luck.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	rows := reg.Counter("simd_sweep_rows_total", "Sweep rows streamed.")
+	rows.Add(64)
+
+	cache := reg.CounterVec("simd_cache_requests_total", "Cache lookups by disposition.", "tier")
+	cache.With("memory_hit").Add(10)
+	cache.With("disk_hit").Add(4)
+	cache.With("miss").Add(7)
+	cache.With("coalesced").Inc()
+
+	lat := reg.HistogramVec("simd_http_request_seconds", "Request latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	run := lat.With("/run")
+	run.Observe(0.004)
+	run.Observe(0.05)
+	run.Observe(0.05)
+	run.Observe(2.5)
+	lat.With("/healthz").Observe(0.001)
+
+	depth := reg.Gauge("simd_pool_queue_depth", "Jobs waiting in the pool queue.")
+	depth.Set(3)
+
+	reg.GaugeFunc("simd_pool_in_flight", "Jobs currently executing.", func() float64 { return 2 })
+	reg.CounterFunc("simd_jobs_total", "Simulations executed.", func() uint64 { return 21 })
+
+	weird := reg.GaugeVec("simd_label_escaping", "Label escaping fixture: backslash, quote, newline.", "path")
+	weird.With(`C:\temp\"quoted"` + "\nline2").Set(1.5)
+
+	breaker := reg.GaugeVec("simd_router_breaker_state", "Breaker state per shard (0 closed, 1 half-open, 2 open).", "shard")
+	breaker.With("0").Set(0)
+	breaker.With("1").Set(2)
+	return reg
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A second snapshot must be byte-identical: exposition may not
+	// depend on map iteration order.
+	var b2 strings.Builder
+	if err := goldenRegistry().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("two snapshots of identical state differ — exposition is nondeterministic")
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_seconds", "", []float64{0.1, 1, 10})
+	vals := []float64{0.05, 0.5, 0.5, 5, 50, 0.09}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	fams := reg.Families()
+
+	var prev uint64
+	bounds := []string{"0.1", "1", "10", "+Inf"}
+	wantCum := []uint64{2, 4, 5, 6}
+	for i, le := range bounds {
+		got := Find(fams, "t_seconds_bucket", "le", le)
+		if len(got) != 1 {
+			t.Fatalf("bucket le=%s: %d samples", le, len(got))
+		}
+		n, _ := strconv.ParseUint(got[0], 10, 64)
+		if n < prev {
+			t.Errorf("bucket le=%s not cumulative: %d < %d", le, n, prev)
+		}
+		if n != wantCum[i] {
+			t.Errorf("bucket le=%s = %d, want %d", le, n, wantCum[i])
+		}
+		prev = n
+	}
+	count := Find(fams, "t_seconds_count")
+	if len(count) != 1 || count[0] != "6" {
+		t.Errorf("_count = %v, want [6]", count)
+	}
+	if inf := Find(fams, "t_seconds_bucket", "le", "+Inf"); inf[0] != count[0] {
+		t.Errorf("+Inf bucket %s != _count %s", inf[0], count[0])
+	}
+	gotSum := Find(fams, "t_seconds_sum")
+	s, _ := strconv.ParseFloat(gotSum[0], 64)
+	if math.Abs(s-sum) > 1e-9 {
+		t.Errorf("_sum = %v, want %v", s, sum)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := WriteFamilies(&b2, fams); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Errorf("parse/write round trip not byte-identical\n--- reprinted ---\n%s\n--- original ---\n%s", b2.String(), b.String())
+	}
+
+	// The awkward label value must survive the trip intact.
+	want := `C:\temp\"quoted"` + "\nline2"
+	got := Find(fams, "simd_label_escaping")
+	if len(got) != 1 {
+		t.Fatalf("escaping fixture: %d samples", len(got))
+	}
+	found := false
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				if l.Name == "path" && l.Value == want {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("escaped label value did not round-trip")
+	}
+}
+
+func TestRelabelMerge(t *testing.T) {
+	mk := func(v string) []Family {
+		reg := NewRegistry()
+		c := reg.CounterVec("hits_total", "Hits.", "tier")
+		c.With("memory").Add(1)
+		h := reg.Histogram("lat_seconds", "Latency.", []float64{1})
+		h.Observe(0.5)
+		_ = v
+		return reg.Families()
+	}
+	own := NewRegistry()
+	own.Counter("router_up", "Router liveness.").Inc()
+
+	merged := MergeFamilies(own.Families(), Relabel(mk("a"), "shard", "0"), Relabel(mk("b"), "shard", "1"))
+
+	if got := Find(merged, "hits_total", "shard", "0", "tier", "memory"); len(got) != 1 || got[0] != "1" {
+		t.Errorf("shard 0 hits = %v", got)
+	}
+	if got := Find(merged, "hits_total", "shard", "1"); len(got) != 1 {
+		t.Errorf("shard 1 hits = %v", got)
+	}
+	// Families must come out name-sorted, each exactly once.
+	var names []string
+	for _, f := range merged {
+		names = append(names, f.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("merged families not strictly sorted: %v", names)
+		}
+	}
+	// Histogram bucket ordering must survive merging: per shard, the
+	// le="1" bucket precedes le="+Inf".
+	var seq []string
+	for _, f := range merged {
+		if f.Name != "lat_seconds" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Name == "lat_seconds_bucket" {
+				for _, l := range s.Labels {
+					if l.Name == "le" {
+						seq = append(seq, l.Value)
+					}
+				}
+			}
+		}
+	}
+	want := []string{"1", "+Inf", "1", "+Inf"}
+	if len(seq) != len(want) {
+		t.Fatalf("bucket sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("bucket sequence %v, want %v (order destroyed by merge)", seq, want)
+		}
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges and histograms from 32
+// goroutines under -race, with concurrent scrapes. Totals must be
+// exact: instrumentation may never drop events.
+func TestConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "")
+	cv := reg.CounterVec("hammer_vec_total", "", "worker")
+	g := reg.Gauge("hammer_gauge", "")
+	h := reg.Histogram("hammer_seconds", "", []float64{0.25, 0.5, 0.75})
+
+	const goroutines = 32
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lane := cv.With(strconv.Itoa(id % 4))
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				lane.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j%100) / 100)
+			}
+		}(i)
+	}
+	// Concurrent scrapes must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	fams := reg.Families()
+	var vecSum uint64
+	for _, v := range Find(fams, "hammer_vec_total") {
+		n, _ := strconv.ParseUint(v, 10, 64)
+		vecSum += n
+	}
+	if vecSum != total {
+		t.Errorf("vec counter sum = %d, want %d", vecSum, total)
+	}
+	if got := Find(fams, "hammer_seconds_count"); len(got) != 1 || got[0] != strconv.Itoa(total) {
+		t.Errorf("histogram _count = %v, want %d", got, total)
+	}
+	if inf := Find(fams, "hammer_seconds_bucket", "le", "+Inf"); inf[0] != strconv.Itoa(total) {
+		t.Errorf("+Inf bucket = %s, want %d", inf[0], total)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	reg.Counter("dup_total", "")
+}
+
+func TestRequestIDValidation(t *testing.T) {
+	for _, ok := range []string{"abc", "a-b_c.9", strings.Repeat("x", 64)} {
+		if !validRequestID(ok) {
+			t.Errorf("validRequestID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", strings.Repeat("x", 65), "new\nline", `q"uote`} {
+		if validRequestID(bad) {
+			t.Errorf("validRequestID(%q) = true, want false", bad)
+		}
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Error("two minted request IDs collide")
+	}
+	if !validRequestID(a) {
+		t.Errorf("minted ID %q fails own validation", a)
+	}
+}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label is one name=value pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line. Value stays the raw rendered string
+// through parse → relabel → merge, so the router re-exposes backend
+// samples byte-identically instead of round-tripping them through
+// float64.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  string
+}
+
+// Family is one metric family: metadata plus its samples in
+// exposition order.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WriteFamilies renders families in exposition text format.
+func WriteFamilies(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			bw.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, `%s="%s"`, l.Name, escapeLabel(l.Value))
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(s.Value)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseText parses exposition text back into families — the scrape
+// half of the router's cluster aggregation. It understands exactly
+// the subset WriteFamilies emits (one # HELP / # TYPE per family,
+// samples grouped under their family header, no timestamps).
+func ParseText(r io.Reader) ([]Family, error) {
+	var fams []Family
+	byName := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	cur := -1
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			cur = familyIndex(&fams, byName, name)
+			fams[cur].Help = unescapeHelp(help)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("obs: malformed TYPE line %q", line)
+			}
+			cur = familyIndex(&fams, byName, name)
+			fams[cur].Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal exposition; skip
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		// _bucket/_sum/_count belong to the base histogram family.
+		fam := baseName(s.Name)
+		idx, ok := byName[fam]
+		if !ok {
+			idx = familyIndex(&fams, byName, fam)
+			fams[idx].Type = "untyped"
+		}
+		cur = idx
+		fams[cur].Samples = append(fams[cur].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyIndex finds or appends the family entry for name.
+func familyIndex(fams *[]Family, byName map[string]int, name string) int {
+	if i, ok := byName[name]; ok {
+		return i
+	}
+	*fams = append(*fams, Family{Name: name})
+	byName[name] = len(*fams) - 1
+	return len(*fams) - 1
+}
+
+// baseName strips histogram sample suffixes down to the family name.
+func baseName(sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suf) {
+			return strings.TrimSuffix(sample, suf)
+		}
+	}
+	return sample
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// parseSample parses one `name{a="b",...} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("obs: malformed sample %q", line)
+		}
+		s.Name, s.Value = name, strings.TrimSpace(value)
+		return s, nil
+	}
+	s.Name = line[:brace]
+	rest := line[brace+1:]
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return s, fmt.Errorf("obs: malformed labels in %q", line)
+		}
+		name := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return s, fmt.Errorf("obs: malformed label value in %q", line)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return s, fmt.Errorf("obs: unterminated label value in %q", line)
+		}
+		s.Labels = append(s.Labels, Label{Name: name, Value: val.String()})
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			rest = strings.TrimSpace(rest[1:])
+			break
+		}
+		return s, fmt.Errorf("obs: malformed label separator in %q", line)
+	}
+	if rest == "" {
+		return s, fmt.Errorf("obs: missing value in %q", line)
+	}
+	s.Value = rest
+	return s, nil
+}
+
+// Relabel returns fams with `name=value` prepended to every sample's
+// label set — how a backend's series acquire their shard label before
+// the router merges them with its own.
+func Relabel(fams []Family, name, value string) []Family {
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		nf := Family{Name: f.Name, Type: f.Type, Help: f.Help, Samples: make([]Sample, len(f.Samples))}
+		for j, s := range f.Samples {
+			labels := make([]Label, 0, len(s.Labels)+1)
+			labels = append(labels, Label{Name: name, Value: value})
+			labels = append(labels, s.Labels...)
+			nf.Samples[j] = Sample{Name: s.Name, Labels: labels, Value: s.Value}
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// MergeFamilies combines several family sets into one deterministic
+// exposition: families sort by name; within a family, samples keep
+// the order of the input groups (router-own series first, then shard
+// 0..N-1) and their within-group order — which preserves per-series
+// histogram bucket ordering, something a global sort would destroy
+// (le="+Inf" does not sort numerically).
+func MergeFamilies(groups ...[]Family) []Family {
+	merged := make(map[string]*Family)
+	var names []string
+	for _, g := range groups {
+		for _, f := range g {
+			m, ok := merged[f.Name]
+			if !ok {
+				nf := Family{Name: f.Name, Type: f.Type, Help: f.Help}
+				merged[f.Name] = &nf
+				m = merged[f.Name]
+				names = append(names, f.Name)
+			}
+			if m.Help == "" {
+				m.Help = f.Help
+			}
+			if m.Type == "" || m.Type == "untyped" {
+				m.Type = f.Type
+			}
+			m.Samples = append(m.Samples, f.Samples...)
+		}
+	}
+	sort.Strings(names)
+	out := make([]Family, len(names))
+	for i, n := range names {
+		out[i] = *merged[n]
+	}
+	return out
+}
+
+// Find returns the value strings of samples in fams matching name and
+// the given label subset (pairs of name, value) — the lookup helper
+// smokes and tests gate on.
+func Find(fams []Family, name string, labelPairs ...string) []string {
+	if len(labelPairs)%2 != 0 {
+		panic("obs: Find label pairs must come in twos")
+	}
+	var out []string
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for i := 0; i < len(labelPairs); i += 2 {
+				found := false
+				for _, l := range s.Labels {
+					if l.Name == labelPairs[i] && l.Value == labelPairs[i+1] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, s.Value)
+			}
+		}
+	}
+	return out
+}

@@ -34,34 +34,34 @@ type AnalyzeRequest struct {
 // handleAnalyze serves POST /sweep/analyze.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req AnalyzeRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
 	variants, err := ExpandSweepRequest(req.SweepRequest, s.scenarioByName)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := s.checkCycleCaps(variants); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	model, compare, err := sweepModel(req.Model)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Reject a bad analysis selector BEFORE the grid costs anything:
 	// an unknown metric must not burn 256 simulations first.
 	if err := req.Request.Validate(compare); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -77,12 +77,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// results (a per-master metric naming a port the workload lacks
 		// slips past static validation). The results are cached, so a
 		// corrected request replays for free.
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	body, err := json.Marshal(doc)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -120,6 +121,12 @@ func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, h
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's request ID (the shard router puts the
+	// front-door ID in ctx), so one ID traces a request through every
+	// hop — router access log, backend log, backend error body.
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, nil, nil, err

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches and parses GET /metrics.
+func scrape(t *testing.T, url string) []obs.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// findOne returns the single matching sample value or fails.
+func findOne(t *testing.T, fams []obs.Family, name string, labels ...string) string {
+	t.Helper()
+	vals := obs.Find(fams, name, labels...)
+	if len(vals) != 1 {
+		t.Fatalf("%s%v: want one sample, got %v", name, labels, vals)
+	}
+	return vals[0]
+}
+
+func TestMetricsEndpointCountsDispositions(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	req := map[string]any{"spec": testSpec(90)}
+	if status, _, body := post(t, ts.URL+"/run", req); status != http.StatusOK {
+		t.Fatalf("miss status %d: %s", status, body)
+	}
+	if status, _, _ := post(t, ts.URL+"/run", req); status != http.StatusOK {
+		t.Fatal("hit request failed")
+	}
+
+	fams := scrape(t, ts.URL)
+	if v := findOne(t, fams, "simd_cache_requests_total", "tier", "miss"); v != "1" {
+		t.Fatalf("miss tier = %s", v)
+	}
+	if v := findOne(t, fams, "simd_cache_requests_total", "tier", "memory_hit"); v != "1" {
+		t.Fatalf("memory_hit tier = %s", v)
+	}
+	if v := findOne(t, fams, "simd_jobs_total"); v != "1" {
+		t.Fatalf("jobs = %s", v)
+	}
+	if v := findOne(t, fams, "simd_http_requests_total", "endpoint", "/run", "code", "200"); v != "2" {
+		t.Fatalf("/run 200 count = %s", v)
+	}
+	// The request-latency histogram saw both requests.
+	if v := findOne(t, fams, "simd_http_request_seconds_count", "endpoint", "/run"); v != "2" {
+		t.Fatalf("/run latency count = %s", v)
+	}
+	// The scrape itself is instrumented on the next scrape.
+	fams2 := scrape(t, ts.URL)
+	if v := findOne(t, fams2, "simd_http_requests_total", "endpoint", "/metrics", "code", "200"); v != "1" {
+		t.Fatalf("/metrics self-count = %s", v)
+	}
+}
+
+func TestMetricsCountsErrorsAndRejections(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	fams := scrape(t, ts.URL)
+	if v := findOne(t, fams, "simd_http_requests_total", "endpoint", "/run", "code", "400"); v != "1" {
+		t.Fatalf("/run 400 count = %s", v)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Pid == 0 {
+		t.Fatalf("implausible version: %+v", v)
+	}
+	if v.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %+v", v)
+	}
+}
+
+func TestRequestIDEchoAndMinting(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	// A valid client-supplied ID is honored verbatim.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "trace-me.42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "trace-me.42" {
+		t.Fatalf("echoed rid = %q", got)
+	}
+
+	// No ID: one is minted and returned.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(obs.RequestIDHeader); got == "" {
+		t.Fatal("no request ID minted")
+	}
+
+	// An invalid ID (embedded space) is replaced, not echoed.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req3.Header.Set(obs.RequestIDHeader, "bad id")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get(obs.RequestIDHeader); got == "bad id" || got == "" {
+		t.Fatalf("invalid rid handling: %q", got)
+	}
+}
+
+func TestErrorBodyCarriesRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(`{"model":"tl"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "err-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.RequestID != "err-trace-1" {
+		t.Fatalf("error body rid = %q (body %s)", e.RequestID, body)
+	}
+}
+
+func TestTimingHeaderOnMissAbsentOnHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := map[string]any{"spec": testSpec(91)}
+
+	_, hdr1, _ := post(t, ts.URL+"/run", req)
+	tm := hdr1.Get(TimingHeader)
+	if tm == "" {
+		t.Fatal("miss response has no X-Timing")
+	}
+	for _, stage := range []string{"queue=", "simulate=", "encode="} {
+		if !strings.Contains(tm, stage) {
+			t.Fatalf("X-Timing %q missing %s", tm, stage)
+		}
+	}
+
+	_, hdr2, _ := post(t, ts.URL+"/run", req)
+	if hdr2.Get("X-Cache") != "hit" {
+		t.Fatalf("second request X-Cache = %q", hdr2.Get("X-Cache"))
+	}
+	if got := hdr2.Get(TimingHeader); got != "" {
+		t.Fatalf("cache hit has X-Timing %q; a replayed body did no work to time", got)
+	}
+}

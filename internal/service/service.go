@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -94,6 +95,8 @@ type Counters struct {
 	// StoreHits counts the cache hits served from the disk store
 	// (a subset of CacheHits).
 	StoreHits uint64 `json:"store_hits"`
+	// Timeouts counts simulations aborted 504 at the request deadline.
+	Timeouts uint64 `json:"timeouts"`
 }
 
 // Server is the simulation service.
@@ -108,10 +111,22 @@ type Server struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	jobs, hits, coalesced, rejected, storeHits atomic.Uint64
-	workers, queue                             int
-	requestTimeout                             time.Duration
-	maxSpecCycles                              uint64
+	jobs, hits, coalesced, rejected, storeHits, timeouts atomic.Uint64
+	workers, queue                                       int
+	requestTimeout                                       time.Duration
+	maxSpecCycles                                        uint64
+	// since is when this process started serving — the monotonic
+	// anchor /healthz and /version expose so cluster consumers can
+	// tell a respawned worker's counter reset from counters that
+	// really went backwards.
+	since time.Time
+
+	// reg is the metric registry behind GET /metrics; httpMetrics the
+	// per-endpoint request instrumentation; sweepRows the streamed-row
+	// counter (the one metric incremented outside metrics.go).
+	reg         *obs.Registry
+	httpMetrics *obs.HTTPMetrics
+	sweepRows   *obs.Counter
 
 	// The scenario library is immutable for the server's lifetime:
 	// the /scenarios body and the by-name index are built once in New
@@ -131,6 +146,9 @@ type flight struct {
 	body     []byte
 	status   int
 	terminal bool
+	// timing is the leader's per-stage breakdown (set before done
+	// closes); coalesced waiters share it, cache hits have none.
+	timing *Timing
 }
 
 // dispositionClosed marks a 503 produced by a closed (shutting-down)
@@ -174,15 +192,26 @@ func New(opt Options) (*Server, error) {
 		queue:          opt.Queue,
 		requestTimeout: opt.RequestTimeout,
 		maxSpecCycles:  maxSpecCycles,
+		since:          time.Now(),
 	}
 	s.buildScenarioLibrary()
+	s.initMetrics()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/run", s.handleRun)
-	s.mux.HandleFunc("/compare", s.handleCompare)
-	s.mux.HandleFunc("/sweep", s.handleSweep)
-	s.mux.HandleFunc("/sweep/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Every endpoint goes through the instrumentation middleware: the
+	// request-ID contract and the per-endpoint series cover the whole
+	// surface, /metrics and /version included (a scrape snapshots its
+	// counters before its own increment, so it never counts itself).
+	handle := func(pattern string, h http.Handler) {
+		s.mux.Handle(pattern, s.httpMetrics.Wrap(pattern, h))
+	}
+	handle("/run", http.HandlerFunc(s.handleRun))
+	handle("/compare", http.HandlerFunc(s.handleCompare))
+	handle("/sweep", http.HandlerFunc(s.handleSweep))
+	handle("/sweep/analyze", http.HandlerFunc(s.handleAnalyze))
+	handle("/scenarios", http.HandlerFunc(s.handleScenarios))
+	handle("/healthz", http.HandlerFunc(s.handleHealthz))
+	handle("/metrics", s.reg.Handler())
+	handle("/version", VersionHandler(s.since))
 	return s, nil
 }
 
@@ -236,6 +265,7 @@ func (s *Server) CountersSnapshot() Counters {
 		Coalesced: s.coalesced.Load(),
 		Rejected:  s.rejected.Load(),
 		StoreHits: s.storeHits.Load(),
+		Timeouts:  s.timeouts.Load(),
 	}
 }
 
@@ -284,9 +314,13 @@ type ScenarioInfo struct {
 	Kinds   []string `json:"kinds"`
 }
 
-// errorResponse is the body of every non-2xx reply.
+// errorResponse is the body of every non-2xx reply. RequestID echoes
+// the request's X-Request-ID so a client error report names the exact
+// request in the logs; it is injected at write time (error bodies are
+// never cached, so the injection can't leak into replayed 200s).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // maxBodyBytes bounds a request body; a spec is small.
@@ -359,12 +393,12 @@ func (s *Server) checkCycleCaps(variants []sweep.Variant) error {
 // handleRun serves POST /run: one workload through one model.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	req, sp, hash, wl, err := s.decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	model := core.TLM
@@ -373,7 +407,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case "rtl":
 		model = core.RTL
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown model %q (want tl or rtl)", req.Model)
+		s.writeError(w, r, http.StatusBadRequest, "unknown model %q (want tl or rtl)", req.Model)
 		return
 	}
 	s.serveCached(w, r, runKey(model, hash), hash, computeRun(sp, hash, model, wl))
@@ -402,13 +436,16 @@ func interruptFrom(ctx context.Context) func() bool {
 // computeRun returns the deterministic body builder for one
 // single-model run; it executes on a pool worker, under the job's
 // deadline context.
-func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) func(context.Context) ([]byte, error) {
-	return func(ctx context.Context) ([]byte, error) {
+func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) func(context.Context, *Timing) ([]byte, error) {
+	return func(ctx context.Context, tm *Timing) ([]byte, error) {
+		start := time.Now()
 		res := core.Run(wl, model, core.Options{Interrupt: interruptFrom(ctx)})
+		tm.Simulate = time.Since(start)
 		if res.Interrupted {
 			return nil, errDeadline
 		}
-		return json.Marshal(RunResponse{
+		start = time.Now()
+		body, err := json.Marshal(RunResponse{
 			Name:       sp.Name,
 			Hash:       hash,
 			Model:      model.String(),
@@ -417,18 +454,20 @@ func computeRun(sp spec.Spec, hash string, model core.Model, wl core.Workload) f
 			Violations: res.Violations,
 			Stats:      res.Stats,
 		})
+		tm.Encode = time.Since(start)
+		return body, err
 	}
 }
 
 // handleCompare serves POST /compare: both models, one accuracy row.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	_, sp, hash, wl, err := s.decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.serveCached(w, r, compareKey(hash), hash, computeCompare(sp, hash, wl))
@@ -440,13 +479,16 @@ func compareKey(hash string) string { return "compare:" + hash }
 // computeCompare returns the deterministic body builder for one
 // accuracy row; it executes on a pool worker, under the job's
 // deadline context.
-func computeCompare(sp spec.Spec, hash string, wl core.Workload) func(context.Context) ([]byte, error) {
-	return func(ctx context.Context) ([]byte, error) {
+func computeCompare(sp spec.Spec, hash string, wl core.Workload) func(context.Context, *Timing) ([]byte, error) {
+	return func(ctx context.Context, tm *Timing) ([]byte, error) {
+		start := time.Now()
 		row, interrupted := core.CompareInterruptible(wl, interruptFrom(ctx))
+		tm.Simulate = time.Since(start)
 		if interrupted {
 			return nil, errDeadline
 		}
-		return json.Marshal(CompareResponse{
+		start = time.Now()
+		body, err := json.Marshal(CompareResponse{
 			Name:      sp.Name,
 			Hash:      hash,
 			RTLCycles: uint64(row.RTLCycles),
@@ -454,6 +496,8 @@ func computeCompare(sp spec.Spec, hash string, wl core.Workload) func(context.Co
 			DiffPct:   row.ErrPct,
 			Completed: row.Completed,
 		})
+		tm.Encode = time.Since(start)
+		return body, err
 	}
 }
 
@@ -519,13 +563,13 @@ func (s *Server) persist(key string, body []byte) {
 // re-probe below still rescues a disk-resident result). A non-nil
 // error means ctx ended before the result was ready — the job itself
 // still completes and fills the cache.
-func (s *Server) executeOnce(ctx context.Context, key string, compute func(context.Context) ([]byte, error), recheck bool) (status int, body []byte, disposition string, err error) {
+func (s *Server) executeOnce(ctx context.Context, key string, compute func(context.Context, *Timing) ([]byte, error), recheck bool) (status int, body []byte, disposition string, timing *Timing, err error) {
 	probe := s.lookup
 	if recheck {
 		probe = s.lookupMemory
 	}
 	if body, ok := probe(key); ok {
-		return http.StatusOK, body, "hit", nil
+		return http.StatusOK, body, "hit", nil, nil
 	}
 
 	s.mu.Lock()
@@ -537,7 +581,7 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 	// ALL keys.
 	if body, ok := s.lookupMemory(key); ok {
 		s.mu.Unlock()
-		return http.StatusOK, body, "hit", nil
+		return http.StatusOK, body, "hit", nil, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
@@ -545,11 +589,11 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 		select {
 		case <-f.done:
 			if f.terminal {
-				return f.status, f.body, dispositionClosed, nil
+				return f.status, f.body, dispositionClosed, nil, nil
 			}
-			return f.status, f.body, "coalesced", nil
+			return f.status, f.body, "coalesced", f.timing, nil
 		case <-ctx.Done():
-			return 0, nil, "", ctx.Err()
+			return 0, nil, "", nil, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -574,7 +618,7 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 			delete(s.flights, key)
 			s.mu.Unlock()
 			close(f.done)
-			return http.StatusOK, body, "hit", nil
+			return http.StatusOK, body, "hit", nil, nil
 		}
 	}
 
@@ -586,7 +630,14 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 	if s.requestTimeout > 0 {
 		deadline = time.Now().Add(s.requestTimeout)
 	}
+	submitted := time.Now()
 	_, serr := s.pool.Submit(func() {
+		// Queue wait is measured from submission to worker pickup —
+		// the stage a saturated pool inflates; it plus simulate and
+		// encode is the X-Timing breakdown the leader's response (and
+		// every coalesced waiter's) carries.
+		tm := &Timing{Queue: time.Since(submitted)}
+		f.timing = tm
 		defer func() {
 			if p := recover(); p != nil {
 				f.status = http.StatusInternalServerError
@@ -610,9 +661,10 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 			defer cancel()
 		}
 		s.jobs.Add(1)
-		body, err := compute(jobCtx)
+		body, err := compute(jobCtx, tm)
 		switch {
 		case errors.Is(err, errDeadline):
+			s.timeouts.Add(1)
 			// Interrupted, not failed: the worker is already free (the
 			// simulator returned at a cycle-slice boundary). 504, never
 			// cached or persisted — a retry under a lighter load may
@@ -651,23 +703,29 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 		// serveCached, not here: a sweep row retrying this same
 		// saturation dozens of times sends no 503 and must not move
 		// the backpressure metric.
-		return f.status, f.body, disposition, nil
+		return f.status, f.body, disposition, nil, nil
 	}
 	select {
 	case <-f.done:
-		return f.status, f.body, "miss", nil
+		return f.status, f.body, "miss", f.timing, nil
 	case <-ctx.Done():
-		return 0, nil, "", ctx.Err()
+		return 0, nil, "", nil, ctx.Err()
 	}
 }
 
 // serveCached is the HTTP face of executeOnce: the resolved response
 // is written with its cache-disposition header, a client that gave up
-// gets nothing (the job still completes and fills the cache).
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func(context.Context) ([]byte, error)) {
-	status, body, disposition, err := s.executeOnce(r.Context(), key, compute, false)
+// gets nothing (the job still completes and fills the cache). A
+// computed response (miss or coalesced — anything that waited on the
+// simulation) carries the X-Timing stage breakdown; cache hits have
+// no stages to report.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func(context.Context, *Timing) ([]byte, error)) {
+	status, body, disposition, timing, err := s.executeOnce(r.Context(), key, compute, false)
 	if err != nil {
 		return
+	}
+	if timing != nil {
+		w.Header().Set(TimingHeader, timing.Header())
 	}
 	if status == http.StatusServiceUnavailable {
 		if disposition == "" {
@@ -686,14 +744,37 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash s
 		// Backpressure responses carry no cache disposition.
 		disposition = ""
 	}
+	if status != http.StatusOK {
+		// Flight error bodies are shared between coalesced waiters;
+		// each response gets its own request ID stamped at write time.
+		body = injectRequestID(body, obs.RequestIDFrom(r.Context()))
+	}
 	s.writeBody(w, status, body, disposition, hash)
+}
+
+// injectRequestID stamps rid into an errorResponse body. Unparseable
+// bodies (or an empty rid) pass through unchanged.
+func injectRequestID(body []byte, rid string) []byte {
+	if rid == "" {
+		return body
+	}
+	var e errorResponse
+	if json.Unmarshal(body, &e) != nil || e.Error == "" {
+		return body
+	}
+	e.RequestID = rid
+	out, err := json.Marshal(e)
+	if err != nil {
+		return body
+	}
+	return out
 }
 
 // handleScenarios serves GET /scenarios: the built-in spec library,
 // prebuilt in New.
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	s.writeBody(w, http.StatusOK, s.scenariosBody, "", "")
@@ -718,6 +799,16 @@ type Health struct {
 	RetryAfter   int          `json:"retry_after"`
 	CacheEntries int          `json:"cache_entries"`
 	Store        *store.Stats `json:"store,omitempty"`
+	// Since is when this process started serving and UptimeSeconds its
+	// age — monotonic per process life. A respawned worker restarts
+	// both at zero alongside its counters, which is how a frontend
+	// aggregating Counters across shards tells "the worker restarted"
+	// (since jumped forward) from "the counters went backwards".
+	Since         time.Time `json:"since"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	// GoVersion is the toolchain that built this worker (the full
+	// build identity lives at GET /version).
+	GoVersion string `json:"go_version,omitempty"`
 	Counters
 }
 
@@ -732,22 +823,25 @@ func (s *Server) HealthSnapshot() Health {
 		OK: true, Pid: os.Getpid(),
 		Workers: s.workers, QueueCap: s.queue,
 		Queued: s.pool.Queued(), InFlight: s.pool.InFlight(),
-		RetryAfter:   s.retryAfterSeconds(),
-		CacheEntries: s.cache.len(),
-		Store:        diskStats,
-		Counters:     s.CountersSnapshot(),
+		RetryAfter:    s.retryAfterSeconds(),
+		CacheEntries:  s.cache.len(),
+		Store:         diskStats,
+		Since:         s.since,
+		UptimeSeconds: time.Since(s.since).Seconds(),
+		GoVersion:     ReadVersion(s.since).GoVersion,
+		Counters:      s.CountersSnapshot(),
 	}
 }
 
 // handleHealthz serves GET /healthz: liveness plus load counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	body, err := json.Marshal(s.HealthSnapshot())
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.writeBody(w, http.StatusOK, body, "", "")
@@ -792,9 +886,13 @@ func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache
 	w.Write(body)
 }
 
-// writeError sends a JSON error body.
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError sends a JSON error body stamped with the request's ID,
+// so a client-side error report names the exact request in the logs.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	body, _ := json.Marshal(errorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: obs.RequestIDFrom(r.Context()),
+	})
 	s.writeBody(w, status, body, "", "")
 }
 

@@ -140,28 +140,28 @@ func sweepModel(name string) (model core.Model, compare bool, err error) {
 // handleSweep serves POST /sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req SweepRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
 	variants, err := ExpandSweepRequest(req, s.scenarioByName)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := s.checkCycleCaps(variants); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	model, compare, err := sweepModel(req.Model)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -184,6 +184,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		s.sweepRows.Inc()
 		emitted++
 		if row.Error != "" {
 			errored++
@@ -298,19 +299,19 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 	// from disk compiles nothing). Expand already validated the spec,
 	// so a FromSpec failure is a programming error the job surfaces as
 	// its panic-captured 500 body.
-	compute := func(jobCtx context.Context) ([]byte, error) {
+	compute := func(jobCtx context.Context, tm *Timing) ([]byte, error) {
 		wl, err := core.FromSpec(v.Spec)
 		if err != nil {
 			return nil, err
 		}
 		if compare {
-			return computeCompare(v.Spec, v.Hash, wl)(jobCtx)
+			return computeCompare(v.Spec, v.Hash, wl)(jobCtx, tm)
 		}
-		return computeRun(v.Spec, v.Hash, model, wl)(jobCtx)
+		return computeRun(v.Spec, v.Hash, model, wl)(jobCtx, tm)
 	}
 	key := s.sweepKey(v, model, compare)
 	for attempt := 0; ; attempt++ {
-		status, body, disposition, err := s.executeOnce(ctx, key, compute, attempt > 0)
+		status, body, disposition, _, err := s.executeOnce(ctx, key, compute, attempt > 0)
 		if err != nil {
 			return SweepRow{}, false
 		}

@@ -1,0 +1,68 @@
+// GET /version: build identity and process age. The worker and the
+// shard router both serve one (the router also embeds its own in the
+// aggregated /healthz), so an operator can tell which revision every
+// process in a cluster is running and how long it has been up —
+// which, next to the per-shard restarts count, is how a counter reset
+// after a respawn is told apart from a counter that really went
+// backwards.
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// VersionInfo is the body of GET /version.
+type VersionInfo struct {
+	// GoVersion is the toolchain that built this binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from (absent
+	// when built outside a checkout, e.g. straight `go run` of sources
+	// without VCS stamping).
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	Pid   int  `json:"pid"`
+	// Since is when this process started serving; monotonic per
+	// process life, so a respawn is visible as a jump forward.
+	Since         time.Time `json:"since"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// ReadVersion builds the version document for a process that started
+// serving at since.
+func ReadVersion(since time.Time) VersionInfo {
+	v := VersionInfo{Pid: os.Getpid(), Since: since, UptimeSeconds: time.Since(since).Seconds()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.modified":
+				v.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+// VersionHandler serves GET /version for a process that started at
+// since — shared by the worker and the shard router.
+func VersionHandler(since time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			json.NewEncoder(w).Encode(errorResponse{Error: "GET required"})
+			return
+		}
+		body, _ := json.Marshal(ReadVersion(since))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+}

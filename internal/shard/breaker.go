@@ -55,6 +55,12 @@ type breaker struct {
 	state   string
 	fails   int  // consecutive failures while closed
 	probing bool // a prober goroutine is running
+	// onTrip, when set, is called (outside the lock) once per
+	// transition into the open state — the monotonic trip counter the
+	// metrics layer records, which a scrape can catch even when the
+	// breaker has already re-closed by the time it looks. Set before
+	// the breaker sees traffic.
+	onTrip func()
 }
 
 func newBreaker(threshold int, interval time.Duration, probe func(ctx context.Context) error, stop <-chan struct{}) *breaker {
@@ -91,15 +97,21 @@ func (b *breaker) success() {
 // immediately.
 func (b *breaker) failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := false
 	switch b.state {
 	case breakerClosed:
 		b.fails++
 		if b.fails >= b.threshold {
 			b.tripLocked()
+			tripped = true
 		}
 	case breakerHalfOpen:
 		b.tripLocked()
+		tripped = true
+	}
+	b.mu.Unlock()
+	if tripped && b.onTrip != nil {
+		b.onTrip()
 	}
 }
 
@@ -151,4 +163,17 @@ func (b *breaker) State() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// StateCode returns the state as the gauge encoding the metrics layer
+// exports: 0 closed, 1 half-open, 2 open.
+func (b *breaker) StateCode() float64 {
+	switch b.State() {
+	case breakerHalfOpen:
+		return 1
+	case breakerOpen:
+		return 2
+	default:
+		return 0
+	}
 }

@@ -1,0 +1,146 @@
+// The router's metric vocabulary and its cluster-wide GET /metrics.
+//
+// The router exposes two kinds of series from one endpoint: its own
+// simd_router_* families (request counts and latency, per-backend
+// attempt latency, failover/retry counters, breaker state and trips,
+// per-shard restarts), and every live backend's simd_* families
+// re-exposed verbatim under a shard="<index>" label. One scrape of
+// the router therefore sees the whole cluster — no per-worker scrape
+// configuration, and the shard label keeps N workers' identically
+// named series apart. Backend sample values pass through as raw
+// strings (parse → relabel → merge, never through float64), so the
+// router reprints exactly what the worker said.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrapeTimeout bounds one backend /metrics fetch inside the router's
+// aggregated scrape; a dead shard must not stall the cluster view.
+const scrapeTimeout = 2 * time.Second
+
+// initMetrics registers the router's families. Called from New after
+// the shard states exist.
+func (rt *Router) initMetrics() {
+	reg := obs.NewRegistry()
+	rt.reg = reg
+	rt.httpMetrics = obs.NewHTTPMetrics(reg, "simd_router_")
+
+	attempts := reg.HistogramVec("simd_router_attempt_seconds", "Backend attempt latency by shard.", obs.DefTimeBuckets, "shard")
+	failovers := reg.CounterVec("simd_router_failovers_total", "Requests served away from their owning shard, by owner.", "shard")
+	retries := reg.CounterVec("simd_router_retries_total", "Saturation-503 retry waits against a live shard, by shard.", "shard")
+	opens := reg.CounterVec("simd_router_breaker_opens_total", "Breaker trips into the open state, by shard.", "shard")
+	state := reg.GaugeVec("simd_router_breaker_state", "Breaker state by shard: 0 closed, 1 half-open, 2 open.", "shard")
+	for _, sh := range rt.shards {
+		label := strconv.Itoa(sh.index)
+		sh.attempts = attempts.With(label)
+		sh.failovers = failovers.With(label)
+		sh.retries = retries.With(label)
+		trip := opens.With(label)
+		sh.breaker.onTrip = trip.Inc
+		state.Func(sh.breaker.StateCode, label)
+	}
+
+	reg.GaugeFunc("simd_router_shards", "Configured backend count.", func() float64 { return float64(len(rt.shards)) })
+	reg.GaugeFunc("simd_router_process_start_time_seconds", "Unix time the router started serving.", func() float64 { return float64(rt.since.Unix()) })
+	rt.sweepRows = reg.Counter("simd_router_sweep_rows_total", "Sweep data rows streamed to clients.")
+
+	if rt.sup != nil {
+		restarts := reg.CounterVec("simd_router_shard_restarts_total", "Supervisor respawns, by shard.", "shard")
+		for _, sh := range rt.shards {
+			idx := sh.index
+			restarts.Func(func() uint64 {
+				procs := rt.sup.Status()
+				if idx < len(procs) {
+					return uint64(procs[idx].Respawns)
+				}
+				return 0
+			}, strconv.Itoa(idx))
+		}
+	}
+}
+
+// Metrics returns the router's own metric registry (cluster
+// aggregation happens per scrape in handleMetrics, not here).
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// handleMetrics serves the aggregated GET /metrics: the router's own
+// families merged with every reachable backend's, the backend series
+// relabeled shard="<index>". A shard whose scrape fails is simply
+// absent from this scrape (its own simd_router_* series — breaker
+// state, failover counters — still tell the story); a synthetic
+// simd_shard_up gauge reports per-shard scrapeability explicitly.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	groups := make([][]obs.Family, len(rt.shards))
+	up := make([]bool, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), scrapeTimeout)
+			defer cancel()
+			fams, err := scrapeBackend(ctx, sh)
+			if err != nil {
+				return
+			}
+			groups[i] = obs.Relabel(fams, "shard", strconv.Itoa(i))
+			up[i] = true
+		}(i, sh)
+	}
+	wg.Wait()
+
+	upReg := obs.NewRegistry()
+	upVec := upReg.GaugeVec("simd_shard_up", "Whether the shard's /metrics answered this scrape.", "shard")
+	for i, ok := range up {
+		v := 0.0
+		if ok {
+			v = 1
+		}
+		upVec.With(strconv.Itoa(i)).Set(v)
+	}
+
+	all := make([][]obs.Family, 0, len(rt.shards)+2)
+	all = append(all, rt.reg.Families(), upReg.Families())
+	all = append(all, groups...)
+	w.Header().Set("Content-Type", obs.ContentType)
+	obs.WriteFamilies(w, obs.MergeFamilies(all...))
+}
+
+// scrapeBackend fetches and parses one backend's /metrics.
+func scrapeBackend(ctx context.Context, sh *shardState) ([]obs.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.client.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpc := sh.client.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &scrapeError{status: resp.StatusCode}
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// scrapeError is a non-200 backend /metrics answer.
+type scrapeError struct{ status int }
+
+func (e *scrapeError) Error() string { return fmt.Sprintf("metrics status %d", e.status) }

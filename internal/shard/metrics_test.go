@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// scrapeRouter fetches and parses the router's aggregated /metrics.
+func scrapeRouter(t *testing.T, front string) []obs.Family {
+	t.Helper()
+	resp, err := http.Get(front + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func TestRouterMetricsAggregateShards(t *testing.T) {
+	const n = 3
+	_, front := newCluster(t, n, service.Options{Workers: 1})
+
+	// One request so backend series exist with real traffic.
+	if status, _, body := post(t, front+"/run", map[string]any{"spec": testSpec(70)}); status != http.StatusOK {
+		t.Fatalf("run status %d: %s", status, body)
+	}
+
+	fams := scrapeRouter(t, front)
+
+	// Every shard answered this scrape and its series carry its label.
+	jobsTotal := 0
+	for i := 0; i < n; i++ {
+		label := strconv.Itoa(i)
+		if v := obs.Find(fams, "simd_shard_up", "shard", label); len(v) != 1 || v[0] != "1" {
+			t.Fatalf("shard %d up = %v", i, v)
+		}
+		v := obs.Find(fams, "simd_jobs_total", "shard", label)
+		if len(v) != 1 {
+			t.Fatalf("shard %d jobs series: %v", i, v)
+		}
+		jobs, err := strconv.Atoi(v[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobsTotal += jobs
+	}
+	if jobsTotal != 1 {
+		t.Fatalf("cluster jobs = %d, want 1", jobsTotal)
+	}
+
+	// The router's own families ride the same scrape.
+	if v := obs.Find(fams, "simd_router_shards"); len(v) != 1 || v[0] != "3" {
+		t.Fatalf("simd_router_shards = %v", v)
+	}
+	if v := obs.Find(fams, "simd_router_http_requests_total", "endpoint", "/run", "code", "200"); len(v) != 1 || v[0] != "1" {
+		t.Fatalf("router /run count = %v", v)
+	}
+	// Exactly one backend attempt was made, recorded per shard.
+	attempts := 0
+	for i := 0; i < n; i++ {
+		for _, v := range obs.Find(fams, "simd_router_attempt_seconds_count", "shard", strconv.Itoa(i)) {
+			c, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attempts += c
+		}
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestRouterPropagatesRequestIDAndTiming(t *testing.T) {
+	_, front := newCluster(t, 2, service.Options{Workers: 1})
+
+	body, err := json.Marshal(map[string]any{"spec": testSpec(71)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, front+"/run", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "cluster-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "cluster-trace-7" {
+		t.Fatalf("router echoed rid %q", got)
+	}
+	// The backend's per-stage timing breakdown survives the proxy hop.
+	if tm := resp.Header.Get(service.TimingHeader); tm == "" {
+		t.Fatal("X-Timing not forwarded through the router")
+	}
+}
+
+func TestRouterErrorBodyCarriesRequestID(t *testing.T) {
+	_, front := newCluster(t, 1, service.Options{Workers: 1})
+	req, _ := http.NewRequest(http.MethodPost, front+"/run", bytes.NewReader([]byte(`{}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "router-err-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var e struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.RequestID != "router-err-1" {
+		t.Fatalf("error body rid = %q", e.RequestID)
+	}
+}
+
+func TestRouterVersionAndHealthzVersion(t *testing.T) {
+	_, front := newCluster(t, 1, service.Options{Workers: 1})
+
+	resp, err := http.Get(front + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v service.VersionInfo
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Pid == 0 {
+		t.Fatalf("implausible router version: %+v", v)
+	}
+
+	resp2, err := http.Get(front + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h ClusterHealth
+	err = json.NewDecoder(resp2.Body).Decode(&h)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version == nil || h.Version.GoVersion == "" {
+		t.Fatalf("cluster health missing router version: %+v", h)
+	}
+	if len(h.Shards) != 1 || h.Shards[0].Health == nil || h.Shards[0].Health.GoVersion == "" {
+		t.Fatalf("shard health missing go_version: %+v", h.Shards)
+	}
+	if h.Restarts != 0 || h.Shards[0].Restarts != 0 {
+		t.Fatalf("unsupervised cluster reports restarts: %+v", h)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -36,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -92,6 +94,11 @@ type shardState struct {
 	client  *service.Client
 	conc    int
 	breaker *breaker
+	// Per-shard metric series, resolved once at construction (With
+	// takes a lock; the serving path must not).
+	attempts  *obs.Histogram // backend attempt latency
+	failovers *obs.Counter   // requests served away from THIS owner
+	retries   *obs.Counter   // saturation retry waits against this shard
 }
 
 // Router is the sharded frontend. Apart from its backend list it
@@ -109,6 +116,13 @@ type Router struct {
 	sup            *Supervisor
 	stop           chan struct{}
 	stopOnce       sync.Once
+	since          time.Time
+
+	// reg holds the router's own metric families (metrics.go); the
+	// aggregated /metrics merges backend scrapes into it per request.
+	reg         *obs.Registry
+	httpMetrics *obs.HTTPMetrics
+	sweepRows   *obs.Counter
 }
 
 // New builds a router over the given backends. Construction never
@@ -124,6 +138,7 @@ func New(opt Options) (*Router, error) {
 		maxCycles:      opt.MaxCycles,
 		sup:            opt.Supervisor,
 		stop:           make(chan struct{}),
+		since:          time.Now(),
 	}
 	rt.scenariosBody, rt.scenarioByName = service.ScenarioLibrary()
 	for i, base := range opt.Backends {
@@ -167,13 +182,22 @@ func New(opt Options) (*Router, error) {
 		}(sh)
 	}
 	wg.Wait()
+	rt.initMetrics()
 	rt.mux = http.NewServeMux()
-	rt.mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/run") })
-	rt.mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/compare") })
-	rt.mux.HandleFunc("/sweep", rt.handleSweep)
-	rt.mux.HandleFunc("/sweep/analyze", rt.handleAnalyze)
-	rt.mux.HandleFunc("/scenarios", rt.handleScenarios)
-	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	// Same middleware as the worker: every endpoint is counted, timed
+	// and carries the request-ID contract — the router mints the ID
+	// the backend hop then inherits through the request context.
+	handle := func(pattern string, h http.HandlerFunc) {
+		rt.mux.Handle(pattern, rt.httpMetrics.Wrap(pattern, h))
+	}
+	handle("/run", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/run") })
+	handle("/compare", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/compare") })
+	handle("/sweep", rt.handleSweep)
+	handle("/sweep/analyze", rt.handleAnalyze)
+	handle("/scenarios", rt.handleScenarios)
+	handle("/healthz", rt.handleHealthz)
+	handle("/metrics", rt.handleMetrics)
+	handle("/version", service.VersionHandler(rt.since).ServeHTTP)
 	return rt, nil
 }
 
@@ -192,19 +216,15 @@ func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
 // maxBodyBytes mirrors the backend's request-body bound.
 const maxBodyBytes = 1 << 20
 
-// errorBody renders the service's error-response shape.
-func errorBody(format string, args ...any) []byte {
+// writeError sends a JSON error stamped with the request's ID.
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
 	body, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{Error: fmt.Sprintf(format, args...)})
-	return body
-}
-
-// writeError sends a JSON error.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id,omitempty"`
+	}{Error: fmt.Sprintf(format, args...), RequestID: obs.RequestIDFrom(r.Context())})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(errorBody(format, args...))
+	w.Write(body)
 }
 
 // resolveSpec decodes a /run-shaped body far enough to route it: the
@@ -257,12 +277,16 @@ func (rt *Router) post(ctx context.Context, sh *shardState, path string, body []
 		ctx, cancel = context.WithTimeout(ctx, rt.attemptTimeout)
 		defer cancel()
 	}
-	return sh.client.PostJSON(ctx, path, body)
+	start := time.Now()
+	status, hdr, respBody, err := sh.client.PostJSON(ctx, path, body)
+	sh.attempts.Observe(time.Since(start).Seconds())
+	return status, hdr, respBody, err
 }
 
 // proxyHeaders is the response-header allowlist forwarded from a
-// backend: the cache/replay contract plus backpressure.
-var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-After", "X-Terminal"}
+// backend: the cache/replay contract, backpressure, and the per-stage
+// timing breakdown.
+var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-After", "X-Terminal", "X-Timing"}
 
 // handleProxy serves POST /run and /compare: hash, walk the spec's
 // rendezvous rank order starting at its owner, forward verbatim to
@@ -272,21 +296,21 @@ var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-Aft
 // degradation. 502 only when every shard refused.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
 	sp, hash, err := rt.resolveSpec(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := rt.checkCycleCap(sp); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ranks := Rank(hash, len(rt.shards))
@@ -323,19 +347,22 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 		w.Header().Set("X-Shard", strconv.Itoa(idx))
 		if idx != owner {
 			w.Header().Set("X-Failover", fmt.Sprintf("%d->%d", owner, idx))
+			rt.shards[owner].failovers.Inc()
+			log.Printf("failover endpoint=%s owner=%d served=%d rid=%s reason=%q",
+				path, owner, idx, obs.RequestIDFrom(r.Context()), lastErr)
 		}
 		w.WriteHeader(status)
 		w.Write(respBody)
 		return
 	}
-	writeError(w, http.StatusBadGateway, "no live shard for spec (owner %d): %s", owner, lastErr)
+	writeError(w, r, http.StatusBadGateway, "no live shard for spec (owner %d): %s", owner, lastErr)
 }
 
 // handleScenarios serves GET /scenarios — the same library every
 // backend derives from the same spec data.
 func (rt *Router) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -355,6 +382,11 @@ type ShardHealth struct {
 	// Proc is the supervisor's process view (supervised clusters
 	// only): running / respawning / dead, plus the respawn count.
 	Proc *ProcStatus `json:"proc,omitempty"`
+	// Restarts is Proc's respawn count lifted to the top level so
+	// monitoring can read "this worker's counters reset N times"
+	// without probing for the supervisor-only Proc block. Always 0 in
+	// pre-spawned (unsupervised) clusters.
+	Restarts int `json:"restarts"`
 	// Health is the backend's own /healthz body, absent when the
 	// shard is unreachable.
 	Health *service.Health `json:"health,omitempty"`
@@ -377,6 +409,14 @@ type ClusterHealth struct {
 	// honest cluster-wide pacing hint, since a request may land on the
 	// busiest shard.
 	RetryAfter int `json:"retry_after"`
+	// Restarts is the total supervisor respawns across shards. A
+	// nonzero value warns that the summed Counters below undercount:
+	// a respawned worker restarts its counters (and loses its memory
+	// cache) even though its disk store replays.
+	Restarts int `json:"restarts"`
+	// Version describes the router build itself (the shards report
+	// their own go_version in their Health blocks).
+	Version *service.VersionInfo `json:"version,omitempty"`
 	service.Counters
 }
 
@@ -408,8 +448,12 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 		if i < len(procs) {
 			p := procs[i]
 			out.Shards[i].Proc = &p
+			out.Shards[i].Restarts = p.Respawns
+			out.Restarts += p.Respawns
 		}
 	}
+	v := service.ReadVersion(rt.since)
+	out.Version = &v
 	for _, s := range out.Shards {
 		if !s.OK || s.Health == nil {
 			out.OK = false
@@ -428,6 +472,7 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 		out.Coalesced += h.Coalesced
 		out.Rejected += h.Rejected
 		out.StoreHits += h.StoreHits
+		out.Timeouts += h.Timeouts
 	}
 	return out
 }
@@ -438,12 +483,12 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 // *router* (rather than a shard) has the per-shard detail to decide.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	body, err := json.Marshal(rt.FetchClusterHealth(r.Context()))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -500,24 +545,24 @@ func (rt *Router) expandVariants(req service.SweepRequest) ([]sweep.Variant, err
 // shard's keyspace is simply computed by the next-ranked live shard.
 func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req service.SweepRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
 	variants, err := rt.expandVariants(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	path, runModel, err := sweepEndpoint(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -538,6 +583,7 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		rt.sweepRows.Inc()
 		emitted++
 		if row.Error != "" {
 			errored++
@@ -637,24 +683,24 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 // like the whole design space.
 func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req service.AnalyzeRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
 	variants, err := rt.expandVariants(req.SweepRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	path, runModel, err := sweepEndpoint(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	compare := path == "/compare"
@@ -662,7 +708,7 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// backend's own validation — router and worker accept exactly the
 	// same analyses.
 	if err := req.Request.Validate(compare); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -674,12 +720,12 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	doc, err := service.AnalyzeRows(req.Request, compare, req.Axes, len(variants), rows)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	body, err := json.Marshal(doc)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -740,6 +786,7 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 				row.Shard = idx
 				if idx != owner {
 					row.Failover = fmt.Sprintf("%d->%d", owner, idx)
+					rt.shards[owner].failovers.Inc()
 				}
 				row.Cache = hdr.Get("X-Cache")
 				row.Result = json.RawMessage(body)
@@ -753,6 +800,7 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 				// failing over a mere burst would shed the owner's warm
 				// cache for nothing.
 				sh.breaker.success()
+				sh.retries.Inc()
 				if !service.SleepRetryAfter(ctx, hdr.Get("Retry-After")) {
 					return Row{}, false
 				}

@@ -98,6 +98,13 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
+	// observe, when set, is called after each Get/Peek and Put with the
+	// operation name ("get" or "put") and its wall duration — the hook
+	// an observability layer turns into store-latency histograms
+	// without this package importing it. Set once before the store is
+	// shared; never called under the store lock.
+	observe func(op string, d time.Duration)
+
 	mu sync.Mutex
 	// byKey indexes the access-ordered list (front = most recently
 	// accessed; values are *entry), so a hit refreshes recency and the
@@ -207,6 +214,11 @@ func (s *Store) index() error {
 
 // Dir returns the store root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetObserver installs the per-operation duration callback. Call it
+// before the store is shared between goroutines (it is not
+// synchronized); fn must be fast and non-blocking.
+func (s *Store) SetObserver(fn func(op string, d time.Duration)) { s.observe = fn }
 
 // StatsSnapshot returns the current counters and occupancy.
 func (s *Store) StatsSnapshot() Stats {
@@ -348,6 +360,10 @@ func (s *Store) Peek(key string) ([]byte, bool) {
 
 // get implements Get/Peek; count selects hit/miss accounting.
 func (s *Store) get(key string, count bool) ([]byte, bool) {
+	if s.observe != nil {
+		start := time.Now()
+		defer func() { s.observe("get", time.Since(start)) }()
+	}
 	s.mu.Lock()
 	el, present := s.byKey[key]
 	if !present {
@@ -408,6 +424,10 @@ func (s *Store) get(key string, count bool) ([]byte, bool) {
 // entry generation always move together — a stale reader's cleanup
 // can never observe the new file with the old generation.
 func (s *Store) Put(key string, body []byte) error {
+	if s.observe != nil {
+		start := time.Now()
+		defer func() { s.observe("put", time.Since(start)) }()
+	}
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
