@@ -30,21 +30,27 @@
 //
 // Endpoints (identical in every mode):
 //
-//	POST /run           {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
-//	POST /compare       {"spec": {...} | "scenario": "name"}
-//	POST /sweep         {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
-//	POST /sweep/analyze same grid + {"metric", "objective", "top_k", "frontier"} -> one
-//	                    analysis document (argmin/top-K/groups/Pareto frontier, with
-//	                    explicit incomplete metadata when shards or variants failed)
-//	GET  /scenarios     the built-in scenario library with content hashes
-//	GET  /healthz       liveness and load counters (aggregated per shard in router modes,
-//	                    with per-shard breaker and supervisor process state)
+//	POST /run                {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
+//	POST /compare            {"spec": {...} | "scenario": "name"}
+//	POST /sweep              {"base": {...} | "scenario": "name", "axes": [...]} -> NDJSON rows
+//	                         (X-Sweep-ID names the sweep; grids up to -max-sweep-variants)
+//	POST /sweep/analyze      same grid + {"metric", "objective", "top_k", "frontier"} -> one
+//	                         analysis document (argmin/top-K/groups/Pareto frontier, with
+//	                         explicit incomplete metadata when shards or variants failed)
+//	GET  /sweep/{id}         the stored sweep's manifest: progress bitmaps and counts
+//	GET  /sweep/{id}/resume  ?after=N replays the stored sweep's rows with index > N
+//	POST /sweep/{id}/analyze analysis selector only; the grid comes from the stored
+//	                         manifest (a completed sweep re-analyzes with zero simulation)
+//	POST /results            stolen-variant write-back (X-Result-Key; router internal)
+//	GET  /scenarios          the built-in scenario library with content hashes
+//	GET  /healthz            liveness and load counters (aggregated per shard in router
+//	                         modes, with per-shard breaker and supervisor process state)
 //
 // Usage:
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
-//	     [-request-timeout D] [-max-cycles N] [-attempt-timeout D] [-debug-addr ADDR]
-//	     [-shards N | -backends URL,URL,...]
+//	     [-request-timeout D] [-max-cycles N] [-max-sweep-variants N] [-attempt-timeout D]
+//	     [-debug-addr ADDR] [-shards N | -backends URL,URL,...]
 //
 // Every mode also serves GET /metrics (Prometheus text; the router
 // re-exposes each worker's series under a shard label) and GET
@@ -81,6 +87,7 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 0, "disk store payload budget per process (0 = default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request simulation deadline, queue wait included (0 = none); over budget answers 504")
 	maxCycles := flag.Uint64("max-cycles", 0, "reject specs whose max_cycles exceeds this at validation time (0 = the global bound)")
+	maxSweep := flag.Int("max-sweep-variants", service.DefaultMaxSweepVariants, "reject sweep grids whose Cartesian product exceeds this (every tier enforces the same cap)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "router-side timeout per backend attempt (0 = none); a hung shard is failed over")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); NOT inherited by -shards workers")
 	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
@@ -92,8 +99,9 @@ func main() {
 	}
 	serveDebug(*debugAddr)
 	ropt := shard.Options{
-		AttemptTimeout: *attemptTimeout,
-		MaxCycles:      *maxCycles,
+		AttemptTimeout:   *attemptTimeout,
+		MaxCycles:        *maxCycles,
+		MaxSweepVariants: *maxSweep,
 	}
 	switch {
 	case *shards > 0:
@@ -111,7 +119,7 @@ func main() {
 		ropt.Backends = urls
 		runRouter(*addr, ropt, nil, "")
 	default:
-		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, *maxCycles)
+		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, *maxCycles, *maxSweep)
 	}
 }
 
@@ -185,11 +193,12 @@ func listen(addr, mode string) net.Listener {
 }
 
 // runSingle is one worker process: the whole service in one pool.
-func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, maxCycles uint64) {
+func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, maxCycles uint64, maxSweep int) {
 	srv, err := service.New(service.Options{
 		Workers: workers, Queue: queue, CacheEntries: cache,
 		StoreDir: storeDir, StoreMaxBytes: storeMax,
 		RequestTimeout: reqTimeout, MaxCycles: maxCycles,
+		MaxSweepVariants: maxSweep,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -258,6 +267,7 @@ func runSupervised(addr string, n, workers, queue, cache int, storeDir string, s
 			"-store-max-bytes", strconv.FormatInt(storeMax, 10),
 			"-request-timeout", reqTimeout.String(),
 			"-max-cycles", strconv.FormatUint(ropt.MaxCycles, 10),
+			"-max-sweep-variants", strconv.Itoa(ropt.MaxSweepVariants),
 		}
 		if storeDir != "" {
 			args = append(args, "-store", filepath.Join(storeDir, fmt.Sprintf("shard-%d", i)))

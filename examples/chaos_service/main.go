@@ -19,7 +19,13 @@
 //
 //  3. waits for the supervisor to revive the victim and requires
 //     POST /sweep/analyze to return a document byte-identical to the
-//     fault-free reference, incomplete=false;
+//     fault-free reference, incomplete=false — and the sweep MANIFEST
+//     to have survived the SIGKILL atomically: GET /sweep/{id} parses
+//     cleanly and reports the sweep complete (the checkpoint write is
+//     tmp+rename, so a kill can lose a checkpoint but never tear
+//     one), GET /sweep/{id}/resume replays the tail with zero error
+//     rows, and the post-hoc POST /sweep/{id}/analyze is
+//     byte-identical to the fault-free reference;
 //
 //  4. crash-loops a different shard (SIGKILL every revival) until
 //     the supervisor exhausts its respawn budget: healthz must
@@ -125,12 +131,13 @@ func analyzeRequest() service.AnalyzeRequest {
 // runSweep streams the grid and invokes onRow per data row as it
 // arrives (the kill hook); it fails the drill on any truncation or a
 // summary that disagrees with the stream.
-func runSweep(url string, req []byte, onRow func(r shard.Row)) (rows []shard.Row, summary service.SweepSummary) {
+func runSweep(url string, req []byte, onRow func(r shard.Row)) (rows []shard.Row, summary service.SweepSummary, hdr http.Header) {
 	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(req))
 	if err != nil {
 		fail("sweep: %v", err)
 	}
 	defer resp.Body.Close()
+	hdr = resp.Header
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
 		fail("sweep status %d: %s", resp.StatusCode, body)
@@ -155,7 +162,7 @@ func runSweep(url string, req []byte, onRow func(r shard.Row)) (rows []shard.Row
 	if summary.Rows != len(rows) {
 		fail("summary says %d rows, stream carried %d", summary.Rows, len(rows))
 	}
-	return rows, summary
+	return rows, summary, hdr
 }
 
 func clusterHealth(url string) (shard.ClusterHealth, error) {
@@ -294,7 +301,7 @@ func main() {
 	fmt.Printf("cold 64-variant RTL sweep (split %v); killing shard %d (pid %d) after its first row\n",
 		perShard, victim, victimPid)
 	killed := false
-	rows, summary := runSweep(front.URL, sweepReq, func(r shard.Row) {
+	rows, summary, sweepHdr := runSweep(front.URL, sweepReq, func(r shard.Row) {
 		if !killed && r.Shard == victim && r.Error == "" {
 			syscall.Kill(victimPid, syscall.SIGKILL)
 			killed = true
@@ -308,12 +315,26 @@ func main() {
 		fail("kill sweep: %d rows, %d summary errors — want 64 rows, zero errors", len(rows), summary.Errors)
 	}
 	byHash := map[string][]byte{}
-	failovers := 0
+	failovers, stolen := 0, 0
 	for _, r := range rows {
 		if r.Error != "" {
 			fail("error row %s under single-shard loss: %s", r.Name, r.Error)
 		}
 		byHash[r.Hash] = r.Result
+		if r.Stolen != "" {
+			// Work-stealing legitimately serves a row away from its
+			// owner — but the tag must be consistent: owner->thief with
+			// the thief the serving shard and the owner the rendezvous
+			// owner.
+			stolen++
+			var o, th int
+			if _, err := fmt.Sscanf(r.Stolen, "%d->%d", &o, &th); err != nil ||
+				o == th || th != r.Shard || o != owners[r.Hash] {
+				fail("row %s stolen tag %q inconsistent (served by %d, owner %d)",
+					r.Name, r.Stolen, r.Shard, owners[r.Hash])
+			}
+			continue
+		}
 		if r.Failover == "" {
 			if r.Shard != owners[r.Hash] {
 				fail("row %s on shard %d without a failover tag, owner %d", r.Name, r.Shard, owners[r.Hash])
@@ -340,7 +361,7 @@ func main() {
 	if failovers == 0 {
 		fail("no row failed over — the kill never bit")
 	}
-	fmt.Printf("  64 rows, 0 errors, %d failover rows, truthful summary\n", failovers)
+	fmt.Printf("  64 rows, 0 errors, %d failover rows, %d stolen rows, truthful summary\n", failovers, stolen)
 
 	// 3. After the supervisor revives the victim, the analysis must
 	// reproduce the fault-free reference byte-for-byte.
@@ -356,6 +377,72 @@ func main() {
 		fail("post-respawn analysis differs from the fault-free reference:\n%s\n%s", body, refBody)
 	}
 	fmt.Printf("victim respawned; analysis byte-identical to the fault-free reference\n")
+
+	// 3b. The sweep manifest survived the SIGKILL atomically. The
+	// checkpoint write is tmp+rename, so the kill mid-sweep can have
+	// lost the victim's last checkpoint but can never have torn the
+	// manifest: GET /sweep/{id} must parse cleanly and report the
+	// sweep complete, a resume must replay the tail with zero error
+	// rows, and the post-hoc stored analyze must reproduce the
+	// fault-free reference byte for byte without re-simulating.
+	sweepID := sweepHdr.Get(service.SweepIDHeader)
+	if sweepID == "" {
+		fail("round-2 sweep carried no %s header", service.SweepIDHeader)
+	}
+	resp, err := http.Get(front.URL + "/sweep/" + sweepID)
+	if err != nil {
+		fail("manifest status: %v", err)
+	}
+	stBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("manifest status %d after SIGKILL: %s", resp.StatusCode, stBody)
+	}
+	var st service.SweepStatus
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		fail("manifest TORN after SIGKILL — status body does not parse: %v\n%s", err, stBody)
+	}
+	if !st.Complete || st.Total != 64 || st.DoneCount != 64 || st.FailedCount != 0 {
+		fail("manifest after SIGKILL: total %d done %d failed %d complete %v, want complete 64",
+			st.Total, st.DoneCount, st.FailedCount, st.Complete)
+	}
+	resp, err = http.Get(front.URL + "/sweep/" + sweepID + "/resume?after=31")
+	if err != nil {
+		fail("resume: %v", err)
+	}
+	resumed := 0
+	rsum, rdone, err := service.DecodeSweepStream(resp.Body, func(line []byte) error {
+		var r shard.Row
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		if r.Error != "" {
+			fail("resume error row %s: %s", r.Name, r.Error)
+		}
+		if r.Index <= 31 {
+			fail("resume replayed index %d <= 31", r.Index)
+		}
+		resumed++
+		return nil
+	})
+	resp.Body.Close()
+	if err != nil || !rdone || resumed != 32 || rsum.Errors != 0 {
+		fail("resume after SIGKILL: %d rows done=%v errors=%d (err %v), want 32 clean rows", resumed, rdone, rsum.Errors, err)
+	}
+	selBuf, _ := json.Marshal(analyzeRequest().Request)
+	resp, err = http.Post(front.URL+"/sweep/"+sweepID+"/analyze", "application/json", bytes.NewReader(selBuf))
+	if err != nil {
+		fail("stored analyze: %v", err)
+	}
+	storedBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("stored analyze status %d: %s", resp.StatusCode, storedBody)
+	}
+	if !bytes.Equal(storedBody, refBody) {
+		fail("stored analyze differs from the fault-free reference:\n%s\n%s", storedBody, refBody)
+	}
+	fmt.Printf("manifest survived the SIGKILL atomically: status complete, resume clean (32 rows), stored analyze byte-identical\n")
 
 	// 4. Crash-loop a different shard until the supervisor gives up.
 	crash := (victim + 1) % 3
@@ -394,7 +481,7 @@ func main() {
 		}
 	}
 	runBuf, _ := json.Marshal(map[string]any{"spec": crashOwned, "model": "rtl"})
-	resp, err := http.Post(front.URL+"/run", "application/json", bytes.NewReader(runBuf))
+	resp, err = http.Post(front.URL+"/run", "application/json", bytes.NewReader(runBuf))
 	if err != nil {
 		fail("dead-owned /run: %v", err)
 	}
@@ -435,13 +522,22 @@ func main() {
 	})
 	fmt.Printf("shard %d revived over a corrupted store: healthz reports corrupt_at_open=4 (deleted at open)\n", victim)
 
-	final, finalSummary := runSweep(front.URL, sweepReq, nil)
+	final, finalSummary, _ := runSweep(front.URL, sweepReq, nil)
 	if len(final) != 64 || finalSummary.Errors != 0 {
 		fail("final sweep: %d rows, %d errors", len(final), finalSummary.Errors)
 	}
 	for _, r := range final {
 		if !bytes.Equal(r.Result, byHash[r.Hash]) {
 			fail("final row %s differs from round 2 — corruption or failover changed the bytes", r.Name)
+		}
+		if r.Stolen != "" {
+			var o, th int
+			if _, err := fmt.Sscanf(r.Stolen, "%d->%d", &o, &th); err != nil ||
+				o == th || th != r.Shard || o != owners[r.Hash] || th == crash {
+				fail("final row %s stolen tag %q inconsistent (served by %d, owner %d, dead %d)",
+					r.Name, r.Stolen, r.Shard, owners[r.Hash], crash)
+			}
+			continue
 		}
 		if owners[r.Hash] == crash {
 			if r.Failover == "" || r.Shard == crash {

@@ -596,12 +596,25 @@ func killDrill(cluster *proc, round int) {
 		fail("round %d: kill sweep produced %d rows, want 8", round, len(rows))
 	}
 	byHash := map[string][]byte{}
-	failovers := 0
+	failovers, stolen := 0, 0
 	for _, r := range rows {
 		if r.Error != "" {
 			fail("round %d: error row %s under single-shard loss (%s) — failover must cover a dead owner", round, r.Name, r.Error)
 		}
 		byHash[r.Hash] = r.Result
+		if r.Stolen != "" {
+			// Work-stealing: an idle shard drained a deep owner queue.
+			// Legitimate off-owner service, but the tag must be honest.
+			stolen++
+			var o, th int
+			if _, err := fmt.Sscanf(r.Stolen, "%d->%d", &o, &th); err != nil || o == th {
+				fail("round %d: row %s carries malformed stolen tag %q", round, r.Name, r.Stolen)
+			}
+			if o != owners[r.Hash] || th != r.Shard {
+				fail("round %d: stolen row %s tag %q disagrees with owner %d / serving shard %d", round, r.Name, r.Stolen, owners[r.Hash], r.Shard)
+			}
+			continue
+		}
 		if r.Failover == "" {
 			// Owner-served: before the kill, or after the breaker let
 			// the revived victim back in mid-sweep.
@@ -624,8 +637,8 @@ func killDrill(cluster *proc, round int) {
 	if summary.Errors != 0 {
 		fail("round %d: terminal summary reports %d errors, stream carried none", round, summary.Errors)
 	}
-	fmt.Printf("  stream complete despite the kill: 8 rows, 0 errors, %d failover rows (%d->%d), truthful summary\n",
-		failovers, victim, survivor)
+	fmt.Printf("  stream complete despite the kill: 8 rows, 0 errors, %d failover rows (%d->%d), %d stolen rows, truthful summary\n",
+		failovers, victim, survivor, stolen)
 
 	// The supervisor revives the victim on its original port; wait
 	// until the router's breaker trusts it again so the re-sweep is
@@ -655,7 +668,15 @@ func killDrill(cluster *proc, round int) {
 		fail("round %d: post-respawn sweep: %d rows, %d errors", round, len(recomputed), summary2.Errors)
 	}
 	for _, r := range recomputed {
-		if r.Failover != "" || r.Shard != owners[r.Hash] {
+		if r.Stolen != "" {
+			// The revived victim recomputes cold: its queue can run deep
+			// enough for the survivor to steal a genuine miss. Valid —
+			// the write-back still lands the bytes on the owner.
+			var o, th int
+			if _, err := fmt.Sscanf(r.Stolen, "%d->%d", &o, &th); err != nil || o == th || o != owners[r.Hash] || th != r.Shard {
+				fail("round %d: post-respawn stolen row %s tag %q disagrees with owner %d / shard %d", round, r.Name, r.Stolen, owners[r.Hash], r.Shard)
+			}
+		} else if r.Failover != "" || r.Shard != owners[r.Hash] {
 			fail("round %d: post-respawn row %s on shard %d (failover %q), owner %d", round, r.Name, r.Shard, r.Failover, owners[r.Hash])
 		}
 		if !bytes.Equal(r.Result, byHash[r.Hash]) {

@@ -44,12 +44,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	variants, err := ExpandSweepRequest(req.SweepRequest, s.scenarioByName)
+	s.analyzeGrid(w, r, req)
+}
+
+// analyzeGrid runs the decoded analysis request — the shared engine
+// of POST /sweep/analyze (grid inlined) and POST /sweep/{id}/analyze
+// (grid from the stored manifest), which is what makes the two
+// byte-identical on the same result space. Rows are folded into
+// metric inputs as they complete, so a 100k-variant analysis holds
+// per-variant metrics, never the full result bodies.
+func (s *Server) analyzeGrid(w http.ResponseWriter, r *http.Request, req AnalyzeRequest) {
+	grid, total, err := ResolveSweepGrid(req.SweepRequest, s.scenarioByName, s.maxSweepVariants)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.checkCycleCaps(variants); err != nil {
+	if err := CheckGridCycleCaps(grid, s.checkCycleCap); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -59,19 +69,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Reject a bad analysis selector BEFORE the grid costs anything:
-	// an unknown metric must not burn 256 simulations first.
+	// an unknown metric must not burn 100k simulations first.
 	if err := req.Request.Validate(compare); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id, err := SweepID(req.SweepRequest, s.scenarioByName)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 
-	rows := make([]SweepRow, 0, len(variants))
-	if !s.collectRows(r.Context(), variants, model, compare, func(row SweepRow) {
-		rows = append(rows, row)
-	}) {
+	inputs := make([]agg.Input, 0, min(total, sweepChunkSize))
+	distinct, complete := s.collectGrid(r.Context(), grid, -1, model, compare, func(row SweepRow) {
+		inputs = append(inputs, AnalyzeInput(compare, row))
+	})
+	if !complete {
 		return // client gone; in-flight jobs still fill the cache
 	}
-	doc, err := AnalyzeRows(req.Request, compare, req.Axes, len(variants), rows)
+	doc, err := agg.Analyze(req.Request, compare, AggAxes(req.Axes), distinct, inputs)
 	if err != nil {
 		// The grid ran but the analysis cannot be computed from its
 		// results (a per-master metric naming a port the workload lacks
@@ -85,32 +101,33 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(total))
+	w.Header().Set(SweepIDHeader, id)
 	s.writeBody(w, http.StatusOK, body, "", "")
 }
 
-// AnalyzeRows folds completed sweep rows into the analysis document.
-// It is shared between the backend handler and the shard router so
-// both ends of a deployment derive byte-identical documents from
-// identical row sets: same metric extraction, same tie-breaking, same
-// marshalling. total is the expanded grid size — rows that never
-// arrived count against it as incomplete.
-func AnalyzeRows(req agg.Request, compare bool, axes []SweepAxis, total int, rows []SweepRow) (*agg.Analysis, error) {
-	inputs := make([]agg.Input, 0, len(rows))
-	for _, row := range rows {
-		in := agg.Input{Index: row.Index, Name: row.Name, Hash: row.Hash, Params: row.Params}
-		if row.Error != "" {
-			in.Err = row.Error
-		} else if m, err := agg.MetricsFromResult(compare, row.Result); err != nil {
-			in.Err = fmt.Sprintf("parsing result: %v", err)
-		} else {
-			in.Metrics = m
-		}
-		inputs = append(inputs, in)
+// AnalyzeInput folds one completed sweep row into an aggregation
+// input: metrics parsed, result body dropped. It is shared between
+// the backend and the shard router so both ends of a deployment
+// derive byte-identical documents from identical row sets — same
+// metric extraction, same error surfacing.
+func AnalyzeInput(compare bool, row SweepRow) agg.Input {
+	in := agg.Input{Index: row.Index, Name: row.Name, Hash: row.Hash, Params: row.Params}
+	if row.Error != "" {
+		in.Err = row.Error
+	} else if m, err := agg.MetricsFromResult(compare, row.Result); err != nil {
+		in.Err = fmt.Sprintf("parsing result: %v", err)
+	} else {
+		in.Metrics = m
 	}
+	return in
+}
+
+// AggAxes converts wire axes to aggregation axes.
+func AggAxes(axes []SweepAxis) []agg.Axis {
 	aaxes := make([]agg.Axis, len(axes))
 	for i, ax := range axes {
 		aaxes[i] = agg.Axis{Param: ax.Param, Values: ax.Values}
 	}
-	return agg.Analyze(req, compare, aaxes, total, inputs)
+	return aaxes
 }

@@ -110,17 +110,27 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// PostJSON posts raw JSON to path (e.g. "/run") and returns the
-// status, headers and body. A non-2xx status is NOT an error — the
-// caller routes on it (503 means back off, 400 means the request was
-// bad); err is reserved for transport failure, the signal that the
-// backend itself is unreachable.
-func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, http.Header, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+// Do sends one request and returns the status, headers and body. A
+// non-2xx status is NOT an error — the caller routes on it (503 means
+// back off, 400 means the request was bad); err is reserved for
+// transport failure, the signal that the backend itself is
+// unreachable. header entries (may be nil) are copied onto the
+// request — the write-back and manifest paths ride their protocol
+// headers through here.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, header http.Header) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	for name, vals := range header {
+		for _, v := range vals {
+			req.Header.Add(name, v)
+		}
+	}
 	// Propagate the caller's request ID (the shard router puts the
 	// front-door ID in ctx), so one ID traces a request through every
 	// hop — router access log, backend log, backend error body.
@@ -137,6 +147,11 @@ func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, h
 		return 0, nil, nil, err
 	}
 	return resp.StatusCode, resp.Header, out, nil
+}
+
+// PostJSON posts raw JSON to path (e.g. "/run"); same contract as Do.
+func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, http.Header, []byte, error) {
+	return c.Do(ctx, http.MethodPost, path, body, http.Header{"Content-Type": {"application/json"}})
 }
 
 // RunSpec submits one inline spec to POST /run (model "tl", "rtl" or

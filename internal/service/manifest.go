@@ -1,0 +1,402 @@
+// Sweep manifests: the named-checkpoint layer under POST /sweep.
+//
+// Every sweep has a deterministic identity — the SHA-256 of its base
+// spec's content hash, name prefix, canonical model and axes — and a
+// compact manifest (per-variant done/failed bitmaps) persisted
+// through the SAME two-tier cache path as simulation results: atomic
+// disk writes, checksum-verified reads, corruption degrades to an
+// honest miss. The manifest is observability and resume metadata,
+// never an optimization the correctness of a stream depends on: a
+// resume replays every variant past the client's high-water mark
+// (done ones as cache hits), so a stale, torn or missing manifest can
+// lose bookkeeping but can never silently shrink a grid.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Headers of the checkpointed-sweep protocol.
+const (
+	// SweepIDHeader carries the sweep's deterministic identity on
+	// /sweep, /sweep/analyze and resume responses.
+	SweepIDHeader = "X-Sweep-ID"
+	// ResultKeyHeader names the store key of a result body POSTed to
+	// /results (the router's stolen-variant write-back).
+	ResultKeyHeader = "X-Result-Key"
+	// StolenHeader tags a write-back with "owner->thief" shard
+	// indices — the router's work-stealing audit trail.
+	StolenHeader = "X-Stolen"
+)
+
+// SweepID derives the sweep's deterministic identity: a SHA-256 over
+// the base spec's content hash, the name prefix, the canonical model
+// and the axes. Every tier computes it the same way from the same
+// request, so a client can POST /sweep against a single process,
+// lose the connection, and resume the same id against a cluster.
+func SweepID(req SweepRequest, byName map[string]spec.Spec) (string, error) {
+	base, err := resolveSweepBase(req, byName)
+	if err != nil {
+		return "", err
+	}
+	baseHash, err := base.Hash()
+	if err != nil {
+		return "", err
+	}
+	model, compare, err := sweepModel(req.Model)
+	if err != nil {
+		return "", err
+	}
+	canon := strings.ToLower(model.String())
+	if compare {
+		canon = "compare"
+	}
+	doc, err := json.Marshal(struct {
+		V     int         `json:"v"`
+		Base  string      `json:"base"`
+		Name  string      `json:"name,omitempty"`
+		Model string      `json:"model"`
+		Axes  []SweepAxis `json:"axes"`
+	}{1, baseHash, req.Name, canon, req.Axes})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SweepManifest is the persisted checkpoint of one sweep: the request
+// that defines it (so a bare id can be resumed or re-analyzed with no
+// grid in hand) plus per-variant progress bitmaps indexed by the
+// variant's Cartesian coordinate. At 100k variants the two bitmaps
+// cost ~25 KB — a checkpoint is one small store write, not a row log.
+type SweepManifest struct {
+	// Version guards the wire shape; readers reject what they don't
+	// speak rather than misread progress.
+	Version int `json:"version"`
+	// ID is the sweep's deterministic identity (SweepID of Request).
+	ID string `json:"id"`
+	// Request is the defining sweep request, verbatim.
+	Request SweepRequest `json:"request"`
+	// Total is the grid's full Cartesian product — the bitmaps' index
+	// space.
+	Total int `json:"total"`
+	// Variants is the deduplicated variant count, recorded after a
+	// complete walk (0 until then). Done+Failed reach it exactly when
+	// every distinct variant has a row.
+	Variants int `json:"variants,omitempty"`
+	// Done marks variants whose result row was emitted successfully.
+	Done *sweep.Bitset `json:"done"`
+	// Failed marks variants whose last row carried an error. A later
+	// success clears the bit.
+	Failed *sweep.Bitset `json:"failed"`
+}
+
+// Normalize resets bitmaps that disagree with the manifest's own
+// grid size: a shape mismatch means the bits describe some other
+// grid, and claiming zero progress is honest where claiming theirs
+// is not. Every reader of an externally-sourced manifest — the store
+// tiers, a PUT body, the router's cluster fetch — runs it before
+// trusting the bits.
+func (m *SweepManifest) Normalize() {
+	if m.Done.Len() != m.Total {
+		m.Done = sweep.NewBitset(m.Total)
+	}
+	if m.Failed.Len() != m.Total {
+		m.Failed = sweep.NewBitset(m.Total)
+	}
+}
+
+// SweepStatus is the body of GET /sweep/{id}: the manifest plus
+// derived progress counts.
+type SweepStatus struct {
+	SweepManifest
+	// DoneCount and FailedCount are the bitmap populations.
+	DoneCount   int `json:"done_count"`
+	FailedCount int `json:"failed_count"`
+	// Complete reports that every deduplicated variant has a row. It
+	// stays false until some stream has walked the full grid once
+	// (Variants is unknown before that).
+	Complete bool `json:"complete"`
+}
+
+// Status derives the wire status from the manifest.
+func (m *SweepManifest) Status() SweepStatus {
+	done, failed := m.Done.Count(), m.Failed.Count()
+	return SweepStatus{
+		SweepManifest: *m,
+		DoneCount:     done,
+		FailedCount:   failed,
+		Complete:      m.Variants > 0 && done+failed >= m.Variants,
+	}
+}
+
+// manifestKey is the store key a sweep's manifest lives under.
+func manifestKey(id string) string { return "sweep:" + id }
+
+// loadManifest reads and validates the manifest for id from the
+// cache tiers. Corruption at any layer — store checksum, JSON shape,
+// id mismatch, bitmap size — degrades to (nil, false), which the
+// handlers surface as 404: the client's honest fallback is re-POSTing
+// the sweep, whose deterministic id rebuilds the same manifest with a
+// full re-enumeration (mostly cache hits).
+func (s *Server) loadManifest(id string) (*SweepManifest, bool) {
+	body, ok := s.lookup(manifestKey(id))
+	if !ok {
+		return nil, false
+	}
+	var m SweepManifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, false
+	}
+	if m.Version != 1 || m.ID != id || m.Total <= 0 || m.Total > sweep.MaxVariants {
+		return nil, false
+	}
+	m.Normalize()
+	return &m, true
+}
+
+// loadOrNewManifest resumes the stored manifest when its grid size
+// still matches, otherwise starts a fresh one.
+func (s *Server) loadOrNewManifest(id string, req SweepRequest, total int) *SweepManifest {
+	if m, ok := s.loadManifest(id); ok && m.Total == total {
+		return m
+	}
+	return &SweepManifest{
+		Version: 1, ID: id, Request: req, Total: total,
+		Done: sweep.NewBitset(total), Failed: sweep.NewBitset(total),
+	}
+}
+
+// checkpointManifest persists m, first merging the stored copy's
+// progress bits (concurrent streams of the same sweep — or a router
+// write-through racing a local stream — union instead of clobbering
+// each other). The store write is atomic (tmp+rename), so a SIGKILL
+// mid-checkpoint leaves the previous manifest intact, never a torn
+// one.
+func (s *Server) checkpointManifest(m *SweepManifest) {
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	if prev, ok := s.loadManifest(m.ID); ok && prev.Total == m.Total {
+		m.Done.Or(prev.Done)
+		m.Failed.Or(prev.Failed)
+		if m.Variants == 0 {
+			m.Variants = prev.Variants
+		}
+	}
+	// A success anywhere outranks a failure anywhere: a variant that
+	// failed in one stream and completed in another is done.
+	m.Failed.AndNot(m.Done)
+	body, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	s.persist(manifestKey(m.ID), body)
+	s.sweepCheckpoints.Inc()
+}
+
+// handleSweepStatus serves /sweep/{id}: GET returns the manifest with
+// derived progress counts; PUT (the router's checkpoint write-through)
+// merge-persists a manifest into this shard's store.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		m, ok := s.loadManifest(id)
+		if !ok {
+			s.writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+			return
+		}
+		body, err := json.Marshal(m.Status())
+		if err != nil {
+			s.writeError(w, r, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set(SweepIDHeader, id)
+		s.writeBody(w, http.StatusOK, body, "", "")
+	case http.MethodPut:
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		var m SweepManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "parsing manifest: %v", err)
+			return
+		}
+		if m.Version != 1 || m.ID != id || m.Total <= 0 || m.Total > sweep.MaxVariants {
+			s.writeError(w, r, http.StatusBadRequest, "manifest does not describe sweep %q", id)
+			return
+		}
+		m.Normalize()
+		s.checkpointManifest(&m)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET or PUT required")
+	}
+}
+
+// handleSweepResume serves GET /sweep/{id}/resume?after=N: the stored
+// sweep's NDJSON stream restricted to variants with Index > N. The
+// semantics are replay, not delta — every variant past the offset
+// streams again regardless of manifest bits (done ones at cache
+// speed), so duplicate offsets are idempotent and a lost checkpoint
+// can never turn into a silent gap. after defaults to -1 (the whole
+// grid).
+func (s *Server) handleSweepResume(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	after := -1
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "after=%q is not an integer", q)
+			return
+		}
+		after = n
+	}
+	if after < -1 {
+		after = -1
+	}
+	id := r.PathValue("id")
+	m, ok := s.loadManifest(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+		return
+	}
+	s.sweepResumes.Inc()
+	s.streamSweep(w, r, m.Request, after)
+}
+
+// handleSweepStoredAnalyze serves POST /sweep/{id}/analyze: the
+// analysis selector in the body is applied to the STORED sweep's
+// grid. A completed sweep re-analyzes with zero simulations — every
+// variant is a cache tier hit — and the document is byte-identical
+// to POST /sweep/analyze with the full grid inlined, because both
+// run the same collect-and-aggregate path.
+func (s *Server) handleSweepStoredAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var sel agg.Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sel); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "parsing analysis selector: %v", err)
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := s.loadManifest(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+		return
+	}
+	s.analyzeGrid(w, r, AnalyzeRequest{SweepRequest: m.Request, Request: sel})
+}
+
+// handleResults serves the router's stolen-variant side channel.
+// POST is the write-back: the body is a complete result envelope
+// (the exact bytes a /run or /compare of that spec would answer) and
+// X-Result-Key names the store key — the same content-addressed key
+// a local simulation would have persisted under, so ownership-based
+// cache placement holds even when another shard did the work.
+// GET ?key=<result-key> is the probe: before a thief re-simulates a
+// queued variant it asks whether the owner already holds the bytes —
+// 200 with X-Cache: hit when it does, 404 when the work is genuinely
+// cold. Only exact result keys are answered; there is no listing.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		key := r.URL.Query().Get("key")
+		if !ValidResultKey(key) {
+			s.writeError(w, r, http.StatusBadRequest, "key %q is not a result key", key)
+			return
+		}
+		body, ok := s.lookup(key)
+		if !ok {
+			s.writeError(w, r, http.StatusNotFound, "no stored result under %q", key)
+			return
+		}
+		s.writeBody(w, http.StatusOK, body, "hit", "")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
+	key := r.Header.Get(ResultKeyHeader)
+	if !ValidResultKey(key) {
+		s.writeError(w, r, http.StatusBadRequest, "%s %q is not a result key", ResultKeyHeader, key)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) == 0 || !json.Valid(body) {
+		s.writeError(w, r, http.StatusBadRequest, "body is not a JSON result")
+		return
+	}
+	s.persist(key, body)
+	s.stolenResults.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ResultKey maps a model selector ("", "tl", "tlm", "rtl",
+// "compare") and a spec content hash to the content-addressed key
+// that result is cached and persisted under. It is the export the
+// shard router's write-back uses, so a stolen result lands under
+// exactly the key the owner's own simulation would have written.
+func ResultKey(model string, hash string) (string, error) {
+	if !validSpecHash(hash) {
+		return "", fmt.Errorf("%q is not a spec content hash", hash)
+	}
+	m, compare, err := sweepModel(model)
+	if err != nil {
+		return "", err
+	}
+	if compare {
+		return compareKey(hash), nil
+	}
+	return runKey(m, hash), nil
+}
+
+// ValidResultKey reports whether key names a result slot /results
+// accepts: run:TL:<hash>, run:RTL:<hash> or compare:<hash>.
+func ValidResultKey(key string) bool {
+	for _, prefix := range []string{"run:TL:", "run:RTL:", "compare:"} {
+		if rest, ok := strings.CutPrefix(key, prefix); ok {
+			return validSpecHash(rest)
+		}
+	}
+	return false
+}
+
+// validSpecHash reports whether s looks like a SHA-256 content hash.
+func validSpecHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -69,6 +69,9 @@ func (s *Server) initMetrics() {
 	reg.GaugeFunc("simd_process_start_time_seconds", "Unix time the process started serving.", func() float64 { return float64(s.since.Unix()) })
 
 	s.sweepRows = reg.Counter("simd_sweep_rows_total", "Sweep data rows streamed to clients.")
+	s.sweepCheckpoints = reg.Counter("simd_sweep_checkpoints_total", "Sweep manifest checkpoints persisted.")
+	s.sweepResumes = reg.Counter("simd_sweep_resumes_total", "Sweep resume streams served.")
+	s.stolenResults = reg.Counter("simd_stolen_results_total", "Stolen-variant result bodies written back by a router.")
 
 	if s.disk != nil {
 		stat := func(pick func(st store.Stats) uint64) func() uint64 {

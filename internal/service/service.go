@@ -76,6 +76,11 @@ type Options struct {
 	// time, rejecting pathological cycle budgets with a 400 before
 	// they cost a worker (<= 0: the global spec.MaxRunCycles bound).
 	MaxCycles uint64
+	// MaxSweepVariants caps one sweep grid's full Cartesian product
+	// (<= 0: DefaultMaxSweepVariants). The shard router carries the
+	// same option; both tiers resolve it through ResolveSweepGrid, so
+	// the limit cannot drift between a backend and its frontend.
+	MaxSweepVariants int
 }
 
 // DefaultCacheEntries is the default result-cache capacity.
@@ -115,6 +120,12 @@ type Server struct {
 	workers, queue                                       int
 	requestTimeout                                       time.Duration
 	maxSpecCycles                                        uint64
+	maxSweepVariants                                     int
+
+	// manifestMu serializes sweep-manifest read-merge-write
+	// checkpoints, so two streams of the same sweep id never lose
+	// each other's progress bits.
+	manifestMu sync.Mutex
 	// since is when this process started serving — the monotonic
 	// anchor /healthz and /version expose so cluster consumers can
 	// tell a respawned worker's counter reset from counters that
@@ -122,11 +133,15 @@ type Server struct {
 	since time.Time
 
 	// reg is the metric registry behind GET /metrics; httpMetrics the
-	// per-endpoint request instrumentation; sweepRows the streamed-row
-	// counter (the one metric incremented outside metrics.go).
-	reg         *obs.Registry
-	httpMetrics *obs.HTTPMetrics
-	sweepRows   *obs.Counter
+	// per-endpoint request instrumentation; the counters below are the
+	// metrics incremented outside metrics.go (streamed sweep rows,
+	// manifest checkpoints, resume streams, stolen-result write-backs).
+	reg              *obs.Registry
+	httpMetrics      *obs.HTTPMetrics
+	sweepRows        *obs.Counter
+	sweepCheckpoints *obs.Counter
+	sweepResumes     *obs.Counter
+	stolenResults    *obs.Counter
 
 	// The scenario library is immutable for the server's lifetime:
 	// the /scenarios body and the by-name index are built once in New
@@ -183,16 +198,20 @@ func New(opt Options) (*Server, error) {
 	if maxSpecCycles == 0 {
 		maxSpecCycles = spec.MaxRunCycles
 	}
+	if opt.MaxSweepVariants <= 0 {
+		opt.MaxSweepVariants = DefaultMaxSweepVariants
+	}
 	s := &Server{
-		pool:           farm.NewPool(opt.Workers, opt.Queue),
-		cache:          newLRU(opt.CacheEntries),
-		disk:           disk,
-		flights:        make(map[string]*flight),
-		workers:        opt.Workers,
-		queue:          opt.Queue,
-		requestTimeout: opt.RequestTimeout,
-		maxSpecCycles:  maxSpecCycles,
-		since:          time.Now(),
+		pool:             farm.NewPool(opt.Workers, opt.Queue),
+		cache:            newLRU(opt.CacheEntries),
+		disk:             disk,
+		flights:          make(map[string]*flight),
+		workers:          opt.Workers,
+		queue:            opt.Queue,
+		requestTimeout:   opt.RequestTimeout,
+		maxSpecCycles:    maxSpecCycles,
+		maxSweepVariants: opt.MaxSweepVariants,
+		since:            time.Now(),
 	}
 	s.buildScenarioLibrary()
 	s.initMetrics()
@@ -208,6 +227,10 @@ func New(opt Options) (*Server, error) {
 	handle("/compare", http.HandlerFunc(s.handleCompare))
 	handle("/sweep", http.HandlerFunc(s.handleSweep))
 	handle("/sweep/analyze", http.HandlerFunc(s.handleAnalyze))
+	handle("/sweep/{id}", http.HandlerFunc(s.handleSweepStatus))
+	handle("/sweep/{id}/resume", http.HandlerFunc(s.handleSweepResume))
+	handle("/sweep/{id}/analyze", http.HandlerFunc(s.handleSweepStoredAnalyze))
+	handle("/results", http.HandlerFunc(s.handleResults))
 	handle("/scenarios", http.HandlerFunc(s.handleScenarios))
 	handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	handle("/metrics", s.reg.Handler())
@@ -378,13 +401,31 @@ func (s *Server) checkCycleCap(sp spec.Spec) error {
 	return nil
 }
 
-// checkCycleCaps applies checkCycleCap to every expanded sweep
-// variant (a max_cycles sweep axis can exceed the cap even when the
-// base spec doesn't).
-func (s *Server) checkCycleCaps(variants []sweep.Variant) error {
-	for _, v := range variants {
-		if err := s.checkCycleCap(v.Spec); err != nil {
-			return fmt.Errorf("variant %d: %w", v.Index, err)
+// CheckGridCycleCaps runs check against every distinct max_cycles
+// value the grid can produce WITHOUT expanding it: a variant's
+// effective budget is either the last max_cycles axis value applied
+// or the base spec's, so checking the base (or each value of the
+// last max_cycles axis against a base clone) is exact at O(axis
+// values) cost — a 100k-variant grid's cycle cap costs a handful of
+// clones, not 100k spec builds. Shared with the shard router, whose
+// check carries the cluster-cap message.
+func CheckGridCycleCaps(grid sweep.Grid, check func(spec.Spec) error) error {
+	var last *sweep.Axis
+	for i := range grid.Axes {
+		if grid.Axes[i].Param == sweep.ParamMaxCycles {
+			last = &grid.Axes[i]
+		}
+	}
+	if last == nil {
+		return check(grid.Base)
+	}
+	for _, v := range last.Values {
+		sp := grid.Base.Clone()
+		if err := sweep.Apply(&sp, sweep.ParamMaxCycles, v.V); err != nil {
+			return fmt.Errorf("sweep: axis %q value %v: %w", sweep.ParamMaxCycles, v.V, err)
+		}
+		if err := check(sp); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -26,9 +26,24 @@ import (
 	"repro/internal/sweep"
 )
 
-// MaxSweepVariants bounds one sweep request's expanded grid; the
-// engine's own cap (sweep.MaxVariants) is an upper bound on top.
-const MaxSweepVariants = 256
+// DefaultMaxSweepVariants bounds one sweep request's full Cartesian
+// product when Options.MaxSweepVariants is unset (the -max-sweep-
+// variants flag). The engine's own hard bound (sweep.MaxVariants) is
+// an upper limit on top. Grids this size are processed in bounded
+// chunks (sweepChunkSize variants in memory at a time), so the cap
+// protects simulation budget, not process memory.
+const DefaultMaxSweepVariants = 100_000
+
+// sweepChunkSize is how many expanded variants a sweep holds in
+// memory at once: the grid is walked lazily and resolved chunk by
+// chunk, so a 100k-variant sweep costs O(chunk), not O(grid).
+const sweepChunkSize = 2048
+
+// manifestCheckpointRows is how many emitted rows ride between
+// manifest checkpoints. Small enough that a killed stream loses
+// little progress, large enough that checkpoint writes stay noise
+// next to simulation cost.
+const manifestCheckpointRows = 256
 
 // SweepRequest is the body of POST /sweep — the wire contract shared
 // with frontends (the shard router decodes one to partition its grid).
@@ -83,28 +98,37 @@ type SweepSummary struct {
 	Errors int  `json:"errors"`
 }
 
-// ExpandSweepRequest resolves the request's base workload (inline
-// spec or a library-scenario name looked up in byName) and expands
-// its axes into the deduplicated variant list, enforcing
-// MaxSweepVariants. It is shared between the backend handler and the
-// shard router so both ends of a deployment accept exactly the same
-// grids — a divergence here would let the router route grids a
-// backend rejects.
-func ExpandSweepRequest(req SweepRequest, byName map[string]spec.Spec) ([]sweep.Variant, error) {
-	var base spec.Spec
+// resolveSweepBase picks the base workload: an inline spec or a
+// library-scenario name looked up in byName, exactly one of them.
+func resolveSweepBase(req SweepRequest, byName map[string]spec.Spec) (spec.Spec, error) {
 	switch {
 	case req.Base != nil && req.Scenario != "":
-		return nil, errors.New("request has both base and scenario; send one")
+		return spec.Spec{}, errors.New("request has both base and scenario; send one")
 	case req.Base != nil:
-		base = *req.Base
+		return *req.Base, nil
 	case req.Scenario != "":
 		found, ok := byName[req.Scenario]
 		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q", req.Scenario)
+			return spec.Spec{}, fmt.Errorf("unknown scenario %q", req.Scenario)
 		}
-		base = found
-	default:
-		return nil, errors.New("request needs a base spec or a scenario name")
+		return found, nil
+	}
+	return spec.Spec{}, errors.New("request needs a base spec or a scenario name")
+}
+
+// ResolveSweepGrid is the ONE place a sweep request becomes an engine
+// grid: it resolves the base workload, builds the axes, sizes the
+// full Cartesian product against max (<= 0: DefaultMaxSweepVariants)
+// and pre-validates every axis value against a clone of the base —
+// all without expanding a single variant. The backend handler and the
+// shard router both call it, so the two tiers of a deployment accept
+// exactly the same grids and enforce exactly the same cap; the old
+// duplicated per-tier checks could (and briefly did) drift. Returns
+// the grid and the product size.
+func ResolveSweepGrid(req SweepRequest, byName map[string]spec.Spec, max int) (sweep.Grid, int, error) {
+	base, err := resolveSweepBase(req, byName)
+	if err != nil {
+		return sweep.Grid{}, 0, err
 	}
 	grid := sweep.Grid{Name: req.Name, Base: base}
 	for _, ax := range req.Axes {
@@ -114,14 +138,43 @@ func ExpandSweepRequest(req SweepRequest, byName map[string]spec.Spec) ([]sweep.
 		}
 		grid.Axes = append(grid.Axes, sweep.Axis{Param: ax.Param, Values: vals})
 	}
-	variants, err := grid.Expand()
+	total, err := grid.Total()
+	if err != nil {
+		return grid, 0, err
+	}
+	if max <= 0 {
+		max = DefaultMaxSweepVariants
+	}
+	if total > max {
+		return grid, 0, fmt.Errorf("grid expands to %d variants (max %d)", total, max)
+	}
+	// Pre-flight every axis value against the base: an unknown
+	// parameter or a mistyped value fails the request with a 400
+	// before the stream commits, exactly as full expansion used to,
+	// at O(axis values) cost. Combination-dependent failures (legal
+	// values that conflict mid-grid) surface later as error rows.
+	for _, ax := range grid.Axes {
+		for _, v := range ax.Values {
+			sp := base.Clone()
+			if err := sweep.Apply(&sp, ax.Param, v.V); err != nil {
+				return grid, 0, fmt.Errorf("sweep: axis %q value %v: %w", ax.Param, v.V, err)
+			}
+		}
+	}
+	return grid, total, nil
+}
+
+// ExpandSweepRequest resolves and fully materializes the request's
+// deduplicated variant list, enforcing max (<= 0:
+// DefaultMaxSweepVariants). Streaming paths walk the grid in chunks
+// instead; this remains for callers that need the whole list (tests,
+// offline tools).
+func ExpandSweepRequest(req SweepRequest, byName map[string]spec.Spec, max int) ([]sweep.Variant, error) {
+	grid, _, err := ResolveSweepGrid(req, byName, max)
 	if err != nil {
 		return nil, err
 	}
-	if len(variants) > MaxSweepVariants {
-		return nil, fmt.Errorf("grid expands to %d variants (max %d)", len(variants), MaxSweepVariants)
-	}
-	return variants, nil
+	return grid.Expand()
 }
 
 // sweepModel resolves the request's model selector.
@@ -150,12 +203,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	variants, err := ExpandSweepRequest(req, s.scenarioByName)
+	s.streamSweep(w, r, req, -1)
+}
+
+// streamSweep validates the grid and streams its NDJSON rows — the
+// shared engine of POST /sweep (after = -1: the whole grid) and GET
+// /sweep/{id}/resume (after = the client's high-water mark). It
+// checkpoints a sweep manifest as rows complete, so the sweep's
+// identity and per-variant progress survive this stream's death.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, after int) {
+	grid, total, err := ResolveSweepGrid(req, s.scenarioByName, s.maxSweepVariants)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.checkCycleCaps(variants); err != nil {
+	if err := CheckGridCycleCaps(grid, s.checkCycleCap); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -164,11 +226,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id, err := SweepID(req, s.scenarioByName)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	man := s.loadOrNewManifest(id, req, total)
 
 	// The stream is committed: from here, per-variant failures are
 	// rows with an error field, not HTTP errors.
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(total))
+	w.Header().Set(SweepIDHeader, id)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	// Push the headers out now: on an all-miss grid no row may flush
@@ -178,7 +247,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 	enc := json.NewEncoder(w)
-	emitted, errored := 0, 0
+	emitted, errored, sinceCheckpoint := 0, 0, 0
 	emit := func(row SweepRow) {
 		enc.Encode(row)
 		if flusher != nil {
@@ -188,36 +257,93 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		emitted++
 		if row.Error != "" {
 			errored++
+			man.Failed.Set(row.Index)
+		} else {
+			man.Done.Set(row.Index)
+			man.Failed.Clear(row.Index)
 		}
-	}
-	// finish appends the terminal summary row. It runs only when every
-	// variant produced a row: a stream that ends without a done-line
-	// was truncated mid-grid (client disconnect, handler death) and
-	// must read as such, so nothing here fakes completion.
-	finish := func() {
-		enc.Encode(SweepSummary{Done: true, Rows: emitted, Errors: errored})
-		if flusher != nil {
-			flusher.Flush()
+		if sinceCheckpoint++; sinceCheckpoint >= manifestCheckpointRows {
+			sinceCheckpoint = 0
+			s.checkpointManifest(man)
 		}
 	}
 
 	// Client gone mid-grid: no terminal row — a truncated stream IS
 	// truncated, and saying otherwise to a half-closed socket helps
-	// nobody.
-	if s.collectRows(r.Context(), variants, model, compare, emit) {
-		finish()
+	// nobody. The final checkpoint still runs: progress made before
+	// the disconnect is exactly what a resume wants to skip.
+	distinct, complete := s.collectGrid(r.Context(), grid, after, model, compare, emit)
+	if complete {
+		// The terminal summary row runs only when every variant
+		// produced a row — nothing here fakes completion.
+		enc.Encode(SweepSummary{Done: true, Rows: emitted, Errors: errored})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		// A completed walk knows the deduplicated variant count even
+		// when it only EMITTED a suffix — the walk itself always
+		// enumerates from index 0 — so a resume that reaches the end
+		// can mark the sweep complete just like the initial stream.
+		man.Variants = distinct
 	}
+	s.checkpointManifest(man)
 }
 
-// collectRows resolves every variant through the shared
+// collectGrid walks the grid lazily and resolves it in bounded
+// chunks: at most sweepChunkSize expanded variants exist at a time,
+// so grid memory stays O(chunk) while the emit contract matches the
+// old fully-materialized path row for row. Variants with Index <=
+// after are skipped (their rows streamed before a disconnect); build
+// failures on individual grid points become error rows, not stream
+// deaths. Returns the deduplicated variant count of the FULL walk
+// (valid only when complete) and whether the walk finished before
+// ctx ended.
+func (s *Server) collectGrid(ctx context.Context, grid sweep.Grid, after int, model core.Model, compare bool, emit func(SweepRow)) (distinct int, complete bool) {
+	chunk := make([]sweep.Variant, 0, sweepChunkSize)
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		ok := s.collectRows(ctx, chunk, model, compare, emit)
+		chunk = chunk[:0]
+		return ok
+	}
+	err := grid.Walk(func(v sweep.Variant, verr error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if verr != nil {
+			if v.Index > after {
+				emit(SweepRow{Index: v.Index, Name: v.Spec.Name, Params: v.Params, Error: verr.Error()})
+			}
+			return nil
+		}
+		distinct++
+		if v.Index <= after {
+			return nil
+		}
+		chunk = append(chunk, v)
+		if len(chunk) >= sweepChunkSize {
+			if !flush() {
+				return context.Canceled
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return distinct, false
+	}
+	return distinct, flush()
+}
+
+// collectRows resolves one chunk of variants through the shared
 // cache/singleflight/pool path and invokes emit — always from this
 // goroutine — once per variant in completion order. It is the one
-// grid-resolution engine behind both the streaming /sweep handler
-// (emit encodes an NDJSON row) and /sweep/analyze (emit accumulates
-// rows for aggregation), so the two endpoints cannot diverge on
-// caching, backpressure or failure semantics. Returns false when ctx
-// ended first — the row set is then a subset and must not be read as
-// the whole grid.
+// chunk-resolution engine behind /sweep, /sweep/{id}/resume and both
+// analyze endpoints (via collectGrid), so none of them can diverge
+// on caching, backpressure or failure semantics. Returns false when
+// ctx ended first — the row set is then a subset and must not be
+// read as the whole chunk.
 func (s *Server) collectRows(ctx context.Context, variants []sweep.Variant, model core.Model, compare bool, emit func(SweepRow)) bool {
 	// First pass: serve every memory-cached variant immediately, so a
 	// warm sweep streams at memory speed no matter how busy the pool

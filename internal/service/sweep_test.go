@@ -363,7 +363,9 @@ func TestSweepTerminatesWhenPoolCloses(t *testing.T) {
 }
 
 func TestSweepRequestShapeErrors(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
+	// MaxSweepVariants is lowered so the "oversized" case trips the
+	// configurable cap without enumerating 100k axis values.
+	_, ts := newTestServer(t, Options{Workers: 1, MaxSweepVariants: 256})
 	cases := []struct {
 		name string
 		req  any

@@ -37,6 +37,7 @@ func (rt *Router) initMetrics() {
 	attempts := reg.HistogramVec("simd_router_attempt_seconds", "Backend attempt latency by shard.", obs.DefTimeBuckets, "shard")
 	failovers := reg.CounterVec("simd_router_failovers_total", "Requests served away from their owning shard, by owner.", "shard")
 	retries := reg.CounterVec("simd_router_retries_total", "Saturation-503 retry waits against a live shard, by shard.", "shard")
+	steals := reg.CounterVec("simd_router_steals_total", "Sweep variants work-stolen and computed by this (thief) shard.", "shard")
 	opens := reg.CounterVec("simd_router_breaker_opens_total", "Breaker trips into the open state, by shard.", "shard")
 	state := reg.GaugeVec("simd_router_breaker_state", "Breaker state by shard: 0 closed, 1 half-open, 2 open.", "shard")
 	for _, sh := range rt.shards {
@@ -44,6 +45,7 @@ func (rt *Router) initMetrics() {
 		sh.attempts = attempts.With(label)
 		sh.failovers = failovers.With(label)
 		sh.retries = retries.With(label)
+		sh.steals = steals.With(label)
 		trip := opens.With(label)
 		sh.breaker.onTrip = trip.Inc
 		state.Func(sh.breaker.StateCode, label)
@@ -52,6 +54,7 @@ func (rt *Router) initMetrics() {
 	reg.GaugeFunc("simd_router_shards", "Configured backend count.", func() float64 { return float64(len(rt.shards)) })
 	reg.GaugeFunc("simd_router_process_start_time_seconds", "Unix time the router started serving.", func() float64 { return float64(rt.since.Unix()) })
 	rt.sweepRows = reg.Counter("simd_router_sweep_rows_total", "Sweep data rows streamed to clients.")
+	rt.sweepResumes = reg.Counter("simd_router_sweep_resumes_total", "Sweep resume streams served by the router.")
 
 	if rt.sup != nil {
 		restarts := reg.CounterVec("simd_router_shard_restarts_total", "Supervisor respawns, by shard.", "shard")

@@ -20,6 +20,22 @@
 // a dial timeout per variant. An error row appears only when EVERY
 // shard has refused a variant — never a hang, never a silent
 // truncation.
+//
+// Work-stealing is failover's inverse: when a sweep chunk leaves one
+// owner's queue deeper than its workers can drain, idle shards steal
+// variants from that queue's tail, compute them locally, and the
+// router writes the result body back to the owner's store (POST
+// /results with X-Result-Key and X-Stolen) — ownership decides cache
+// placement, never who simulates. Stealing is for MISSES only: before
+// a thief simulates, the router probes the owner's store (GET
+// /results?key=...) and a variant the owner already holds streams as
+// an ordinary owner cache hit — warm replays stay owner-served and
+// untagged even through a backlog. Sweeps are also checkpointed
+// cluster-wide: every grid has a deterministic X-Sweep-ID whose
+// manifest is written through to a backend store (PUT /sweep/{id} in
+// the id's rank order), so a disconnected client replays the missing
+// rows via GET /sweep/{id}/resume?after=N and a stored sweep
+// re-analyzes via POST /sweep/{id}/analyze with zero re-simulation.
 package shard
 
 import (
@@ -37,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/spec"
@@ -74,6 +91,11 @@ type Options struct {
 	// the backends' -max-cycles so the router rejects pathological
 	// budgets before they cost a forward.
 	MaxCycles uint64
+	// MaxSweepVariants caps a sweep grid's full Cartesian product
+	// (<= 0: service.DefaultMaxSweepVariants). Should match the
+	// backends' -max-sweep-variants so router and workers accept
+	// exactly the same grids (cmd/simd wires one flag into both).
+	MaxSweepVariants int
 	// Supervisor, when the router fronts locally supervised backends,
 	// lets the aggregated healthz report process state (running /
 	// respawning / dead-after-give-up) per shard.
@@ -99,6 +121,7 @@ type shardState struct {
 	attempts  *obs.Histogram // backend attempt latency
 	failovers *obs.Counter   // requests served away from THIS owner
 	retries   *obs.Counter   // saturation retry waits against this shard
+	steals    *obs.Counter   // sweep variants THIS shard stole and computed
 }
 
 // Router is the sharded frontend. Apart from its backend list it
@@ -107,22 +130,24 @@ type shardState struct {
 // replicas agree on ownership and failover order (breaker state may
 // briefly differ per replica — it converges via the shared probes).
 type Router struct {
-	shards         []*shardState
-	mux            *http.ServeMux
-	scenariosBody  []byte
-	scenarioByName map[string]spec.Spec
-	attemptTimeout time.Duration
-	maxCycles      uint64
-	sup            *Supervisor
-	stop           chan struct{}
-	stopOnce       sync.Once
-	since          time.Time
+	shards           []*shardState
+	mux              *http.ServeMux
+	scenariosBody    []byte
+	scenarioByName   map[string]spec.Spec
+	attemptTimeout   time.Duration
+	maxCycles        uint64
+	maxSweepVariants int
+	sup              *Supervisor
+	stop             chan struct{}
+	stopOnce         sync.Once
+	since            time.Time
 
 	// reg holds the router's own metric families (metrics.go); the
 	// aggregated /metrics merges backend scrapes into it per request.
-	reg         *obs.Registry
-	httpMetrics *obs.HTTPMetrics
-	sweepRows   *obs.Counter
+	reg          *obs.Registry
+	httpMetrics  *obs.HTTPMetrics
+	sweepRows    *obs.Counter
+	sweepResumes *obs.Counter
 }
 
 // New builds a router over the given backends. Construction never
@@ -134,11 +159,15 @@ func New(opt Options) (*Router, error) {
 		return nil, errors.New("shard: no backends")
 	}
 	rt := &Router{
-		attemptTimeout: opt.AttemptTimeout,
-		maxCycles:      opt.MaxCycles,
-		sup:            opt.Supervisor,
-		stop:           make(chan struct{}),
-		since:          time.Now(),
+		attemptTimeout:   opt.AttemptTimeout,
+		maxCycles:        opt.MaxCycles,
+		maxSweepVariants: opt.MaxSweepVariants,
+		sup:              opt.Supervisor,
+		stop:             make(chan struct{}),
+		since:            time.Now(),
+	}
+	if rt.maxSweepVariants <= 0 {
+		rt.maxSweepVariants = service.DefaultMaxSweepVariants
 	}
 	rt.scenariosBody, rt.scenarioByName = service.ScenarioLibrary()
 	for i, base := range opt.Backends {
@@ -194,6 +223,9 @@ func New(opt Options) (*Router, error) {
 	handle("/compare", func(w http.ResponseWriter, r *http.Request) { rt.handleProxy(w, r, "/compare") })
 	handle("/sweep", rt.handleSweep)
 	handle("/sweep/analyze", rt.handleAnalyze)
+	handle("/sweep/{id}", rt.handleSweepStatus)
+	handle("/sweep/{id}/resume", rt.handleSweepResume)
+	handle("/sweep/{id}/analyze", rt.handleSweepStoredAnalyze)
 	handle("/scenarios", rt.handleScenarios)
 	handle("/healthz", rt.handleHealthz)
 	handle("/metrics", rt.handleMetrics)
@@ -498,14 +530,18 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Row is one NDJSON data line of the router's /sweep stream: the
 // backend's row plus the shard that served the variant. Shard is
-// always present (0 is a real shard), which is why this is a distinct
-// wire type rather than an omitempty field on the backend row.
-// Failover is set ("owner->served") when the serving shard is not the
-// owner — the stream-level twin of the X-Failover header.
+// always present (0 is a real shard; -1 marks a grid-level build
+// error no shard served), which is why this is a distinct wire type
+// rather than an omitempty field on the backend row. Failover is set
+// ("owner->served") when the serving shard is not the owner — the
+// stream-level twin of the X-Failover header. Stolen ("owner->thief")
+// marks a work-stolen row: an idle shard computed it past the owner's
+// deep queue and the result was written back to the owner's store.
 type Row struct {
 	service.SweepRow
 	Shard    int    `json:"shard"`
 	Failover string `json:"failover,omitempty"`
+	Stolen   string `json:"stolen,omitempty"`
 }
 
 // sweepEndpoint maps the request's model selector onto the per-variant
@@ -520,29 +556,23 @@ func sweepEndpoint(model string) (path, runModel string, err error) {
 	return "", "", fmt.Errorf("unknown model %q (want tl, rtl or compare)", model)
 }
 
-// expandVariants runs the backend's own grid expansion plus the
-// router's max_cycles cap over every variant — router and worker
-// accept exactly the same grids, by construction.
-func (rt *Router) expandVariants(req service.SweepRequest) ([]sweep.Variant, error) {
-	variants, err := service.ExpandSweepRequest(req, rt.scenarioByName)
-	if err != nil {
-		return nil, err
-	}
-	for _, v := range variants {
-		if err := rt.checkCycleCap(v.Spec); err != nil {
-			return nil, fmt.Errorf("variant %d: %w", v.Index, err)
-		}
-	}
-	return variants, nil
-}
+// sweepChunkSize and manifestCheckpointRows mirror the backend's
+// values (internal/service): the two tiers buffer the same number of
+// expanded variants and checkpoint at the same row cadence, so their
+// streams degrade identically under the same failures.
+const (
+	sweepChunkSize         = 2048
+	manifestCheckpointRows = 256
+)
 
-// handleSweep serves POST /sweep: expand the grid once, route each
-// variant to its owning shard as an individual /run (or /compare)
-// call, and merge the results into one completion-ordered stream.
-// Per-variant forwarding — rather than forwarding sub-grids — is what
-// lets every variant share the backend's full cache/coalescing path
-// with direct requests, and what makes failover per-variant: a dead
-// shard's keyspace is simply computed by the next-ranked live shard.
+// handleSweep serves POST /sweep: walk the grid in bounded chunks,
+// route each variant to its owning shard as an individual /run (or
+// /compare) call — work-stolen when the owner's queue runs deep — and
+// merge the results into one completion-ordered stream. Per-variant
+// forwarding — rather than forwarding sub-grids — is what lets every
+// variant share the backend's full cache/coalescing path with direct
+// requests, and what makes failover per-variant: a dead shard's
+// keyspace is simply computed by the next-ranked live shard.
 func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
@@ -555,8 +585,23 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	variants, err := rt.expandVariants(req)
+	rt.streamSweep(w, r, req, -1)
+}
+
+// streamSweep validates the grid and streams its NDJSON rows — the
+// shared engine of POST /sweep (after = -1: the whole grid) and GET
+// /sweep/{id}/resume (after = the client's high-water mark). The
+// router mirrors the backend's checkpointing: the sweep's manifest is
+// written through to a backend store as rows complete, so a sweep's
+// identity and progress survive the death of the client, the router
+// AND any single shard.
+func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req service.SweepRequest, after int) {
+	grid, total, err := service.ResolveSweepGrid(req, rt.scenarioByName, rt.maxSweepVariants)
 	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := service.CheckGridCycleCaps(grid, rt.checkCycleCap); err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -565,11 +610,18 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id, err := service.SweepID(req, rt.scenarioByName)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	man := rt.loadOrNewManifest(r.Context(), id, req, total)
 
 	// The stream is committed: from here every failure is a row, and
 	// completion is the terminal summary line.
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(total))
+	w.Header().Set(service.SweepIDHeader, id)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
@@ -577,8 +629,8 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 
-	emitted, errored := 0, 0
-	complete := rt.collectRows(r.Context(), variants, path, runModel, func(row Row) {
+	emitted, errored, sinceCheckpoint := 0, 0, 0
+	emit := func(row Row) {
 		enc.Encode(row)
 		if flusher != nil {
 			flusher.Flush()
@@ -587,54 +639,143 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		emitted++
 		if row.Error != "" {
 			errored++
+			man.Failed.Set(row.Index)
+		} else {
+			man.Done.Set(row.Index)
+			man.Failed.Clear(row.Index)
 		}
-	})
-	if !complete {
-		// Client gone mid-merge: the stream is truncated and must read
-		// as such — no terminal row.
-		return
+		if sinceCheckpoint++; sinceCheckpoint >= manifestCheckpointRows {
+			sinceCheckpoint = 0
+			rt.checkpointManifest(man)
+		}
 	}
-	enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
-	if flusher != nil {
-		flusher.Flush()
+	distinct, complete := rt.collectGrid(r.Context(), grid, after, path, runModel, emit)
+	if complete {
+		enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		// A completed walk knows the deduplicated variant count even
+		// when it only EMITTED a suffix — the walk itself always
+		// enumerates from index 0 — so a resume that reaches the end
+		// can mark the sweep complete just like the initial stream.
+		man.Variants = distinct
 	}
+	// The final checkpoint runs even when the client vanished: the
+	// progress made before the disconnect is exactly what its resume
+	// wants to skip.
+	rt.checkpointManifest(man)
 }
 
-// collectRows routes every variant to its owning shard and invokes
-// emit — always from this goroutine — once per variant in completion
-// order. It is the one fan-out engine behind both the streaming
-// /sweep handler and /sweep/analyze, so the two endpoints share
-// per-shard concurrency, retry and failover semantics. Returns false
-// when ctx ended first — the emitted rows are then a subset of the
-// grid.
-func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
-	// Partition the grid: each variant to its owner's work list. The
-	// owner drives the partition even when dead — its breaker redirects
-	// each variant at resolve time — so the per-shard concurrency
-	// bounds stay attached to the shard doing the owning, and a
-	// recovered shard picks its keyspace back up mid-sweep.
-	perShard := make([][]sweep.Variant, len(rt.shards))
+// collectGrid walks the grid lazily and resolves it in bounded,
+// work-stolen chunks — the router twin of the backend's collectGrid:
+// same chunk size, same skip-at-or-below-after replay semantics, same
+// build-errors-become-rows rule. Returns the deduplicated variant
+// count of the FULL walk (valid only when complete) and whether the
+// walk finished before ctx ended.
+func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, path, runModel string, emit func(Row)) (distinct int, complete bool) {
+	chunk := make([]sweep.Variant, 0, sweepChunkSize)
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		ok := rt.collectChunk(ctx, chunk, path, runModel, emit)
+		chunk = chunk[:0]
+		return ok
+	}
+	err := grid.Walk(func(v sweep.Variant, verr error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if verr != nil {
+			if v.Index > after {
+				emit(Row{SweepRow: service.SweepRow{Index: v.Index, Name: v.Spec.Name, Params: v.Params, Error: verr.Error()}, Shard: -1})
+			}
+			return nil
+		}
+		distinct++
+		if v.Index <= after {
+			return nil
+		}
+		chunk = append(chunk, v)
+		if len(chunk) >= sweepChunkSize {
+			if !flush() {
+				return context.Canceled
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return distinct, false
+	}
+	return distinct, flush()
+}
+
+// collectChunk resolves one chunk of variants across the cluster and
+// invokes emit — always from this goroutine — once per variant in
+// completion order.
+//
+// The fan-out is a work-stealing scheduler over per-owner queues:
+// EVERY shard gets workers — including shards that own nothing in
+// this chunk — and a worker drains its own shard's queue from the
+// head first. A worker whose queue is empty steals from the tail of
+// the DEEPEST victim queue, but only while that queue holds more
+// work than its shard has concurrent slots: a backlog the owner is
+// about to clear anyway is left alone (ownership still decides cache
+// placement), while a skewed chunk stops being wall-clock-bounded by
+// its hottest shard. The two ends never contend for the same variant.
+func (rt *Router) collectChunk(ctx context.Context, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
+	queues := make([][]sweep.Variant, len(rt.shards))
 	for _, v := range variants {
 		owner := Owner(v.Hash, len(rt.shards))
-		perShard[owner] = append(perShard[owner], v)
+		queues[owner] = append(queues[owner], v)
+	}
+	var mu sync.Mutex
+	next := func(self int) (sweep.Variant, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if q := queues[self]; len(q) > 0 {
+			queues[self] = q[1:]
+			return q[0], self, true
+		}
+		victim := -1
+		for j := range queues {
+			if j == self || len(queues[j]) <= rt.shards[j].conc {
+				continue
+			}
+			if victim < 0 || len(queues[j]) > len(queues[victim]) {
+				victim = j
+			}
+		}
+		if victim < 0 {
+			return sweep.Variant{}, -1, false
+		}
+		q := queues[victim]
+		queues[victim] = q[:len(q)-1]
+		return q[len(q)-1], victim, true
 	}
 
 	rows := make(chan Row)
 	var wg sync.WaitGroup
 	for i, sh := range rt.shards {
-		work := perShard[i]
-		if len(work) == 0 {
-			continue
-		}
-		queue := make(chan sweep.Variant)
-		workers := min(sh.conc, len(work))
+		workers := min(sh.conc, len(variants))
 		for k := 0; k < workers; k++ {
 			wg.Add(1)
-			go func() {
+			go func(self int) {
 				defer wg.Done()
-				for v := range queue {
-					row, ok := rt.resolveVariant(ctx, v, path, runModel)
+				for ctx.Err() == nil {
+					v, owner, ok := next(self)
 					if !ok {
+						return // chunk drained (for this worker)
+					}
+					var row Row
+					var alive bool
+					if owner == self {
+						row, alive = rt.resolveVariant(ctx, v, path, runModel)
+					} else {
+						row, alive = rt.resolveStolen(ctx, v, owner, self, path, runModel)
+					}
+					if !alive {
 						return // client gone
 					}
 					select {
@@ -643,24 +784,12 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 						return
 					}
 				}
-			}()
+			}(i)
 		}
-		wg.Add(1)
-		go func(work []sweep.Variant) {
-			defer wg.Done()
-			defer close(queue)
-			for _, v := range work {
-				select {
-				case queue <- v:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}(work)
 	}
-	// Close the merged stream once every shard worker is done, so the
-	// emit loop below can range to completion even if workers bail
-	// early on a cancelled context.
+	// Close the merged stream once every worker is done, so the emit
+	// loop below can range to completion even if workers bail early on
+	// a cancelled context.
 	go func() {
 		wg.Wait()
 		close(rows)
@@ -672,13 +801,13 @@ func (rt *Router) collectRows(ctx context.Context, variants []sweep.Variant, pat
 	return ctx.Err() == nil
 }
 
-// handleAnalyze serves POST /sweep/analyze: expand the grid once, fan
-// the variants out per-owner exactly like /sweep, and aggregate
-// ROUTER-side into the same analysis document a single process
-// produces — byte-identical for identical results, because both ends
-// run the identical service.AnalyzeRows path. Failover keeps the
-// document complete across single-shard loss; only a variant no shard
-// could serve surfaces as explicit incomplete metadata (failed list,
+// handleAnalyze serves POST /sweep/analyze: walk the grid exactly
+// like /sweep and aggregate ROUTER-side into the same analysis
+// document a single process produces — byte-identical for identical
+// results, because both ends run the identical fold
+// (service.AnalyzeInput + agg.Analyze). Failover keeps the document
+// complete across single-shard loss; only a variant no shard could
+// serve surfaces as explicit incomplete metadata (failed list,
 // analyzed < variants) — never a silently-shrunk frontier that reads
 // like the whole design space.
 func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -693,8 +822,21 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	variants, err := rt.expandVariants(req.SweepRequest)
+	rt.analyzeGrid(w, r, req)
+}
+
+// analyzeGrid runs the decoded analysis request — the shared engine
+// of POST /sweep/analyze (grid inlined) and POST /sweep/{id}/analyze
+// (grid from the stored manifest). Rows fold into metric inputs as
+// they complete, so a 100k-variant analysis holds per-variant
+// metrics, never the full result bodies.
+func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req service.AnalyzeRequest) {
+	grid, total, err := service.ResolveSweepGrid(req.SweepRequest, rt.scenarioByName, rt.maxSweepVariants)
 	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := service.CheckGridCycleCaps(grid, rt.checkCycleCap); err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -711,14 +853,20 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id, err := service.SweepID(req.SweepRequest, rt.scenarioByName)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 
-	rows := make([]service.SweepRow, 0, len(variants))
-	if !rt.collectRows(r.Context(), variants, path, runModel, func(row Row) {
-		rows = append(rows, row.SweepRow)
-	}) {
+	inputs := make([]agg.Input, 0, min(total, sweepChunkSize))
+	distinct, complete := rt.collectGrid(r.Context(), grid, -1, path, runModel, func(row Row) {
+		inputs = append(inputs, service.AnalyzeInput(compare, row.SweepRow))
+	})
+	if !complete {
 		return // client gone
 	}
-	doc, err := service.AnalyzeRows(req.Request, compare, req.Axes, len(variants), rows)
+	doc, err := agg.Analyze(req.Request, compare, service.AggAxes(req.Axes), distinct, inputs)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -729,7 +877,8 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Sweep-Variants", strconv.Itoa(len(variants)))
+	w.Header().Set("X-Sweep-Variants", strconv.Itoa(total))
+	w.Header().Set(service.SweepIDHeader, id)
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
@@ -829,4 +978,324 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 	}
 	row.Error = fmt.Sprintf("no live shard for variant (owner %d): %s", owner, lastErr)
 	return row, true
+}
+
+// resolveStolen computes one variant on a shard that is NOT its
+// owner — the work-stealing path. Before the thief spends a worker,
+// the owner's cache is probed (GET /results?key=...): a queued
+// variant the owner has already stored — a warm replay stuck behind
+// a deep backlog — is answered from the owner's bytes as an ordinary
+// owner hit, untagged, because nothing was stolen. Only a genuine
+// miss is simulated on the thief, driven exactly like an owner would
+// be (saturation 503s wait out Retry-After on the thief; a
+// deterministic error is final); on success the row is tagged Stolen
+// and the result body is written back to the owner's store, so
+// ownership-based cache placement holds even though another shard
+// simulated. A dead or terminal thief sends the variant down the
+// ordinary rank-walk (resolveVariant) — stealing may change who
+// computes, never whether the row appears.
+func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thief int, path, runModel string) (Row, bool) {
+	if row, ok, done := rt.probeOwner(ctx, v, owner, path, runModel); done {
+		return Row{}, false
+	} else if ok {
+		return row, true
+	}
+	sh := rt.shards[thief]
+	if !sh.breaker.allow() {
+		return rt.resolveVariant(ctx, v, path, runModel)
+	}
+	row := Row{SweepRow: service.SweepRow{
+		Index:  v.Index,
+		Name:   v.Spec.Name,
+		Hash:   v.Hash,
+		Params: v.Params,
+	}, Shard: thief}
+	reqBody, err := json.Marshal(service.RunRequest{Spec: &v.Spec, Model: runModel})
+	if err != nil {
+		row.Error = err.Error()
+		return row, true
+	}
+	for {
+		status, hdr, body, err := rt.post(ctx, sh, path, reqBody)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Row{}, false
+			}
+			sh.breaker.failure()
+			return rt.resolveVariant(ctx, v, path, runModel)
+		}
+		switch {
+		case status == http.StatusOK:
+			sh.breaker.success()
+			row.Cache = hdr.Get("X-Cache")
+			row.Result = json.RawMessage(body)
+			row.Stolen = fmt.Sprintf("%d->%d", owner, thief)
+			sh.steals.Inc()
+			rt.writeBack(ctx, owner, thief, path, runModel, v.Hash, body)
+			return row, true
+		case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
+			// The thief itself is saturated: wait it out here rather
+			// than bouncing the variant around the cluster.
+			sh.breaker.success()
+			sh.retries.Inc()
+			if !service.SleepRetryAfter(ctx, hdr.Get("Retry-After")) {
+				return Row{}, false
+			}
+		case status == http.StatusServiceUnavailable:
+			sh.breaker.failure()
+			return rt.resolveVariant(ctx, v, path, runModel)
+		default:
+			// Deterministic error: every shard answers identically, so
+			// the thief's answer IS the answer.
+			sh.breaker.success()
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(body, &e) == nil && e.Error != "" {
+				row.Error = e.Error
+			} else {
+				row.Error = fmt.Sprintf("status %d", status)
+			}
+			return row, true
+		}
+	}
+}
+
+// probeOwner asks a variant's owner whether it already holds the
+// stored result (GET /results?key=...) before a thief re-simulates
+// it. hit=true carries an owner-served cache-hit row; done=true means
+// the client's context ended mid-probe. Any owner trouble — open
+// circuit, transport error, 404, anything unexpected — is a clean
+// miss: the probe is an optimization, never a gate, so the steal
+// proceeds and correctness rests on the thief as before.
+func (rt *Router) probeOwner(ctx context.Context, v sweep.Variant, owner int, path, runModel string) (row Row, hit, done bool) {
+	model := runModel
+	if path == "/compare" {
+		model = "compare"
+	}
+	key, err := service.ResultKey(model, v.Hash)
+	if err != nil {
+		return Row{}, false, false
+	}
+	ow := rt.shards[owner]
+	if !ow.breaker.allow() {
+		return Row{}, false, false
+	}
+	probe, cancel := context.WithTimeout(ctx, healthTimeout)
+	status, _, body, err := ow.client.Do(probe, http.MethodGet, "/results?key="+url.QueryEscape(key), nil, nil)
+	cancel()
+	if err != nil {
+		if ctx.Err() != nil {
+			return Row{}, false, true
+		}
+		ow.breaker.failure()
+		return Row{}, false, false
+	}
+	ow.breaker.success()
+	if status != http.StatusOK {
+		return Row{}, false, false
+	}
+	return Row{SweepRow: service.SweepRow{
+		Index:  v.Index,
+		Name:   v.Spec.Name,
+		Hash:   v.Hash,
+		Params: v.Params,
+		Cache:  "hit",
+		Result: json.RawMessage(body),
+	}, Shard: owner}, true, false
+}
+
+// writeBack posts a stolen result to the owner's POST /results under
+// the content-addressed key the owner's own simulation would have
+// persisted it under (service.ResultKey). Failure is dropped
+// silently: the write-back is cache placement, not correctness — a
+// dead owner repopulates from replay when it returns.
+func (rt *Router) writeBack(ctx context.Context, owner, thief int, path, runModel, hash string, body []byte) {
+	model := runModel
+	if path == "/compare" {
+		model = "compare"
+	}
+	key, err := service.ResultKey(model, hash)
+	if err != nil {
+		return
+	}
+	if rt.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.attemptTimeout)
+		defer cancel()
+	}
+	rt.shards[owner].client.Do(ctx, http.MethodPost, "/results", body, http.Header{
+		"Content-Type":          {"application/json"},
+		service.ResultKeyHeader: {key},
+		service.StolenHeader:    {fmt.Sprintf("%d->%d", owner, thief)},
+	})
+}
+
+// fetchManifest walks the sweep id's rendezvous rank order for a
+// stored manifest: any live shard holding a valid copy answers, 404s
+// and dead shards are walked past, and a corrupt copy is skipped the
+// same way — the caller's fallback (404: re-POST the grid) is the
+// honest one, never a guess.
+func (rt *Router) fetchManifest(ctx context.Context, id string) (*service.SweepManifest, bool) {
+	for _, idx := range Rank(id, len(rt.shards)) {
+		sh := rt.shards[idx]
+		if !sh.breaker.allow() {
+			continue
+		}
+		probe, cancel := context.WithTimeout(ctx, healthTimeout)
+		status, _, body, err := sh.client.Do(probe, http.MethodGet, "/sweep/"+id, nil, nil)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			sh.breaker.failure()
+			continue
+		}
+		sh.breaker.success()
+		if status != http.StatusOK {
+			continue
+		}
+		var st service.SweepStatus
+		if json.Unmarshal(body, &st) != nil {
+			continue
+		}
+		m := st.SweepManifest
+		if m.Version != 1 || m.ID != id || m.Total <= 0 {
+			continue
+		}
+		m.Normalize()
+		return &m, true
+	}
+	return nil, false
+}
+
+// loadOrNewManifest resumes the cluster's stored manifest when its
+// grid size still matches, otherwise starts a fresh one — the router
+// twin of the backend's loadOrNewManifest.
+func (rt *Router) loadOrNewManifest(ctx context.Context, id string, req service.SweepRequest, total int) *service.SweepManifest {
+	if m, ok := rt.fetchManifest(ctx, id); ok && m.Total == total {
+		return m
+	}
+	return &service.SweepManifest{
+		Version: 1, ID: id, Request: req, Total: total,
+		Done: sweep.NewBitset(total), Failed: sweep.NewBitset(total),
+	}
+}
+
+// checkpointManifest writes the manifest through to the first live
+// shard in the sweep id's rank order (PUT /sweep/{id} merge-persists
+// shard-side, so concurrent streams and routers union their progress
+// instead of clobbering). The context is detached from the request:
+// the final checkpoint after a client disconnect is precisely the
+// one its resume needs. Total failure leaves the previous checkpoint
+// standing — bookkeeping lost, correctness untouched.
+func (rt *Router) checkpointManifest(m *service.SweepManifest) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	for _, idx := range Rank(m.ID, len(rt.shards)) {
+		sh := rt.shards[idx]
+		if !sh.breaker.allow() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
+		status, _, _, err := sh.client.Do(ctx, http.MethodPut, "/sweep/"+m.ID, body, http.Header{"Content-Type": {"application/json"}})
+		cancel()
+		if err != nil {
+			sh.breaker.failure()
+			continue
+		}
+		sh.breaker.success()
+		// 204 is stored; any 4xx is deterministic and would repeat on
+		// every shard — either way this checkpoint is settled.
+		_ = status
+		return
+	}
+}
+
+// handleSweepStatus serves GET /sweep/{id}: the stored manifest with
+// derived progress counts, fetched from the first live shard holding
+// a copy.
+func (rt *Router) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := rt.fetchManifest(r.Context(), id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+		return
+	}
+	body, err := json.Marshal(m.Status())
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(service.SweepIDHeader, id)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleSweepResume serves GET /sweep/{id}/resume?after=N: the stored
+// sweep's cluster stream restricted to variants with Index > N. Same
+// replay-not-delta semantics as the backend: every variant past the
+// offset streams again regardless of manifest bits (done ones at
+// cache speed), so duplicate offsets are idempotent and a lost
+// checkpoint can never turn into a silent gap.
+func (rt *Router) handleSweepResume(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	after := -1
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "after=%q is not an integer", q)
+			return
+		}
+		after = n
+	}
+	if after < -1 {
+		after = -1
+	}
+	id := r.PathValue("id")
+	m, ok := rt.fetchManifest(r.Context(), id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+		return
+	}
+	rt.sweepResumes.Inc()
+	rt.streamSweep(w, r, m.Request, after)
+}
+
+// handleSweepStoredAnalyze serves POST /sweep/{id}/analyze: the
+// analysis selector in the body applied to the STORED sweep's grid.
+// A completed sweep re-analyzes with zero simulations — every
+// variant is a shard cache hit — and the document is byte-identical
+// to POST /sweep/analyze with the grid inlined, because both run the
+// same collect-and-aggregate path.
+func (rt *Router) handleSweepStoredAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var sel agg.Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sel); err != nil {
+		writeError(w, r, http.StatusBadRequest, "parsing analysis selector: %v", err)
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := rt.fetchManifest(r.Context(), id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
+		return
+	}
+	rt.analyzeGrid(w, r, service.AnalyzeRequest{SweepRequest: m.Request, Request: sel})
 }

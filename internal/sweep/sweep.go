@@ -23,10 +23,12 @@ import (
 	"repro/internal/spec"
 )
 
-// MaxVariants bounds one grid expansion. Grids reach the simulation
-// service over the wire; an unbounded product would let one request
-// enqueue arbitrary work.
-const MaxVariants = 1024
+// MaxVariants is the engine's hard bound on one grid's Cartesian
+// product. It exists to keep Total arithmetic and bitmap sizes sane,
+// not to police callers: the simulation service enforces its own,
+// configurable, much lower limit (-max-sweep-variants) before a grid
+// ever reaches Walk.
+const MaxVariants = 1 << 20
 
 // Params accepted as axis targets, in the order they are documented.
 const (
@@ -105,31 +107,53 @@ type Variant struct {
 	Hash string
 }
 
-// Expand produces the deduplicated variant list: the Cartesian
-// product of the axis values applied to the base spec, in row-major
-// order (first axis slowest), with later duplicates of an already
-// seen content hash dropped. Every variant's spec is validated.
-func (g Grid) Expand() ([]Variant, error) {
+// Total validates the grid's axis structure and returns the size of
+// its full Cartesian product — the index space Variant.Index lives in
+// — without building a single variant. The product is guarded against
+// overflow by the MaxVariants bound.
+func (g Grid) Total() (int, error) {
 	total := 1
 	for _, ax := range g.Axes {
 		if ax.Param == "" {
-			return nil, fmt.Errorf("sweep: axis without a param")
+			return 0, fmt.Errorf("sweep: axis without a param")
 		}
 		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Param)
+			return 0, fmt.Errorf("sweep: axis %q has no values", ax.Param)
 		}
 		if total > MaxVariants/len(ax.Values) {
-			return nil, fmt.Errorf("sweep: grid exceeds %d variants", MaxVariants)
+			return 0, fmt.Errorf("sweep: grid exceeds %d variants", MaxVariants)
 		}
 		total *= len(ax.Values)
+	}
+	return total, nil
+}
+
+// Walk enumerates the grid lazily in row-major order (first axis
+// slowest), holding O(1) variants in memory, and calls fn once per
+// grid point that survives deduplication. A point whose spec fails to
+// apply, validate or hash is reported as fn(partial, err) — Index,
+// Labels and Params set, Spec/Hash not usable — so a caller streaming
+// a committed response can turn it into an error row and keep going.
+// fn returning a non-nil error aborts the walk and Walk returns it.
+//
+// Deduplication is on the workload alone: the spec name (which embeds
+// the axis slugs and participates in the content hash) is cleared for
+// the dedup key, so two axis combinations that label the same
+// workload differently still collapse into one simulation. The walk
+// always starts at index 0 even when the caller only wants a suffix —
+// dedup survivors are defined by full-grid history, and skipping a
+// prefix would silently renumber them.
+func (g Grid) Walk(fn func(v Variant, err error) error) error {
+	total, err := g.Total()
+	if err != nil {
+		return err
 	}
 	prefix := g.Name
 	if prefix == "" {
 		prefix = g.Base.Name
 	}
 
-	variants := make([]Variant, 0, total)
-	seen := make(map[string]bool, total)
+	seen := make(map[string]bool)
 	idx := make([]int, len(g.Axes))
 	for n := 0; n < total; n++ {
 		s := g.Base.Clone()
@@ -137,6 +161,7 @@ func (g Grid) Expand() ([]Variant, error) {
 		slugs := make([]string, 0, len(g.Axes)+1)
 		slugs = append(slugs, prefix)
 		params := make(map[string]any, len(g.Axes))
+		var buildErr error
 		for a, ax := range g.Axes {
 			v := ax.Values[idx[a]]
 			label, slug := v.Label, v.Slug
@@ -149,33 +174,44 @@ func (g Grid) Expand() ([]Variant, error) {
 			labels[a] = label
 			slugs = append(slugs, slug)
 			params[ax.Param] = v.V
-			if err := Apply(&s, ax.Param, v.V); err != nil {
-				return nil, fmt.Errorf("sweep: axis %q value %v: %w", ax.Param, v.V, err)
+			if buildErr == nil {
+				if err := Apply(&s, ax.Param, v.V); err != nil {
+					buildErr = fmt.Errorf("sweep: axis %q value %v: %w", ax.Param, v.V, err)
+				}
 			}
 		}
 		s.Name = strings.Join(slugs, "/")
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		variant := Variant{Index: n, Labels: labels, Params: params}
+		if buildErr == nil {
+			if err := s.Validate(); err != nil {
+				buildErr = fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+			}
 		}
-		hash, err := s.Hash()
-		if err != nil {
-			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		var hash, workload string
+		if buildErr == nil {
+			if hash, err = s.Hash(); err != nil {
+				buildErr = fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+			}
 		}
-		// Dedup on the workload alone: the name (which embeds the axis
-		// slugs, and participates in the content hash) is cleared for
-		// the dedup key, so two axis combinations that label the same
-		// workload differently still collapse into one simulation.
-		unnamed := s
-		unnamed.Name = ""
-		workload, err := unnamed.Hash()
-		if err != nil {
-			return nil, fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+		if buildErr == nil {
+			unnamed := s
+			unnamed.Name = ""
+			if workload, err = unnamed.Hash(); err != nil {
+				buildErr = fmt.Errorf("sweep: variant %s: %w", s.Name, err)
+			}
 		}
-		if !seen[workload] {
+		switch {
+		case buildErr != nil:
+			variant.Spec = s
+			if err := fn(variant, buildErr); err != nil {
+				return err
+			}
+		case !seen[workload]:
 			seen[workload] = true
-			variants = append(variants, Variant{
-				Index: n, Labels: labels, Params: params, Spec: s, Hash: hash,
-			})
+			variant.Spec, variant.Hash = s, hash
+			if err := fn(variant, nil); err != nil {
+				return err
+			}
 		}
 		for a := len(g.Axes) - 1; a >= 0; a-- {
 			idx[a]++
@@ -184,6 +220,28 @@ func (g Grid) Expand() ([]Variant, error) {
 			}
 			idx[a] = 0
 		}
+	}
+	return nil
+}
+
+// Expand produces the deduplicated variant list: the Cartesian
+// product of the axis values applied to the base spec, in row-major
+// order (first axis slowest), with later duplicates of an already
+// seen content hash dropped. Every variant's spec is validated; the
+// first invalid grid point fails the whole expansion. Callers that
+// cannot afford the materialized slice (or want per-point error
+// recovery) walk the grid instead.
+func (g Grid) Expand() ([]Variant, error) {
+	var variants []Variant
+	err := g.Walk(func(v Variant, err error) error {
+		if err != nil {
+			return err
+		}
+		variants = append(variants, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return variants, nil
 }

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -120,7 +122,9 @@ func TestExpandDeduplicatesByWorkload(t *testing.T) {
 }
 
 func TestExpandRejectsOversizedGrids(t *testing.T) {
-	vals := make([]Value, 40)
+	// 1100^2 > MaxVariants: Total must refuse before building anything
+	// (and before overflow could wrap the product).
+	vals := make([]Value, 1100)
 	for i := range vals {
 		vals[i] = Value{V: i}
 	}
@@ -131,8 +135,136 @@ func TestExpandRejectsOversizedGrids(t *testing.T) {
 			{Param: ParamUrgencyThreshold, Values: vals},
 		},
 	}
+	if _, err := g.Total(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized grid Total: %v", err)
+	}
 	if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("oversized grid: %v", err)
+	}
+}
+
+func TestWalkMatchesExpandAndRecovers(t *testing.T) {
+	g := Grid{
+		Name: "walk/test",
+		Base: base3(40),
+		Axes: []Axis{
+			{Param: ParamWriteBufferDepth, Values: []Value{{V: 0}, {V: 4}, {V: 8}}},
+			{Param: ParamBIEnabled, Values: []Value{{V: true}, {V: false}}},
+		},
+	}
+	if total, err := g.Total(); err != nil || total != 6 {
+		t.Fatalf("Total = %d, %v; want 6", total, err)
+	}
+	want, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Variant
+	if err := g.Walk(func(v Variant, err error) error {
+		if err != nil {
+			t.Fatalf("walk error at %d: %v", v.Index, err)
+		}
+		got = append(got, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walk yielded %d variants, expand %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Hash != want[i].Hash {
+			t.Fatalf("variant %d: walk (%d,%s) vs expand (%d,%s)",
+				i, got[i].Index, got[i].Hash, want[i].Index, want[i].Hash)
+		}
+	}
+
+	// A mid-grid invalid point reaches fn as (partial, err) and the
+	// walk continues when fn keeps going; Expand aborts on it.
+	bad := Grid{
+		Base: base3(40),
+		Axes: []Axis{{Param: ParamBusBytes, Values: []Value{{V: 4}, {V: 3}, {V: 8}}}},
+	}
+	var goodIdx, badIdx []int
+	if err := bad.Walk(func(v Variant, err error) error {
+		if err != nil {
+			if !strings.Contains(err.Error(), "power of two") {
+				t.Fatalf("unexpected build error: %v", err)
+			}
+			badIdx = append(badIdx, v.Index)
+			return nil
+		}
+		goodIdx = append(goodIdx, v.Index)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(goodIdx) != 2 || len(badIdx) != 1 || badIdx[0] != 1 {
+		t.Fatalf("good %v bad %v, want two good and bad index 1", goodIdx, badIdx)
+	}
+	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("Expand over invalid point: %v", err)
+	}
+}
+
+func TestWalkAbortPropagates(t *testing.T) {
+	g := Grid{
+		Base: base3(40),
+		Axes: []Axis{{Param: ParamWriteBufferDepth, Values: []Value{{V: 0}, {V: 4}, {V: 8}}}},
+	}
+	stop := errors.New("stop here")
+	n := 0
+	err := g.Walk(func(v Variant, err error) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || n != 2 {
+		t.Fatalf("walk err %v after %d calls, want stop after 2", err, n)
+	}
+}
+
+func TestBitsetRoundTrip(t *testing.T) {
+	b := NewBitset(77)
+	for _, i := range []int{0, 1, 63, 64, 76} {
+		b.Set(i)
+	}
+	b.Set(77)  // out of range: no-op
+	b.Set(-1)  // out of range: no-op
+	b.Clear(1) // and clear works
+	if b.Count() != 4 || !b.Get(0) || b.Get(1) || !b.Get(76) || b.Get(77) {
+		t.Fatalf("count %d after sets/clears", b.Count())
+	}
+	enc, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bitset
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 77 || back.Count() != 4 || !back.Get(64) {
+		t.Fatalf("round trip: len %d count %d", back.Len(), back.Count())
+	}
+
+	// A torn payload (byte count disagreeing with the claimed length)
+	// must be an unmarshal error, never plausible progress.
+	if err := json.Unmarshal([]byte(`{"n":128,"bits":"AAA="}`), &back); err == nil {
+		t.Fatal("length-mismatched bitset unmarshalled cleanly")
+	}
+
+	other := NewBitset(77)
+	other.Set(10)
+	other.Or(b)
+	if other.Count() != 5 || !other.Get(10) || !other.Get(63) {
+		t.Fatalf("or-merge count %d", other.Count())
+	}
+	mismatch := NewBitset(5)
+	mismatch.Or(b) // different lengths: no-op
+	if mismatch.Count() != 0 {
+		t.Fatal("or across lengths merged")
 	}
 }
 
