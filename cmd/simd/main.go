@@ -28,6 +28,17 @@
 // simulation server-side (504 past budget), and -max-cycles rejects
 // pathological cycle budgets at validation time.
 //
+// Router deployments are elastic: cluster membership is a versioned
+// topology of stable shard IDs, and the admin endpoints resize it
+// live. POST /admin/shards grows the cluster (the supervisor spawns
+// the new workers; the router admits them at the next epoch), POST
+// /admin/shards/{id}/drain migrates every result envelope the
+// retiring shard holds to its new rendezvous owner — verified
+// byte-identical — before retiring it, so warm keys never go cold. A
+// router-side result cache (-router-cache-bytes) answers repeat /run
+// and /compare requests at the router with zero backend round trips
+// (X-Cache: router_hit).
+//
 // Endpoints (identical in every mode):
 //
 //	POST /run                {"spec": {...} | "scenario": "name", "model": "tl"|"rtl"}
@@ -42,15 +53,25 @@
 //	POST /sweep/{id}/analyze analysis selector only; the grid comes from the stored
 //	                         manifest (a completed sweep re-analyzes with zero simulation)
 //	POST /results            stolen-variant write-back (X-Result-Key; router internal)
+//	GET  /results?prefix=P   enumerate stored result keys (drain migration internal)
 //	GET  /scenarios          the built-in scenario library with content hashes
 //	GET  /healthz            liveness and load counters (aggregated per shard in router
-//	                         modes, with per-shard breaker and supervisor process state)
+//	                         modes, with per-shard breaker/process state and the
+//	                         topology epoch + membership)
+//
+// Router modes additionally serve the admin surface:
+//
+//	GET  /admin/shards            the current topology (epoch + members)
+//	POST /admin/shards            grow: {"count": N} spawns supervised workers,
+//	                              or {"backends": [...]} admits external URLs
+//	POST /admin/shards/{id}/drain migrate the shard's envelopes to their new
+//	                              owners, then retire it; returns a drain report
 //
 // Usage:
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
 //	     [-request-timeout D] [-max-cycles N] [-max-sweep-variants N] [-attempt-timeout D]
-//	     [-debug-addr ADDR] [-shards N | -backends URL,URL,...]
+//	     [-router-cache-bytes N] [-debug-addr ADDR] [-shards N | -backends URL,URL,...]
 //
 // Every mode also serves GET /metrics (Prometheus text; the router
 // re-exposes each worker's series under a shard label) and GET
@@ -89,6 +110,7 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", 0, "reject specs whose max_cycles exceeds this at validation time (0 = the global bound)")
 	maxSweep := flag.Int("max-sweep-variants", service.DefaultMaxSweepVariants, "reject sweep grids whose Cartesian product exceeds this (every tier enforces the same cap)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "router-side timeout per backend attempt (0 = none); a hung shard is failed over")
+	routerCache := flag.Int64("router-cache-bytes", 64<<20, "router-side result-cache budget in bytes (<= 0 disables); repeat /run and /compare hits answer at the router with zero backend round trips")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); NOT inherited by -shards workers")
 	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
 	backends := flag.String("backends", "", "comma-separated worker URLs to route over (externally managed shards)")
@@ -102,6 +124,7 @@ func main() {
 		AttemptTimeout:   *attemptTimeout,
 		MaxCycles:        *maxCycles,
 		MaxSweepVariants: *maxSweep,
+		RouterCacheBytes: *routerCache,
 	}
 	switch {
 	case *shards > 0:

@@ -304,7 +304,11 @@ func main() {
 	single := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "2",
 		"-store", filepath.Join(tmp, "single"))
 	defer single.stop()
+	// The router cache is disabled: this drill asserts BACKEND-tier
+	// cache dispositions (X-Cache: hit from the worker's store), which
+	// the router-side cache would otherwise answer first.
 	cluster := start(bin, 2, "-addr", "127.0.0.1:0", "-shards", "2", "-workers", "1",
+		"-router-cache-bytes", "0",
 		"-store", filepath.Join(tmp, "cluster"))
 	defer cluster.stop()
 
@@ -452,7 +456,11 @@ func main() {
 	defer w1.stop()
 	w2 := start(bin, 0, "-addr", "127.0.0.1:0", "-workers", "1")
 	defer w2.stop()
-	router := start(bin, 0, "-addr", "127.0.0.1:0", "-backends", w1.url+","+w2.url)
+	// Cache off here too: with it on, the analyze below would warm the
+	// router's own cache and the all-dead analysis would be served
+	// complete from it — this phase tests backend-tier honesty.
+	router := start(bin, 0, "-addr", "127.0.0.1:0", "-router-cache-bytes", "0",
+		"-backends", w1.url+","+w2.url)
 	defer router.stop()
 
 	// Verify the analysis grid actually spans both shards, and keep a

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -260,4 +261,42 @@ func (c *Client) FetchHealth(ctx context.Context) (Health, error) {
 		return Health{}, err
 	}
 	return h, nil
+}
+
+// EnumerateResults lists every store key the backend holds under
+// prefix (GET /results?prefix=...) — the drain path's work list. An
+// empty prefix lists everything.
+func (c *Client) EnumerateResults(ctx context.Context, prefix string) ([]string, error) {
+	status, _, body, err := c.Do(ctx, http.MethodGet, "/results?prefix="+url.QueryEscape(prefix), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("enumerate status %d: %s", status, body)
+	}
+	var out struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("enumerate: %w", err)
+	}
+	return out.Keys, nil
+}
+
+// FetchResult fetches one stored result body by its exact store key
+// (GET /results?key=...). ok=false with a nil error means the backend
+// answered 404 — the key is genuinely absent, which enumeration races
+// (a concurrent GC) make an ordinary outcome, not a failure.
+func (c *Client) FetchResult(ctx context.Context, key string) (body []byte, ok bool, err error) {
+	status, _, respBody, err := c.Do(ctx, http.MethodGet, "/results?key="+url.QueryEscape(key), nil, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return respBody, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("fetch %q status %d: %s", key, status, respBody)
 }

@@ -318,8 +318,25 @@ func (s *Server) handleSweepStoredAnalyze(w http.ResponseWriter, r *http.Request
 // GET ?key=<result-key> is the probe: before a thief re-simulates a
 // queued variant it asks whether the owner already holds the bytes —
 // 200 with X-Cache: hit when it does, 404 when the work is genuinely
-// cold. Only exact result keys are answered; there is no listing.
+// cold. GET ?prefix=<p> is the enumeration the router's drain path
+// walks: every stored key with that prefix (empty prefix: all keys),
+// as {"keys":[...]}, disk keys most-recent-first followed by any
+// memory-only stragglers. Exact fetches still require a well-formed
+// result key.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Query().Has("prefix") {
+		body, err := json.Marshal(struct {
+			Keys []string `json:"keys"`
+		}{Keys: s.enumerateKeys(r.URL.Query().Get("prefix"))})
+		if err != nil {
+			s.writeError(w, r, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
 	if r.Method == http.MethodGet {
 		key := r.URL.Query().Get("key")
 		if !ValidResultKey(key) {
@@ -355,6 +372,31 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	s.persist(key, body)
 	s.stolenResults.Inc()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// enumerateKeys lists every key this shard holds under prefix: the
+// disk store's keys most-recent-first, then any keys only the memory
+// cache holds (a store-less shard, or a race where the memory tier
+// runs ahead). The union is what a drain must migrate — missing a
+// memory-only key would silently cool a result its owner had warm.
+func (s *Server) enumerateKeys(prefix string) []string {
+	keys := []string{}
+	seen := map[string]struct{}{}
+	if s.disk != nil {
+		for _, k := range s.disk.Enumerate(prefix) {
+			keys = append(keys, k)
+			seen[k] = struct{}{}
+		}
+	}
+	for _, k := range s.cache.keys() {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if _, ok := seen[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // ResultKey maps a model selector ("", "tl", "tlm", "rtl",

@@ -85,6 +85,9 @@ func (s *Server) initMetrics() {
 		reg.CounterFunc("simd_store_evictions_total", "Entries deleted by the size-budget GC.", stat(func(st store.Stats) uint64 { return st.Evictions }))
 		reg.CounterFunc("simd_store_corrupt_total", "Envelopes rejected by verification.", stat(func(st store.Stats) uint64 { return st.Corrupt }))
 		reg.CounterFunc("simd_store_corrupt_at_open_total", "Corrupt envelopes found while indexing at open.", stat(func(st store.Stats) uint64 { return st.CorruptAtOpen }))
+		reg.CounterFunc("simd_store_index_loads_total", "Opens served from the persisted startup index (no per-envelope rescan).", stat(func(st store.Stats) uint64 { return st.IndexLoads }))
+		reg.CounterFunc("simd_store_index_rebuilds_total", "Opens that fell back to a full directory rescan (missing or corrupt index).", stat(func(st store.Stats) uint64 { return st.IndexRebuilds }))
+		reg.GaugeFunc("simd_store_index_bytes", "Bytes held by the persisted startup index file.", func() float64 { return float64(s.disk.StatsSnapshot().IndexBytes) })
 
 		ops := reg.HistogramVec("simd_store_op_seconds", "Disk store operation latency.", obs.DefTimeBuckets, "op")
 		get, put := ops.With("get"), ops.With("put")

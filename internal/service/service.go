@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"strconv"
@@ -277,8 +278,18 @@ func ScenarioLibrary() (body []byte, byName map[string]spec.Spec) {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the run queue and stops the workers.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the run queue, stops the workers, and flushes the disk
+// store's startup index so the next Open is O(1) file reads. An index
+// flush failure is logged, not fatal: the next Open falls back to a
+// loud full rescan and loses nothing but startup time.
+func (s *Server) Close() {
+	s.pool.Close()
+	if s.disk != nil {
+		if err := s.disk.Close(); err != nil {
+			log.Printf("store: flushing startup index at close: %v", err)
+		}
+	}
+}
 
 // CountersSnapshot returns the current load counters.
 func (s *Server) CountersSnapshot() Counters {
@@ -992,4 +1003,16 @@ func (c *lru) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// keys returns every cached key, most recently used first — the
+// memory tier's contribution to the /results?prefix= enumeration.
+func (c *lru) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
 }

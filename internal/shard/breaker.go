@@ -50,6 +50,12 @@ type breaker struct {
 	probe func(ctx context.Context) error
 	// stop ends the background prober (router shutdown).
 	stop <-chan struct{}
+	// closed ends this one breaker's prober without touching the
+	// router-wide stop channel — a drained shard's breaker is closed
+	// individually so it stops probing a backend that is gone on
+	// purpose, while every other breaker keeps running.
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	mu      sync.Mutex
 	state   string
@@ -70,7 +76,7 @@ func newBreaker(threshold int, interval time.Duration, probe func(ctx context.Co
 	if interval <= 0 {
 		interval = defaultBreakerInterval
 	}
-	return &breaker{threshold: threshold, interval: interval, probe: probe, stop: stop, state: breakerClosed}
+	return &breaker{threshold: threshold, interval: interval, probe: probe, stop: stop, closed: make(chan struct{}), state: breakerClosed}
 }
 
 // allow reports whether a request may be sent to this backend right
@@ -139,6 +145,11 @@ func (b *breaker) probeLoop() {
 			b.probing = false
 			b.mu.Unlock()
 			return
+		case <-b.closed:
+			b.mu.Lock()
+			b.probing = false
+			b.mu.Unlock()
+			return
 		case <-time.After(b.interval):
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
@@ -156,6 +167,11 @@ func (b *breaker) probeLoop() {
 		b.mu.Unlock()
 	}
 }
+
+// close retires this breaker: its prober (running or future) exits
+// instead of polling a deliberately removed backend forever. The
+// breaker itself keeps answering State for any straggling reader.
+func (b *breaker) close() { b.closeOnce.Do(func() { close(b.closed) }) }
 
 // State returns the current state name ("closed", "open",
 // "half-open") for healthz and tests.

@@ -1,0 +1,119 @@
+// The router-side result cache: a bytes-bounded LRU of result bodies
+// keyed by the same content-addressed store keys the backends persist
+// under (run:TL:<hash>, run:RTL:<hash>, compare:<hash>). Results are
+// bit-reproducible, so a body the router has already relayed once is
+// the final answer forever — a repeat /run, /compare or sweep variant
+// can be served from router memory with zero backend round trips,
+// which is a disposition of its own (X-Cache: router_hit) so clients
+// can tell router-served replays from backend cache hits.
+//
+// Entries are held in the store's checksummed envelope encoding
+// (store.EncodeEnvelope), not as raw bytes: a get re-verifies the
+// envelope before serving, so a corrupted in-memory entry degrades to
+// a miss instead of relaying garbage — the same honesty contract the
+// disk tier enforces.
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// defaultRouterCacheBytes bounds the router cache when Options leaves
+// RouterCacheBytes zero. Result bodies are small (a few hundred bytes
+// to a few KB), so 64 MiB holds tens of thousands of hot replays.
+const defaultRouterCacheBytes = 64 << 20
+
+// resultCache is a mutex-guarded LRU over encoded result envelopes,
+// bounded by total envelope bytes.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	order    *list.List // front = most recent; values are *cacheEntry
+	byKey    map[string]*list.Element
+}
+
+// cacheEntry is one cached result, stored as a checksummed envelope.
+type cacheEntry struct {
+	key string
+	env []byte
+}
+
+// newResultCache returns an empty cache bounded to maxBytes of
+// encoded envelopes.
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultRouterCacheBytes
+	}
+	return &resultCache{maxBytes: maxBytes, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and refreshes its recency. The
+// envelope is verified on the way out: a corrupt entry is dropped and
+// reported as a miss, never served.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	gotKey, body, err := store.DecodeEnvelope(ent.env)
+	if err != nil || gotKey != key {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return body, true
+}
+
+// put stores a body under key, evicting least-recently-used entries
+// until the cache fits its byte budget. A body whose envelope alone
+// exceeds the budget is not cached at all.
+func (c *resultCache) put(key string, body []byte) {
+	env := store.EncodeEnvelope(key, body)
+	if int64(len(env)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.size += int64(len(env)) - int64(len(ent.env))
+		ent.env = env
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, env: env})
+		c.size += int64(len(env))
+	}
+	for c.size > c.maxBytes && c.order.Len() > 1 {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+// removeLocked drops one entry. Caller holds c.mu.
+func (c *resultCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.byKey, ent.key)
+	c.size -= int64(len(ent.env))
+}
+
+// bytes returns the cache's current encoded size — the
+// simd_router_cache_bytes gauge.
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

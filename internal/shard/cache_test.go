@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func cacheTestKey(i int) string {
+	return "run:TL:" + strings.Repeat(fmt.Sprintf("%02x", i%256), 32)
+}
+
+func TestResultCacheRoundTrip(t *testing.T) {
+	c := newResultCache(1 << 20)
+	key := cacheTestKey(1)
+	body := []byte(`{"cycles":123}`)
+	if _, ok := c.get(key); ok {
+		t.Fatal("empty cache claimed a hit")
+	}
+	c.put(key, body)
+	got, ok := c.get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("cached body %q, want %q", got, body)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len %d, want 1", c.len())
+	}
+}
+
+func TestResultCacheEvictsLRUByBytes(t *testing.T) {
+	// Budget that holds roughly 3 small entries; inserting more must
+	// evict from the cold end, never the hot one.
+	body := bytes.Repeat([]byte(`x`), 100)
+	env := store.EncodeEnvelope(cacheTestKey(0), body)
+	c := newResultCache(int64(3 * len(env)))
+	for i := 0; i < 5; i++ {
+		c.put(cacheTestKey(i), body)
+	}
+	if c.bytes() > int64(3*len(env)) {
+		t.Fatalf("cache holds %d bytes over the %d budget", c.bytes(), 3*len(env))
+	}
+	if _, ok := c.get(cacheTestKey(0)); ok {
+		t.Fatal("oldest entry survived past the byte budget")
+	}
+	if _, ok := c.get(cacheTestKey(4)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// Touch an old survivor, overflow again: the touched entry stays.
+	if _, ok := c.get(cacheTestKey(2)); !ok {
+		t.Fatal("expected entry 2 resident")
+	}
+	c.put(cacheTestKey(5), body)
+	c.put(cacheTestKey(6), body)
+	if _, ok := c.get(cacheTestKey(2)); !ok {
+		t.Fatal("recently-touched entry evicted before colder ones")
+	}
+}
+
+func TestResultCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(1 << 20)
+	key := cacheTestKey(7)
+	c.put(key, []byte(`{"v":1}`))
+	c.put(key, []byte(`{"v":2,"bigger":true}`))
+	if c.len() != 1 {
+		t.Fatalf("len %d after double put, want 1", c.len())
+	}
+	got, ok := c.get(key)
+	if !ok || !bytes.Equal(got, []byte(`{"v":2,"bigger":true}`)) {
+		t.Fatalf("got %q ok=%v", got, ok)
+	}
+	want := int64(len(store.EncodeEnvelope(key, []byte(`{"v":2,"bigger":true}`))))
+	if c.bytes() != want {
+		t.Fatalf("size %d after update, want %d", c.bytes(), want)
+	}
+}
+
+func TestResultCacheOversizedBodyNotCached(t *testing.T) {
+	c := newResultCache(64)
+	c.put(cacheTestKey(8), bytes.Repeat([]byte(`y`), 1000))
+	if c.len() != 0 || c.bytes() != 0 {
+		t.Fatalf("oversized body cached: len=%d bytes=%d", c.len(), c.bytes())
+	}
+}
+
+func TestResultCacheCorruptEntryDegradesToMiss(t *testing.T) {
+	c := newResultCache(1 << 20)
+	key := cacheTestKey(9)
+	c.put(key, []byte(`{"v":1}`))
+	// Flip a payload byte behind the cache's back; the envelope
+	// checksum must catch it and the entry must be dropped, not served.
+	el := c.byKey[key]
+	env := el.Value.(*cacheEntry).env
+	env[len(env)-2] ^= 0xff
+	if _, ok := c.get(key); ok {
+		t.Fatal("corrupt envelope served as a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("corrupt entry not dropped")
+	}
+}

@@ -244,7 +244,7 @@ func TestRouterDoesNotFailOverDeterministicErrors(t *testing.T) {
 	if hdr.Get("X-Failover") != "" {
 		t.Fatalf("deterministic 400 failed over: %q", hdr.Get("X-Failover"))
 	}
-	for i, sh := range rt.shards {
+	for i, sh := range rt.view().shards {
 		if st := sh.breaker.State(); st != breakerClosed {
 			t.Fatalf("shard %d breaker %q after a client error, want closed", i, st)
 		}
@@ -305,9 +305,9 @@ func TestRouterSweepKillThenRecover(t *testing.T) {
 	// Recovery: the injector is spent, so the background probe finds
 	// /healthz (it always did) and half-opens the breaker.
 	deadline := time.Now().Add(5 * time.Second)
-	for rt.shards[1].breaker.State() == breakerOpen {
+	for rt.view().shards[1].breaker.State() == breakerOpen {
 		if time.Now().After(deadline) {
-			t.Fatalf("breaker stuck %q", rt.shards[1].breaker.State())
+			t.Fatalf("breaker stuck %q", rt.view().shards[1].breaker.State())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -330,7 +330,7 @@ func TestRouterSweepKillThenRecover(t *testing.T) {
 	if served == 0 {
 		t.Fatal("recovered shard served nothing — breaker never readmitted it")
 	}
-	if st := rt.shards[1].breaker.State(); st != breakerClosed {
+	if st := rt.view().shards[1].breaker.State(); st != breakerClosed {
 		t.Fatalf("breaker %q after successful trial, want closed", st)
 	}
 }

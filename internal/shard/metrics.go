@@ -3,13 +3,22 @@
 // The router exposes two kinds of series from one endpoint: its own
 // simd_router_* families (request counts and latency, per-backend
 // attempt latency, failover/retry counters, breaker state and trips,
-// per-shard restarts), and every live backend's simd_* families
-// re-exposed verbatim under a shard="<index>" label. One scrape of
-// the router therefore sees the whole cluster — no per-worker scrape
+// topology epoch, result-cache traffic, migration counts, per-shard
+// restarts), and every live backend's simd_* families re-exposed
+// verbatim under a shard="<id>" label. One scrape of the router
+// therefore sees the whole cluster — no per-worker scrape
 // configuration, and the shard label keeps N workers' identically
 // named series apart. Backend sample values pass through as raw
 // strings (parse → relabel → merge, never through float64), so the
 // router reprints exactly what the worker said.
+//
+// Every shard-labeled series is keyed by the shard's STABLE ID, not
+// its position in the current membership: a drain that removes shard
+// 1 does not re-label shard 2's series, and a shard admitted later
+// gets a fresh label no previous member ever used. Series bound to a
+// drained shard stop moving but remain registered (the obs registry
+// has no unregister) — a frozen counter under a retired ID is honest
+// history, not noise.
 package shard
 
 import (
@@ -27,47 +36,66 @@ import (
 // aggregated scrape; a dead shard must not stall the cluster view.
 const scrapeTimeout = 2 * time.Second
 
-// initMetrics registers the router's families. Called from New after
-// the shard states exist.
+// initMetrics registers the router's families and binds the boot-time
+// shards' series. Called from New after the initial view exists;
+// shards admitted later bind through bindShardMetrics at admission.
 func (rt *Router) initMetrics() {
 	reg := obs.NewRegistry()
 	rt.reg = reg
 	rt.httpMetrics = obs.NewHTTPMetrics(reg, "simd_router_")
 
-	attempts := reg.HistogramVec("simd_router_attempt_seconds", "Backend attempt latency by shard.", obs.DefTimeBuckets, "shard")
-	failovers := reg.CounterVec("simd_router_failovers_total", "Requests served away from their owning shard, by owner.", "shard")
-	retries := reg.CounterVec("simd_router_retries_total", "Saturation-503 retry waits against a live shard, by shard.", "shard")
-	steals := reg.CounterVec("simd_router_steals_total", "Sweep variants work-stolen and computed by this (thief) shard.", "shard")
-	opens := reg.CounterVec("simd_router_breaker_opens_total", "Breaker trips into the open state, by shard.", "shard")
-	state := reg.GaugeVec("simd_router_breaker_state", "Breaker state by shard: 0 closed, 1 half-open, 2 open.", "shard")
-	for _, sh := range rt.shards {
-		label := strconv.Itoa(sh.index)
-		sh.attempts = attempts.With(label)
-		sh.failovers = failovers.With(label)
-		sh.retries = retries.With(label)
-		sh.steals = steals.With(label)
-		trip := opens.With(label)
-		sh.breaker.onTrip = trip.Inc
-		state.Func(sh.breaker.StateCode, label)
+	rt.attemptsVec = reg.HistogramVec("simd_router_attempt_seconds", "Backend attempt latency by shard (stable ID).", obs.DefTimeBuckets, "shard")
+	rt.failoversVec = reg.CounterVec("simd_router_failovers_total", "Requests served away from their owning shard, by owner (stable ID).", "shard")
+	rt.retriesVec = reg.CounterVec("simd_router_retries_total", "Saturation-503 retry waits against a live shard, by shard (stable ID).", "shard")
+	rt.stealsVec = reg.CounterVec("simd_router_steals_total", "Sweep variants work-stolen and computed by this (thief) shard (stable ID).", "shard")
+	rt.opensVec = reg.CounterVec("simd_router_breaker_opens_total", "Breaker trips into the open state, by shard (stable ID).", "shard")
+	rt.stateVec = reg.GaugeVec("simd_router_breaker_state", "Breaker state by shard (stable ID): 0 closed, 1 half-open, 2 open.", "shard")
+	if rt.sup != nil {
+		rt.restartsVec = reg.CounterVec("simd_router_shard_restarts_total", "Supervisor respawns, by shard (stable ID).", "shard")
+	}
+	for _, sh := range rt.topo.shards {
+		rt.bindShardMetrics(sh)
 	}
 
-	reg.GaugeFunc("simd_router_shards", "Configured backend count.", func() float64 { return float64(len(rt.shards)) })
+	reg.GaugeFunc("simd_router_shards", "Current cluster member count.", func() float64 { return float64(len(rt.view().shards)) })
+	reg.GaugeFunc("simd_topology_epoch", "Current topology epoch; increments on every admin grow or drain.", func() float64 { return float64(rt.view().epoch) })
 	reg.GaugeFunc("simd_router_process_start_time_seconds", "Unix time the router started serving.", func() float64 { return float64(rt.since.Unix()) })
 	rt.sweepRows = reg.Counter("simd_router_sweep_rows_total", "Sweep data rows streamed to clients.")
 	rt.sweepResumes = reg.Counter("simd_router_sweep_resumes_total", "Sweep resume streams served by the router.")
-
-	if rt.sup != nil {
-		restarts := reg.CounterVec("simd_router_shard_restarts_total", "Supervisor respawns, by shard.", "shard")
-		for _, sh := range rt.shards {
-			idx := sh.index
-			restarts.Func(func() uint64 {
-				procs := rt.sup.Status()
-				if idx < len(procs) {
-					return uint64(procs[idx].Respawns)
-				}
-				return 0
-			}, strconv.Itoa(idx))
+	rt.cacheHits = reg.Counter("simd_router_cache_hits_total", "Requests and sweep variants served from the router's own result cache (X-Cache: router_hit).")
+	rt.cacheMisses = reg.Counter("simd_router_cache_misses_total", "Router result-cache probes that fell through to a backend.")
+	reg.GaugeFunc("simd_router_cache_bytes", "Encoded bytes currently held by the router result cache.", func() float64 {
+		if rt.cache == nil {
+			return 0
 		}
+		return float64(rt.cache.bytes())
+	})
+	rt.migrated = reg.CounterVec("simd_migrated_envelopes_total", "Store envelopes migrated during drains, by source and destination shard (stable IDs).", "from", "to")
+}
+
+// bindShardMetrics resolves one shard's per-ID series — called once
+// per shard at admission (With takes a lock; the serving path must
+// not). The label is the stable ID, so a shard admitted after a drain
+// can never collide with a retired member's history.
+func (rt *Router) bindShardMetrics(sh *shardState) {
+	label := strconv.Itoa(sh.id)
+	sh.attempts = rt.attemptsVec.With(label)
+	sh.failovers = rt.failoversVec.With(label)
+	sh.retries = rt.retriesVec.With(label)
+	sh.steals = rt.stealsVec.With(label)
+	trip := rt.opensVec.With(label)
+	sh.breaker.onTrip = trip.Inc
+	rt.stateVec.Func(sh.breaker.StateCode, label)
+	if rt.restartsVec != nil {
+		id := sh.id
+		rt.restartsVec.Func(func() uint64 {
+			for _, p := range rt.sup.Status() {
+				if p.Index == id {
+					return uint64(p.Respawns)
+				}
+			}
+			return 0
+		}, label)
 	}
 }
 
@@ -77,19 +105,21 @@ func (rt *Router) Metrics() *obs.Registry { return rt.reg }
 
 // handleMetrics serves the aggregated GET /metrics: the router's own
 // families merged with every reachable backend's, the backend series
-// relabeled shard="<index>". A shard whose scrape fails is simply
-// absent from this scrape (its own simd_router_* series — breaker
-// state, failover counters — still tell the story); a synthetic
-// simd_shard_up gauge reports per-shard scrapeability explicitly.
+// relabeled shard="<id>" (stable ID). A shard whose scrape fails is
+// simply absent from this scrape (its own simd_router_* series —
+// breaker state, failover counters — still tell the story); a
+// synthetic simd_shard_up gauge reports per-shard scrapeability
+// explicitly for the current membership.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	groups := make([][]obs.Family, len(rt.shards))
-	up := make([]bool, len(rt.shards))
+	vw := rt.view()
+	groups := make([][]obs.Family, len(vw.shards))
+	up := make([]bool, len(vw.shards))
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, sh := range vw.shards {
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
@@ -99,23 +129,23 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			groups[i] = obs.Relabel(fams, "shard", strconv.Itoa(i))
+			groups[i] = obs.Relabel(fams, "shard", strconv.Itoa(sh.id))
 			up[i] = true
 		}(i, sh)
 	}
 	wg.Wait()
 
 	upReg := obs.NewRegistry()
-	upVec := upReg.GaugeVec("simd_shard_up", "Whether the shard's /metrics answered this scrape.", "shard")
+	upVec := upReg.GaugeVec("simd_shard_up", "Whether the shard's /metrics answered this scrape, by stable ID.", "shard")
 	for i, ok := range up {
 		v := 0.0
 		if ok {
 			v = 1
 		}
-		upVec.With(strconv.Itoa(i)).Set(v)
+		upVec.With(strconv.Itoa(vw.shards[i].id)).Set(v)
 	}
 
-	all := make([][]obs.Family, 0, len(rt.shards)+2)
+	all := make([][]obs.Family, 0, len(vw.shards)+2)
 	all = append(all, rt.reg.Families(), upReg.Families())
 	all = append(all, groups...)
 	w.Header().Set("Content-Type", obs.ContentType)

@@ -7,12 +7,20 @@
 // interleaves the per-shard results into one completion-ordered
 // NDJSON stream ending in a terminal summary row.
 //
+// Membership is a versioned value, not a fixed slice: the router
+// holds a Topology snapshot (topology.go) mapping stable shard IDs to
+// backends, swapped atomically at each admin resize (admin.go). Every
+// request routes against one snapshot — RankIDs over the stable IDs —
+// so X-Shard headers, failover tags and metric series name the same
+// shard across grows and drains, and a mid-request resize never
+// splits one request across two membership views.
+//
 // Failure is handled by failover, not by reporting: results are
 // content-addressed and bit-reproducible, so ownership only decides
 // cache placement — any live shard computes the byte-identical
 // answer. When a spec's owner is dead (transport error, terminal 503)
 // or its circuit is open, the router walks the spec's rendezvous rank
-// order (shard.Rank) to the next live shard and tags the response
+// order (shard.RankIDs) to the next live shard and tags the response
 // X-Failover: <owner>-><served>. The failover path writes through
 // nothing: the owner's store repopulates from replay when it comes
 // back. Per-backend circuit breakers (breaker.go) make a dead shard
@@ -20,6 +28,11 @@
 // a dial timeout per variant. An error row appears only when EVERY
 // shard has refused a variant — never a hang, never a silent
 // truncation.
+//
+// With Options.RouterCacheBytes set, the router additionally holds a
+// bounded in-memory result cache (cache.go): a result body it has
+// relayed once is served to repeats directly from router memory with
+// zero backend round trips, tagged X-Cache: router_hit.
 //
 // Work-stealing is failover's inverse: when a sweep chunk leaves one
 // owner's queue deeper than its workers can drain, idle shards steal
@@ -62,10 +75,10 @@ import (
 
 // Options configures a Router.
 type Options struct {
-	// Backends are the worker base URLs in shard order; the slice
-	// index IS the shard identity the rendezvous hash assigns against,
-	// so the order must be stable across router restarts (the
-	// supervisor and -backends both guarantee this).
+	// Backends are the worker base URLs at boot; backend i is admitted
+	// as stable shard ID i (epoch 1), so a boot-time cluster routes
+	// identically to the pre-topology index scheme. Later membership
+	// changes go through the admin endpoints, which assign fresh IDs.
 	Backends []string
 	// HTTP is the transport used for every backend call; nil selects
 	// http.DefaultClient.
@@ -96,9 +109,18 @@ type Options struct {
 	// backends' -max-sweep-variants so router and workers accept
 	// exactly the same grids (cmd/simd wires one flag into both).
 	MaxSweepVariants int
+	// RouterCacheBytes, when positive, enables the router-side result
+	// cache bounded to that many encoded bytes; repeats of a result
+	// the router has relayed once are answered from router memory
+	// (X-Cache: router_hit) with zero backend round trips. <= 0
+	// disables the cache — warm replays then resolve through the
+	// owning backend's store exactly as before (cmd/simd enables the
+	// cache by default via -router-cache-bytes).
+	RouterCacheBytes int64
 	// Supervisor, when the router fronts locally supervised backends,
 	// lets the aggregated healthz report process state (running /
-	// respawning / dead-after-give-up) per shard.
+	// respawning / dead-after-give-up) per shard, and is what the
+	// admin grow endpoint spawns new workers through.
 	Supervisor *Supervisor
 }
 
@@ -110,37 +132,93 @@ const defaultSweepConcurrency = 4
 // hang on a dead peer.
 const healthTimeout = 2 * time.Second
 
-// shardState is one backend as the router sees it.
+// routerHit is the X-Cache disposition of a response served from the
+// router's own result cache — distinct from the backend's "hit" so
+// clients and smokes can tell the tiers apart.
+const routerHit = "router_hit"
+
+// shardState is one backend as the router sees it. id is the shard's
+// stable identity: assigned at admission, never reused, and the value
+// rendezvous placement, X-Shard headers, failover/steal tags and
+// metric labels are all keyed by.
 type shardState struct {
-	index   int
+	id      int
 	client  *service.Client
 	conc    int
 	breaker *breaker
-	// Per-shard metric series, resolved once at construction (With
-	// takes a lock; the serving path must not).
+	// Per-shard metric series, resolved once at admission (With takes
+	// a lock; the serving path must not).
 	attempts  *obs.Histogram // backend attempt latency
 	failovers *obs.Counter   // requests served away from THIS owner
 	retries   *obs.Counter   // saturation retry waits against this shard
 	steals    *obs.Counter   // sweep variants THIS shard stole and computed
 }
 
-// Router is the sharded frontend. Apart from its backend list it
-// holds only per-backend circuit state: every routing decision
-// derives from the request's spec hash, so any number of router
-// replicas agree on ownership and failover order (breaker state may
+// view is one immutable membership snapshot: the shard states of one
+// topology epoch plus the derived indexes the request paths need.
+// Handlers take one view per request (or per sweep chunk) and route
+// entirely against it; admin resizes install a new view, they never
+// mutate an old one.
+type view struct {
+	epoch  int64
+	shards []*shardState // membership order
+	byID   map[int]*shardState
+	ids    []int // stable IDs in membership order (OwnerID/RankIDs input)
+}
+
+// newView builds the derived indexes for one membership snapshot.
+func newView(epoch int64, shards []*shardState) *view {
+	v := &view{epoch: epoch, shards: shards, byID: make(map[int]*shardState, len(shards)), ids: make([]int, len(shards))}
+	for i, sh := range shards {
+		v.byID[sh.id] = sh
+		v.ids[i] = sh.id
+	}
+	return v
+}
+
+// topology renders the view as the wire-visible Topology value.
+func (v *view) topology() Topology {
+	t := Topology{Epoch: v.epoch, Members: make([]Member, len(v.shards))}
+	for i, sh := range v.shards {
+		t.Members[i] = Member{ID: sh.id, Addr: sh.client.Base}
+	}
+	return t
+}
+
+// Router is the sharded frontend. Routing state is one atomic
+// membership snapshot plus per-backend circuit state: every routing
+// decision derives from the request's spec hash and the stable IDs in
+// the current view, so any number of router replicas with the same
+// topology agree on ownership and failover order (breaker state may
 // briefly differ per replica — it converges via the shared probes).
 type Router struct {
-	shards           []*shardState
 	mux              *http.ServeMux
 	scenariosBody    []byte
 	scenarioByName   map[string]spec.Spec
 	attemptTimeout   time.Duration
 	maxCycles        uint64
 	maxSweepVariants int
+	sweepConc        int
+	breakerThreshold int
+	breakerInterval  time.Duration
+	httpClient       *http.Client
 	sup              *Supervisor
+	cache            *resultCache
 	stop             chan struct{}
 	stopOnce         sync.Once
 	since            time.Time
+
+	// topoMu guards the current membership snapshot and the stable-ID
+	// allocator. Request paths take the read lock once per request to
+	// snapshot the view; only admin resizes take the write lock.
+	topoMu sync.RWMutex
+	topo   *view
+	nextID int
+
+	// adminMu serializes membership changes: one grow or drain at a
+	// time, so two concurrent drains cannot both believe the other's
+	// shard is still a migration target.
+	adminMu sync.Mutex
 
 	// reg holds the router's own metric families (metrics.go); the
 	// aggregated /metrics merges backend scrapes into it per request.
@@ -148,6 +226,19 @@ type Router struct {
 	httpMetrics  *obs.HTTPMetrics
 	sweepRows    *obs.Counter
 	sweepResumes *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	migrated     *obs.CounterVec
+
+	// Per-shard metric vecs, kept so shards admitted at runtime bind
+	// their own series under their stable ID label (bindShardMetrics).
+	attemptsVec  *obs.HistogramVec
+	failoversVec *obs.CounterVec
+	retriesVec   *obs.CounterVec
+	stealsVec    *obs.CounterVec
+	opensVec     *obs.CounterVec
+	stateVec     *obs.GaugeVec
+	restartsVec  *obs.CounterVec
 }
 
 // New builds a router over the given backends. Construction never
@@ -162,6 +253,10 @@ func New(opt Options) (*Router, error) {
 		attemptTimeout:   opt.AttemptTimeout,
 		maxCycles:        opt.MaxCycles,
 		maxSweepVariants: opt.MaxSweepVariants,
+		sweepConc:        opt.SweepConcurrency,
+		breakerThreshold: opt.BreakerThreshold,
+		breakerInterval:  opt.BreakerInterval,
+		httpClient:       opt.HTTP,
 		sup:              opt.Supervisor,
 		stop:             make(chan struct{}),
 		since:            time.Now(),
@@ -169,48 +264,21 @@ func New(opt Options) (*Router, error) {
 	if rt.maxSweepVariants <= 0 {
 		rt.maxSweepVariants = service.DefaultMaxSweepVariants
 	}
+	if opt.RouterCacheBytes > 0 {
+		rt.cache = newResultCache(opt.RouterCacheBytes)
+	}
 	rt.scenariosBody, rt.scenarioByName = service.ScenarioLibrary()
+	shards := make([]*shardState, 0, len(opt.Backends))
 	for i, base := range opt.Backends {
-		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
-		if base == "" {
-			return nil, fmt.Errorf("shard: backend %d has an empty URL", i)
+		sh, err := rt.newShardState(i, base)
+		if err != nil {
+			return nil, err
 		}
-		// Reject malformed and scheme-less URLs at construction: a
-		// "localhost:8080" (missing http://) parses as scheme
-		// "localhost" and would boot cleanly only to 502 every request
-		// with an error blaming the network instead of the flag.
-		u, err := url.Parse(base)
-		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("shard: backend %d URL %q must be http(s)://host[:port]", i, base)
-		}
-		client := &service.Client{Base: base, HTTP: opt.HTTP}
-		rt.shards = append(rt.shards, &shardState{
-			index:  i,
-			client: client,
-			conc:   opt.SweepConcurrency,
-			breaker: newBreaker(opt.BreakerThreshold, opt.BreakerInterval, func(ctx context.Context) error {
-				_, err := client.FetchHealth(ctx)
-				return err
-			}, rt.stop),
-		})
+		shards = append(shards, sh)
 	}
-	var wg sync.WaitGroup
-	for _, sh := range rt.shards {
-		if sh.conc > 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(sh *shardState) {
-			defer wg.Done()
-			sh.conc = defaultSweepConcurrency
-			ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
-			defer cancel()
-			if h, err := sh.client.FetchHealth(ctx); err == nil && h.Workers > 0 {
-				sh.conc = h.Workers
-			}
-		}(sh)
-	}
-	wg.Wait()
+	rt.probeConcurrency(shards)
+	rt.topo = newView(1, shards)
+	rt.nextID = len(shards)
 	rt.initMetrics()
 	rt.mux = http.NewServeMux()
 	// Same middleware as the worker: every endpoint is counted, timed
@@ -226,6 +294,8 @@ func New(opt Options) (*Router, error) {
 	handle("/sweep/{id}", rt.handleSweepStatus)
 	handle("/sweep/{id}/resume", rt.handleSweepResume)
 	handle("/sweep/{id}/analyze", rt.handleSweepStoredAnalyze)
+	handle("/admin/shards", rt.handleAdminShards)
+	handle("/admin/shards/{id}/drain", rt.handleAdminDrain)
 	handle("/scenarios", rt.handleScenarios)
 	handle("/healthz", rt.handleHealthz)
 	handle("/metrics", rt.handleMetrics)
@@ -233,8 +303,112 @@ func New(opt Options) (*Router, error) {
 	return rt, nil
 }
 
-// Shards returns the number of backends.
-func (rt *Router) Shards() int { return len(rt.shards) }
+// newShardState validates one backend URL and builds its state under
+// the given stable ID (metric series bind later, at admission).
+func (rt *Router) newShardState(id int, base string) (*shardState, error) {
+	base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+	if base == "" {
+		return nil, fmt.Errorf("shard: backend %d has an empty URL", id)
+	}
+	// Reject malformed and scheme-less URLs at construction: a
+	// "localhost:8080" (missing http://) parses as scheme
+	// "localhost" and would boot cleanly only to 502 every request
+	// with an error blaming the network instead of the flag.
+	u, err := url.Parse(base)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("shard: backend %d URL %q must be http(s)://host[:port]", id, base)
+	}
+	client := &service.Client{Base: base, HTTP: rt.httpClient}
+	return &shardState{
+		id:     id,
+		client: client,
+		conc:   rt.sweepConc,
+		breaker: newBreaker(rt.breakerThreshold, rt.breakerInterval, func(ctx context.Context) error {
+			_, err := client.FetchHealth(ctx)
+			return err
+		}, rt.stop),
+	}, nil
+}
+
+// probeConcurrency resolves each shard's sweep fan-out: the
+// configured value if set, otherwise the backend's live worker count
+// (falling back to defaultSweepConcurrency when unreachable).
+func (rt *Router) probeConcurrency(shards []*shardState) {
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		if sh.conc > 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			sh.conc = defaultSweepConcurrency
+			ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
+			defer cancel()
+			if h, err := sh.client.FetchHealth(ctx); err == nil && h.Workers > 0 {
+				sh.conc = h.Workers
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// view snapshots the current membership. The returned view is
+// immutable; the caller routes its whole request (or sweep chunk)
+// against it.
+func (rt *Router) view() *view {
+	rt.topoMu.RLock()
+	defer rt.topoMu.RUnlock()
+	return rt.topo
+}
+
+// allocIDs reserves n fresh stable shard IDs. IDs are never reused
+// within a router's lifetime, so a retired shard's metric series and
+// log lines can never be confused with a later arrival's.
+func (rt *Router) allocIDs(n int) []int {
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = rt.nextID
+		rt.nextID++
+	}
+	return ids
+}
+
+// admit installs a new view containing the current members plus shs,
+// bumping the epoch. Returns the new topology.
+func (rt *Router) admit(shs []*shardState) Topology {
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+	all := make([]*shardState, 0, len(rt.topo.shards)+len(shs))
+	all = append(all, rt.topo.shards...)
+	all = append(all, shs...)
+	rt.topo = newView(rt.topo.epoch+1, all)
+	return rt.topo.topology()
+}
+
+// remove installs a new view without the given shard ID, bumping the
+// epoch. Returns the new topology.
+func (rt *Router) remove(id int) Topology {
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+	kept := make([]*shardState, 0, len(rt.topo.shards))
+	for _, sh := range rt.topo.shards {
+		if sh.id != id {
+			kept = append(kept, sh)
+		}
+	}
+	rt.topo = newView(rt.topo.epoch+1, kept)
+	return rt.topo.topology()
+}
+
+// Topology returns the current membership snapshot — stable IDs,
+// backend addresses and the epoch number.
+func (rt *Router) Topology() Topology { return rt.view().topology() }
+
+// Shards returns the current backend count.
+func (rt *Router) Shards() int { return len(rt.view().shards) }
 
 // Handler returns the HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
@@ -260,34 +434,35 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, format strin
 }
 
 // resolveSpec decodes a /run-shaped body far enough to route it: the
-// spec and its content hash. Validation beyond the routing needs (and
-// the router's own max_cycles cap) stays on the backend — the router
-// forwards the original bytes, so the backend's strict decode sees
-// exactly what the client sent.
-func (rt *Router) resolveSpec(body []byte) (spec.Spec, string, error) {
+// request (for the model selector), the spec and its content hash.
+// Validation beyond the routing needs (and the router's own
+// max_cycles cap) stays on the backend — the router forwards the
+// original bytes, so the backend's strict decode sees exactly what
+// the client sent.
+func (rt *Router) resolveSpec(body []byte) (service.RunRequest, spec.Spec, string, error) {
 	var req service.RunRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return spec.Spec{}, "", fmt.Errorf("parsing request: %w", err)
+		return req, spec.Spec{}, "", fmt.Errorf("parsing request: %w", err)
 	}
 	var sp spec.Spec
 	switch {
 	case req.Spec != nil && req.Scenario != "":
-		return sp, "", errors.New("request has both spec and scenario; send one")
+		return req, sp, "", errors.New("request has both spec and scenario; send one")
 	case req.Spec != nil:
 		sp = *req.Spec
 	case req.Scenario != "":
 		found, ok := rt.scenarioByName[req.Scenario]
 		if !ok {
-			return sp, "", fmt.Errorf("unknown scenario %q", req.Scenario)
+			return req, sp, "", fmt.Errorf("unknown scenario %q", req.Scenario)
 		}
 		sp = found
 	default:
-		return sp, "", errors.New("request needs a spec or a scenario name")
+		return req, sp, "", errors.New("request needs a spec or a scenario name")
 	}
 	hash, err := sp.Hash()
-	return sp, hash, err
+	return req, sp, hash, err
 }
 
 // checkCycleCap enforces the router's configured max_cycles cap — the
@@ -315,15 +490,55 @@ func (rt *Router) post(ctx context.Context, sh *shardState, path string, body []
 	return status, hdr, respBody, err
 }
 
+// resultKeyFor maps a variant's endpoint and model selector onto the
+// content-addressed store key its result lives under — the shared
+// vocabulary of the backend store, the owner probe, the write-back
+// and the router cache. Empty when the hash is malformed.
+func resultKeyFor(path, runModel, hash string) string {
+	model := runModel
+	if path == "/compare" {
+		model = "compare"
+	}
+	key, err := service.ResultKey(model, hash)
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// cacheLookup probes the router result cache, counting the hit or
+// miss. Always a miss when the cache is disabled or the key is
+// unusable (then uncounted: no probe happened).
+func (rt *Router) cacheLookup(key string) ([]byte, bool) {
+	if rt.cache == nil || key == "" {
+		return nil, false
+	}
+	if body, ok := rt.cache.get(key); ok {
+		rt.cacheHits.Inc()
+		return body, true
+	}
+	rt.cacheMisses.Inc()
+	return nil, false
+}
+
+// cacheFill stores a relayed 200 body in the router cache.
+func (rt *Router) cacheFill(key string, body []byte) {
+	if rt.cache != nil && key != "" {
+		rt.cache.put(key, body)
+	}
+}
+
 // proxyHeaders is the response-header allowlist forwarded from a
 // backend: the cache/replay contract, backpressure, and the per-stage
 // timing breakdown.
 var proxyHeaders = []string{"Content-Type", "X-Cache", "X-Spec-Hash", "Retry-After", "X-Terminal", "X-Timing"}
 
-// handleProxy serves POST /run and /compare: hash, walk the spec's
-// rendezvous rank order starting at its owner, forward verbatim to
-// the first live shard, relay the response. The router adds X-Shard
-// (the shard that served) and, when that isn't the owner, X-Failover
+// handleProxy serves POST /run and /compare: hash, probe the router
+// cache, then walk the spec's rendezvous rank order starting at its
+// owner, forward verbatim to the first live shard, relay the
+// response. The router adds X-Shard (the stable ID of the shard that
+// served — the current owner for router-cache hits, which are
+// placement-neutral) and, when the server isn't the owner, X-Failover
 // ("owner->served") so operators can see both placement and
 // degradation. 502 only when every shard refused.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
@@ -336,7 +551,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 		writeError(w, r, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
-	sp, hash, err := rt.resolveSpec(body)
+	req, sp, hash, err := rt.resolveSpec(body)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -345,13 +560,24 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ranks := Rank(hash, len(rt.shards))
+	vw := rt.view()
+	ranks := RankIDs(hash, vw.ids)
 	owner := ranks[0]
+	key := resultKeyFor(path, req.Model, hash)
+	if cached, ok := rt.cacheLookup(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", routerHit)
+		w.Header().Set("X-Spec-Hash", hash)
+		w.Header().Set("X-Shard", strconv.Itoa(owner))
+		w.WriteHeader(http.StatusOK)
+		w.Write(cached)
+		return
+	}
 	lastErr := ""
-	for _, idx := range ranks {
-		sh := rt.shards[idx]
+	for _, id := range ranks {
+		sh := vw.byID[id]
 		if !sh.breaker.allow() {
-			lastErr = fmt.Sprintf("shard %d (%s): circuit open", idx, sh.client.Base)
+			lastErr = fmt.Sprintf("shard %d (%s): circuit open", id, sh.client.Base)
 			continue
 		}
 		status, hdr, respBody, err := rt.post(r.Context(), sh, path, body)
@@ -360,14 +586,14 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 				return // client gone; nothing to say and no one to say it to
 			}
 			sh.breaker.failure()
-			lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", idx, sh.client.Base, err)
+			lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", id, sh.client.Base, err)
 			continue
 		}
 		if status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") != "" {
 			// Shutting down — as dead as a failed dial for routing
 			// purposes; the next-ranked shard serves.
 			sh.breaker.failure()
-			lastErr = fmt.Sprintf("shard %d (%s) shutting down", idx, sh.client.Base)
+			lastErr = fmt.Sprintf("shard %d (%s) shutting down", id, sh.client.Base)
 			continue
 		}
 		sh.breaker.success()
@@ -376,12 +602,15 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 				w.Header().Set(name, v)
 			}
 		}
-		w.Header().Set("X-Shard", strconv.Itoa(idx))
-		if idx != owner {
-			w.Header().Set("X-Failover", fmt.Sprintf("%d->%d", owner, idx))
-			rt.shards[owner].failovers.Inc()
+		w.Header().Set("X-Shard", strconv.Itoa(id))
+		if id != owner {
+			w.Header().Set("X-Failover", fmt.Sprintf("%d->%d", owner, id))
+			vw.byID[owner].failovers.Inc()
 			log.Printf("failover endpoint=%s owner=%d served=%d rid=%s reason=%q",
-				path, owner, idx, obs.RequestIDFrom(r.Context()), lastErr)
+				path, owner, id, obs.RequestIDFrom(r.Context()), lastErr)
+		}
+		if status == http.StatusOK {
+			rt.cacheFill(key, respBody)
 		}
 		w.WriteHeader(status)
 		w.Write(respBody)
@@ -404,6 +633,10 @@ func (rt *Router) handleScenarios(w http.ResponseWriter, r *http.Request) {
 
 // ShardHealth is one backend's slot in the aggregated /healthz.
 type ShardHealth struct {
+	// ID is the shard's stable identity — the value X-Shard headers,
+	// failover tags and metric labels carry. Index repeats it for
+	// consumers written against the positional-era schema.
+	ID    int    `json:"id"`
 	Index int    `json:"index"`
 	Addr  string `json:"addr"`
 	OK    bool   `json:"ok"`
@@ -430,8 +663,14 @@ type ShardHealth struct {
 // failover, without its warm store), and monitoring must see that
 // even while every request still succeeds.
 type ClusterHealth struct {
-	OK     bool          `json:"ok"`
-	Shards []ShardHealth `json:"shards"`
+	OK bool `json:"ok"`
+	// Epoch is the current topology version; it increments on every
+	// admin grow or drain, so two healthz reads can be ordered.
+	Epoch int64 `json:"epoch"`
+	// Topology is the current membership: stable shard IDs bound to
+	// backend addresses, in admission order.
+	Topology []Member      `json:"topology"`
+	Shards   []ShardHealth `json:"shards"`
 	// Workers/QueueCap/Queued/InFlight are summed over live shards.
 	Workers  int `json:"workers"`
 	QueueCap int `json:"queue_capacity"`
@@ -454,13 +693,17 @@ type ClusterHealth struct {
 
 // FetchClusterHealth probes every backend concurrently and aggregates.
 func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
-	out := ClusterHealth{OK: true, Shards: make([]ShardHealth, len(rt.shards))}
-	var procs []ProcStatus
+	vw := rt.view()
+	top := vw.topology()
+	out := ClusterHealth{OK: true, Epoch: top.Epoch, Topology: top.Members, Shards: make([]ShardHealth, len(vw.shards))}
+	procByID := make(map[int]ProcStatus)
 	if rt.sup != nil {
-		procs = rt.sup.Status()
+		for _, p := range rt.sup.Status() {
+			procByID[p.Index] = p
+		}
 	}
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, sh := range vw.shards {
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
@@ -468,17 +711,16 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 			defer cancel()
 			h, err := sh.client.FetchHealth(probe)
 			if err != nil {
-				out.Shards[i] = ShardHealth{Index: i, Addr: sh.client.Base, Error: err.Error()}
+				out.Shards[i] = ShardHealth{ID: sh.id, Index: sh.id, Addr: sh.client.Base, Error: err.Error()}
 				return
 			}
-			out.Shards[i] = ShardHealth{Index: i, Addr: sh.client.Base, OK: h.OK, Health: &h}
+			out.Shards[i] = ShardHealth{ID: sh.id, Index: sh.id, Addr: sh.client.Base, OK: h.OK, Health: &h}
 		}(i, sh)
 	}
 	wg.Wait()
-	for i, sh := range rt.shards {
+	for i, sh := range vw.shards {
 		out.Shards[i].Breaker = sh.breaker.State()
-		if i < len(procs) {
-			p := procs[i]
+		if p, ok := procByID[sh.id]; ok {
 			out.Shards[i].Proc = &p
 			out.Shards[i].Restarts = p.Respawns
 			out.Restarts += p.Respawns
@@ -529,14 +771,17 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // Row is one NDJSON data line of the router's /sweep stream: the
-// backend's row plus the shard that served the variant. Shard is
-// always present (0 is a real shard; -1 marks a grid-level build
-// error no shard served), which is why this is a distinct wire type
-// rather than an omitempty field on the backend row. Failover is set
-// ("owner->served") when the serving shard is not the owner — the
-// stream-level twin of the X-Failover header. Stolen ("owner->thief")
-// marks a work-stolen row: an idle shard computed it past the owner's
-// deep queue and the result was written back to the owner's store.
+// backend's row plus the stable ID of the shard that served the
+// variant. Shard is always present (0 is a real shard; -1 marks a
+// grid-level build error no shard served), which is why this is a
+// distinct wire type rather than an omitempty field on the backend
+// row. Failover is set ("owner->served") when the serving shard is
+// not the owner — the stream-level twin of the X-Failover header.
+// Stolen ("owner->thief") marks a work-stolen row: an idle shard
+// computed it past the owner's deep queue and the result was written
+// back to the owner's store. A row served from the router's own
+// result cache carries Cache "router_hit" with Shard naming the
+// current owner (placement, not work).
 type Row struct {
 	service.SweepRow
 	Shard    int    `json:"shard"`
@@ -670,16 +915,18 @@ func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req servic
 // collectGrid walks the grid lazily and resolves it in bounded,
 // work-stolen chunks — the router twin of the backend's collectGrid:
 // same chunk size, same skip-at-or-below-after replay semantics, same
-// build-errors-become-rows rule. Returns the deduplicated variant
-// count of the FULL walk (valid only when complete) and whether the
-// walk finished before ctx ended.
+// build-errors-become-rows rule. Each chunk routes against a fresh
+// topology snapshot, so a sweep spanning an admin resize starts using
+// the new membership at the next chunk boundary. Returns the
+// deduplicated variant count of the FULL walk (valid only when
+// complete) and whether the walk finished before ctx ended.
 func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, path, runModel string, emit func(Row)) (distinct int, complete bool) {
 	chunk := make([]sweep.Variant, 0, sweepChunkSize)
 	flush := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		ok := rt.collectChunk(ctx, chunk, path, runModel, emit)
+		ok := rt.collectChunk(ctx, rt.view(), chunk, path, runModel, emit)
 		chunk = chunk[:0]
 		return ok
 	}
@@ -713,7 +960,8 @@ func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, p
 
 // collectChunk resolves one chunk of variants across the cluster and
 // invokes emit — always from this goroutine — once per variant in
-// completion order.
+// completion order. The whole chunk routes against one membership
+// view.
 //
 // The fan-out is a work-stealing scheduler over per-owner queues:
 // EVERY shard gets workers — including shards that own nothing in
@@ -724,10 +972,14 @@ func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, p
 // about to clear anyway is left alone (ownership still decides cache
 // placement), while a skewed chunk stops being wall-clock-bounded by
 // its hottest shard. The two ends never contend for the same variant.
-func (rt *Router) collectChunk(ctx context.Context, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
-	queues := make([][]sweep.Variant, len(rt.shards))
+func (rt *Router) collectChunk(ctx context.Context, vw *view, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
+	pos := make(map[int]int, len(vw.shards))
+	for i, sh := range vw.shards {
+		pos[sh.id] = i
+	}
+	queues := make([][]sweep.Variant, len(vw.shards))
 	for _, v := range variants {
-		owner := Owner(v.Hash, len(rt.shards))
+		owner := pos[OwnerID(v.Hash, vw.ids)]
 		queues[owner] = append(queues[owner], v)
 	}
 	var mu sync.Mutex
@@ -740,7 +992,7 @@ func (rt *Router) collectChunk(ctx context.Context, variants []sweep.Variant, pa
 		}
 		victim := -1
 		for j := range queues {
-			if j == self || len(queues[j]) <= rt.shards[j].conc {
+			if j == self || len(queues[j]) <= vw.shards[j].conc {
 				continue
 			}
 			if victim < 0 || len(queues[j]) > len(queues[victim]) {
@@ -757,23 +1009,23 @@ func (rt *Router) collectChunk(ctx context.Context, variants []sweep.Variant, pa
 
 	rows := make(chan Row)
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, sh := range vw.shards {
 		workers := min(sh.conc, len(variants))
 		for k := 0; k < workers; k++ {
 			wg.Add(1)
 			go func(self int) {
 				defer wg.Done()
 				for ctx.Err() == nil {
-					v, owner, ok := next(self)
+					v, ownerPos, ok := next(self)
 					if !ok {
 						return // chunk drained (for this worker)
 					}
 					var row Row
 					var alive bool
-					if owner == self {
-						row, alive = rt.resolveVariant(ctx, v, path, runModel)
+					if ownerPos == self {
+						row, alive = rt.resolveVariant(ctx, vw, v, path, runModel)
 					} else {
-						row, alive = rt.resolveStolen(ctx, v, owner, self, path, runModel)
+						row, alive = rt.resolveStolen(ctx, vw, v, vw.shards[ownerPos].id, vw.shards[self].id, path, runModel)
 					}
 					if !alive {
 						return // client gone
@@ -883,19 +1135,20 @@ func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req servic
 	w.Write(body)
 }
 
-// resolveVariant runs one variant against the cluster: the shards in
-// the variant's rendezvous rank order, starting at its owner. On each
-// live shard, saturation 503s are retried with the backend's own
-// Retry-After as the backoff — the honest signal: a deep backlog
-// advertises a long wait, and the router paces itself accordingly
-// instead of hammering. A dead shard (circuit open, transport error,
-// terminal 503) costs one step down the rank order; a served-by-
-// non-owner row carries the Failover tag. A deterministic non-503
-// error (bad spec: 400/500) is NOT failed over — every shard would
-// answer identically. The error row exists only when every shard
-// refused. ok=false means the client's context ended.
-func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, runModel string) (Row, bool) {
-	ranks := Rank(v.Hash, len(rt.shards))
+// resolveVariant runs one variant against the cluster: the router
+// cache first, then the shards in the variant's rendezvous rank
+// order, starting at its owner. On each live shard, saturation 503s
+// are retried with the backend's own Retry-After as the backoff — the
+// honest signal: a deep backlog advertises a long wait, and the
+// router paces itself accordingly instead of hammering. A dead shard
+// (circuit open, transport error, terminal 503) costs one step down
+// the rank order; a served-by-non-owner row carries the Failover tag.
+// A deterministic non-503 error (bad spec: 400/500) is NOT failed
+// over — every shard would answer identically. The error row exists
+// only when every shard refused. ok=false means the client's context
+// ended.
+func (rt *Router) resolveVariant(ctx context.Context, vw *view, v sweep.Variant, path, runModel string) (Row, bool) {
+	ranks := RankIDs(v.Hash, vw.ids)
 	owner := ranks[0]
 	row := Row{SweepRow: service.SweepRow{
 		Index:  v.Index,
@@ -903,19 +1156,25 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 		Hash:   v.Hash,
 		Params: v.Params,
 	}, Shard: owner}
+	key := resultKeyFor(path, runModel, v.Hash)
+	if cached, ok := rt.cacheLookup(key); ok {
+		row.Cache = routerHit
+		row.Result = json.RawMessage(cached)
+		return row, true
+	}
 	reqBody, err := json.Marshal(service.RunRequest{Spec: &v.Spec, Model: runModel})
 	if err != nil {
 		row.Error = err.Error()
 		return row, true
 	}
 	lastErr := ""
-	for _, idx := range ranks {
+	for _, id := range ranks {
 		if ctx.Err() != nil {
 			return Row{}, false
 		}
-		sh := rt.shards[idx]
+		sh := vw.byID[id]
 		if !sh.breaker.allow() {
-			lastErr = fmt.Sprintf("shard %d (%s): circuit open", idx, sh.client.Base)
+			lastErr = fmt.Sprintf("shard %d (%s): circuit open", id, sh.client.Base)
 			continue
 		}
 	attempt:
@@ -926,19 +1185,20 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 					return Row{}, false
 				}
 				sh.breaker.failure()
-				lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", idx, sh.client.Base, err)
+				lastErr = fmt.Sprintf("shard %d (%s) unreachable: %v", id, sh.client.Base, err)
 				break attempt // next-ranked shard
 			}
 			switch {
 			case status == http.StatusOK:
 				sh.breaker.success()
-				row.Shard = idx
-				if idx != owner {
-					row.Failover = fmt.Sprintf("%d->%d", owner, idx)
-					rt.shards[owner].failovers.Inc()
+				row.Shard = id
+				if id != owner {
+					row.Failover = fmt.Sprintf("%d->%d", owner, id)
+					vw.byID[owner].failovers.Inc()
 				}
 				row.Cache = hdr.Get("X-Cache")
 				row.Result = json.RawMessage(body)
+				rt.cacheFill(key, body)
 				return row, true
 			case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
 				// Saturated, not shutting down: a LIVE backend asking for
@@ -956,14 +1216,14 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 			case status == http.StatusServiceUnavailable:
 				// Terminal: the backend is going away.
 				sh.breaker.failure()
-				lastErr = fmt.Sprintf("shard %d (%s) shutting down", idx, sh.client.Base)
+				lastErr = fmt.Sprintf("shard %d (%s) shutting down", id, sh.client.Base)
 				break attempt // next-ranked shard
 			default:
 				// A deterministic error (bad spec, simulation failure):
 				// every shard computes the same answer, so failing over
 				// would just repeat it more expensively.
 				sh.breaker.success()
-				row.Shard = idx
+				row.Shard = id
 				var e struct {
 					Error string `json:"error"`
 				}
@@ -982,10 +1242,10 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 
 // resolveStolen computes one variant on a shard that is NOT its
 // owner — the work-stealing path. Before the thief spends a worker,
-// the owner's cache is probed (GET /results?key=...): a queued
-// variant the owner has already stored — a warm replay stuck behind
-// a deep backlog — is answered from the owner's bytes as an ordinary
-// owner hit, untagged, because nothing was stolen. Only a genuine
+// the router cache and then the owner's store are probed (GET
+// /results?key=...): a queued variant already held — a warm replay
+// stuck behind a deep backlog — is answered from the held bytes as a
+// cache hit, untagged, because nothing was stolen. Only a genuine
 // miss is simulated on the thief, driven exactly like an owner would
 // be (saturation 503s wait out Retry-After on the thief; a
 // deterministic error is final); on success the row is tagged Stolen
@@ -994,15 +1254,26 @@ func (rt *Router) resolveVariant(ctx context.Context, v sweep.Variant, path, run
 // simulated. A dead or terminal thief sends the variant down the
 // ordinary rank-walk (resolveVariant) — stealing may change who
 // computes, never whether the row appears.
-func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thief int, path, runModel string) (Row, bool) {
-	if row, ok, done := rt.probeOwner(ctx, v, owner, path, runModel); done {
+func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, owner, thief int, path, runModel string) (Row, bool) {
+	key := resultKeyFor(path, runModel, v.Hash)
+	if cached, ok := rt.cacheLookup(key); ok {
+		return Row{SweepRow: service.SweepRow{
+			Index:  v.Index,
+			Name:   v.Spec.Name,
+			Hash:   v.Hash,
+			Params: v.Params,
+			Cache:  routerHit,
+			Result: json.RawMessage(cached),
+		}, Shard: owner}, true
+	}
+	if row, ok, done := rt.probeOwner(ctx, vw, v, owner, path, runModel); done {
 		return Row{}, false
 	} else if ok {
 		return row, true
 	}
-	sh := rt.shards[thief]
+	sh := vw.byID[thief]
 	if !sh.breaker.allow() {
-		return rt.resolveVariant(ctx, v, path, runModel)
+		return rt.resolveVariant(ctx, vw, v, path, runModel)
 	}
 	row := Row{SweepRow: service.SweepRow{
 		Index:  v.Index,
@@ -1022,7 +1293,7 @@ func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thi
 				return Row{}, false
 			}
 			sh.breaker.failure()
-			return rt.resolveVariant(ctx, v, path, runModel)
+			return rt.resolveVariant(ctx, vw, v, path, runModel)
 		}
 		switch {
 		case status == http.StatusOK:
@@ -1031,7 +1302,8 @@ func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thi
 			row.Result = json.RawMessage(body)
 			row.Stolen = fmt.Sprintf("%d->%d", owner, thief)
 			sh.steals.Inc()
-			rt.writeBack(ctx, owner, thief, path, runModel, v.Hash, body)
+			rt.cacheFill(key, body)
+			rt.writeBack(ctx, vw, owner, thief, key, body)
 			return row, true
 		case status == http.StatusServiceUnavailable && hdr.Get("X-Terminal") == "":
 			// The thief itself is saturated: wait it out here rather
@@ -1043,7 +1315,7 @@ func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thi
 			}
 		case status == http.StatusServiceUnavailable:
 			sh.breaker.failure()
-			return rt.resolveVariant(ctx, v, path, runModel)
+			return rt.resolveVariant(ctx, vw, v, path, runModel)
 		default:
 			// Deterministic error: every shard answers identically, so
 			// the thief's answer IS the answer.
@@ -1068,16 +1340,12 @@ func (rt *Router) resolveStolen(ctx context.Context, v sweep.Variant, owner, thi
 // circuit, transport error, 404, anything unexpected — is a clean
 // miss: the probe is an optimization, never a gate, so the steal
 // proceeds and correctness rests on the thief as before.
-func (rt *Router) probeOwner(ctx context.Context, v sweep.Variant, owner int, path, runModel string) (row Row, hit, done bool) {
-	model := runModel
-	if path == "/compare" {
-		model = "compare"
-	}
-	key, err := service.ResultKey(model, v.Hash)
-	if err != nil {
+func (rt *Router) probeOwner(ctx context.Context, vw *view, v sweep.Variant, owner int, path, runModel string) (row Row, hit, done bool) {
+	key := resultKeyFor(path, runModel, v.Hash)
+	if key == "" {
 		return Row{}, false, false
 	}
-	ow := rt.shards[owner]
+	ow := vw.byID[owner]
 	if !ow.breaker.allow() {
 		return Row{}, false, false
 	}
@@ -1095,6 +1363,7 @@ func (rt *Router) probeOwner(ctx context.Context, v sweep.Variant, owner int, pa
 	if status != http.StatusOK {
 		return Row{}, false, false
 	}
+	rt.cacheFill(key, body)
 	return Row{SweepRow: service.SweepRow{
 		Index:  v.Index,
 		Name:   v.Spec.Name,
@@ -1107,16 +1376,11 @@ func (rt *Router) probeOwner(ctx context.Context, v sweep.Variant, owner int, pa
 
 // writeBack posts a stolen result to the owner's POST /results under
 // the content-addressed key the owner's own simulation would have
-// persisted it under (service.ResultKey). Failure is dropped
-// silently: the write-back is cache placement, not correctness — a
-// dead owner repopulates from replay when it returns.
-func (rt *Router) writeBack(ctx context.Context, owner, thief int, path, runModel, hash string, body []byte) {
-	model := runModel
-	if path == "/compare" {
-		model = "compare"
-	}
-	key, err := service.ResultKey(model, hash)
-	if err != nil {
+// persisted it under. Failure is dropped silently: the write-back is
+// cache placement, not correctness — a dead owner repopulates from
+// replay when it returns.
+func (rt *Router) writeBack(ctx context.Context, vw *view, owner, thief int, key string, body []byte) {
+	if key == "" {
 		return
 	}
 	if rt.attemptTimeout > 0 {
@@ -1124,21 +1388,22 @@ func (rt *Router) writeBack(ctx context.Context, owner, thief int, path, runMode
 		ctx, cancel = context.WithTimeout(ctx, rt.attemptTimeout)
 		defer cancel()
 	}
-	rt.shards[owner].client.Do(ctx, http.MethodPost, "/results", body, http.Header{
+	vw.byID[owner].client.Do(ctx, http.MethodPost, "/results", body, http.Header{
 		"Content-Type":          {"application/json"},
 		service.ResultKeyHeader: {key},
 		service.StolenHeader:    {fmt.Sprintf("%d->%d", owner, thief)},
 	})
 }
 
-// fetchManifest walks the sweep id's rendezvous rank order for a
-// stored manifest: any live shard holding a valid copy answers, 404s
-// and dead shards are walked past, and a corrupt copy is skipped the
-// same way — the caller's fallback (404: re-POST the grid) is the
-// honest one, never a guess.
+// fetchManifest walks the sweep id's rendezvous rank order (under the
+// current topology) for a stored manifest: any live shard holding a
+// valid copy answers, 404s and dead shards are walked past, and a
+// corrupt copy is skipped the same way — the caller's fallback (404:
+// re-POST the grid) is the honest one, never a guess.
 func (rt *Router) fetchManifest(ctx context.Context, id string) (*service.SweepManifest, bool) {
-	for _, idx := range Rank(id, len(rt.shards)) {
-		sh := rt.shards[idx]
+	vw := rt.view()
+	for _, sid := range RankIDs(id, vw.ids) {
+		sh := vw.byID[sid]
 		if !sh.breaker.allow() {
 			continue
 		}
@@ -1195,8 +1460,9 @@ func (rt *Router) checkpointManifest(m *service.SweepManifest) {
 	if err != nil {
 		return
 	}
-	for _, idx := range Rank(m.ID, len(rt.shards)) {
-		sh := rt.shards[idx]
+	vw := rt.view()
+	for _, sid := range RankIDs(m.ID, vw.ids) {
+		sh := vw.byID[sid]
 		if !sh.breaker.allow() {
 			continue
 		}

@@ -381,7 +381,7 @@ func TestRouterSweepDeadShardFailsOverToSurvivor(t *testing.T) {
 	// (or already probed into half-open — never closed: the backend is
 	// still down and the probe cannot have succeeded).
 	if deadOwned >= defaultBreakerThreshold {
-		if st := rt.shards[1].breaker.State(); st != breakerOpen {
+		if st := rt.view().shards[1].breaker.State(); st != breakerOpen {
 			t.Fatalf("dead shard breaker %q, want open", st)
 		}
 	}

@@ -47,6 +47,9 @@ const (
 	// ProcDead: the respawn budget is exhausted; the supervisor has
 	// given up on this shard. Terminal until the supervisor restarts.
 	ProcDead = "dead"
+	// ProcRetired: the shard was deliberately drained and stopped
+	// (admin drain); its death is intentional and never respawned.
+	ProcRetired = "retired"
 )
 
 // ProcStatus is one shard's process state as reported by Status and
@@ -70,6 +73,9 @@ type child struct {
 	cmd      *exec.Cmd
 	state    string
 	respawns int
+	// retired marks a deliberately drained child: its exit is expected
+	// and must not trigger a respawn.
+	retired bool
 }
 
 // SpawnOptions tunes the supervisor's respawn policy. The zero value
@@ -98,6 +104,10 @@ type SpawnOptions struct {
 type Supervisor struct {
 	bin string
 	opt SpawnOptions
+	// argsFor maps a shard's stable ID to its extra command-line
+	// arguments; retained from Spawn so Add can build workers for IDs
+	// that did not exist at boot.
+	argsFor func(i int) []string
 	// Log receives child stderr/stdout chatter, prefixed per shard.
 	log io.Writer
 
@@ -160,7 +170,7 @@ func SpawnWith(bin string, n int, argsFor func(i int) []string, opt SpawnOptions
 	if opt.StableUptime <= 0 {
 		opt.StableUptime = defaultStableUptime
 	}
-	s := &Supervisor{bin: bin, opt: opt, log: opt.Log, spawning: make(map[*exec.Cmd]struct{})}
+	s := &Supervisor{bin: bin, opt: opt, argsFor: argsFor, log: opt.Log, spawning: make(map[*exec.Cmd]struct{})}
 	for i := 0; i < n; i++ {
 		c := &child{index: i, addr: "127.0.0.1:0", args: argsFor(i), state: ProcRunning}
 		if err := s.start(c); err != nil {
@@ -308,10 +318,18 @@ func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
 		if time.Since(started) >= s.opt.StableUptime {
 			failed = 0 // lived long enough; this crash starts a fresh budget
 		}
+		s.mu.Lock()
+		retired := c.retired
+		s.mu.Unlock()
+		if retired {
+			// A drained child's exit is the intended outcome, not a
+			// failure; Retire already set the terminal state.
+			return
+		}
 		s.setState(c, ProcRespawning)
 		for attempt := failed + 1; attempt <= s.opt.RespawnAttempts; attempt++ {
 			s.mu.Lock()
-			stopping := s.stopping
+			stopping := s.stopping || c.retired
 			s.mu.Unlock()
 			if stopping {
 				return
@@ -325,7 +343,7 @@ func (s *Supervisor) monitor(c *child, cmd *exec.Cmd, failed int) {
 				continue
 			}
 			s.mu.Lock()
-			if s.stopping {
+			if s.stopping || c.retired {
 				s.mu.Unlock()
 				nc.cmd.Process.Kill()
 				nc.cmd.Wait()
@@ -385,6 +403,71 @@ func (s *Supervisor) URLs() []string {
 		urls[i] = p.URL
 	}
 	return urls
+}
+
+// Add spawns one new backend process under the given stable shard ID,
+// using the argsFor function retained from Spawn to build its
+// arguments (per-shard store directory and the rest). The child binds
+// 127.0.0.1:0 like every boot-time worker; the returned Proc carries
+// the bound address. Used by the router's admin grow endpoint.
+func (s *Supervisor) Add(id int) (Proc, error) {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return Proc{}, fmt.Errorf("shard %d: supervisor stopping", id)
+	}
+	for _, c := range s.children {
+		if c.index == id && !c.retired {
+			s.mu.Unlock()
+			return Proc{}, fmt.Errorf("shard %d: already running", id)
+		}
+	}
+	s.mu.Unlock()
+	c := &child{index: id, addr: "127.0.0.1:0", args: s.argsFor(id), state: ProcRunning}
+	if err := s.start(c); err != nil {
+		return Proc{}, err
+	}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		c.cmd.Process.Kill()
+		c.cmd.Wait()
+		return Proc{}, fmt.Errorf("shard %d: supervisor stopping", id)
+	}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	s.monitor(c, c.cmd, 0)
+	return Proc{Index: c.index, Addr: c.addr, URL: "http://" + c.addr, Pid: c.cmd.Process.Pid}, nil
+}
+
+// Retire stops the child with the given stable shard ID for good: its
+// exit is marked intentional (state "retired", never respawned) and
+// the process is interrupted, with a kill escalation if it lingers.
+// Retire does not wait for the exit — the monitor goroutine still
+// owns cmd.Wait and observes it as usual. Unknown or already-retired
+// IDs are no-ops: retiring is idempotent.
+func (s *Supervisor) Retire(id int) {
+	s.mu.Lock()
+	var cmd *exec.Cmd
+	for _, c := range s.children {
+		if c.index == id && !c.retired {
+			c.retired = true
+			c.state = ProcRetired
+			cmd = c.cmd
+			break
+		}
+	}
+	s.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(os.Interrupt)
+	go func() {
+		// Escalate a lingering child; harmless if it already exited
+		// (Kill on a finished process is an error we ignore).
+		time.Sleep(5 * time.Second)
+		cmd.Process.Kill()
+	}()
 }
 
 // Stop terminates every child (graceful interrupt first, kill after a

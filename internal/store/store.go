@@ -20,11 +20,12 @@
 // crash) can never observe a half-written result. Stale ".tmp" files
 // from interrupted writes are swept on Open.
 //
-// The store is size-bounded: once the payload bytes exceed the
-// configured budget, the least-recently-accessed entries are deleted
-// until the store fits. Access order is tracked in memory and mirrored
-// to file modification times on every hit, so the LRU order survives
-// restarts.
+// The store is size-bounded: once the payload bytes (plus the startup
+// index file, see index.go) exceed the configured budget, the
+// least-recently-accessed entries are deleted until the store fits.
+// Access order is tracked in memory, mirrored to file modification
+// times on every hit, and persisted in the startup index, so the LRU
+// order survives restarts.
 package store
 
 import (
@@ -80,6 +81,20 @@ type Stats struct {
 	// at startup is indistinguishable from data never written: a
 	// recovery drill asserts on this counter.
 	CorruptAtOpen uint64 `json:"corrupt_at_open"`
+	// IndexBytes is the size of the persisted startup index file. It
+	// counts against the byte budget but is never evicted — evicting
+	// it would only trade a few KiB now for an O(files) rescan later.
+	IndexBytes int64 `json:"index_bytes"`
+	// IndexLoads counts Opens served from a valid startup index — the
+	// O(1)-file-reads fast path.
+	IndexLoads uint64 `json:"index_loads"`
+	// IndexRebuilds counts Opens that fell back to the full
+	// header-by-header directory rescan because the startup index was
+	// missing, corrupt, or stale against the directory listing. A
+	// rebuild is a recovery, not a failure — but it is loud (logged and
+	// counted) because a shard that rebuilds on every boot is paying
+	// O(files) startups for nothing.
+	IndexRebuilds uint64 `json:"index_rebuilds"`
 }
 
 // entry is the in-memory bookkeeping for one stored result; its
@@ -114,13 +129,23 @@ type Store struct {
 	size  int64
 	gen   int64
 	stats Stats
+	// mutations counts writes and evictions since the last index
+	// flush; indexBytes is the current index file's size (budgeted but
+	// never evicted). flushMu serializes index flushers so an older
+	// snapshot can never rename over a newer one.
+	mutations  int
+	indexBytes int64
+	flushMu    sync.Mutex
 }
 
 // Open opens (creating if needed) a store rooted at dir, bounded to
-// maxBytes of payload (<= 0 selects DefaultMaxBytes). Existing result
-// files are indexed — their LRU order recovered from modification
-// times — stale temp files from interrupted writes are removed, and
-// files that fail envelope verification are deleted.
+// maxBytes of payload (<= 0 selects DefaultMaxBytes). Stale temp
+// files from interrupted writes are removed, then the entry table is
+// recovered from the startup index when one is present and valid —
+// O(1) file reads regardless of entry count — or rebuilt by the full
+// directory rescan (header read per file, corrupt envelopes deleted,
+// LRU order from modification times) when it is missing, corrupt, or
+// stale. Either way a fresh index is written before Open returns.
 func Open(dir string, maxBytes int64) (*Store, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
@@ -129,7 +154,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, maxBytes: maxBytes, byKey: make(map[string]*list.Element), order: list.New()}
-	if err := s.index(); err != nil {
+	if err := s.load(); err != nil {
 		return nil, err
 	}
 	// Enforce the budget immediately: a store reopened with a smaller
@@ -137,13 +162,60 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	// the next Put to shed its oldest entries. Safe without the lock —
 	// the store isn't published to any other goroutine yet.
 	s.gcLocked("")
+	// Persist what we just learned: after a rescan this replaces the
+	// bad index, after an index load it folds in the GC above.
+	// Best-effort — a store that cannot write its index still serves.
+	if err := s.flushIndex(); err != nil {
+		log.Printf("store: %v", err)
+	}
 	return s, nil
 }
 
-// index scans the store directory, rebuilding the entry table and the
-// LRU order from file modification times.
+// load recovers the entry table at Open: one ReadDir to sweep temp
+// files and collect the result-file name set, then the startup index
+// if it validates against that set, else the full rescan.
+func (s *Store) load() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	resNames := make(map[string]bool)
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(s.dir, name)) // interrupted write
+			continue
+		}
+		if strings.HasSuffix(name, suffix) {
+			resNames[name] = true
+		}
+	}
+	if entries, idxSize, ok := s.loadIndex(resNames); ok {
+		s.stats.IndexLoads++
+		s.indexBytes = idxSize
+		// Index order is most-recent-first; PushBack preserves it.
+		for _, e := range entries {
+			s.gen++
+			s.byKey[e.key] = s.order.PushBack(&entry{key: e.key, size: e.size, gen: s.gen})
+			s.size += e.size
+		}
+		return nil
+	}
+	if len(resNames) > 0 {
+		// A missing index over an empty directory is a brand-new store,
+		// not a defect; anything else is a real (if recoverable) event
+		// that costs an O(files) startup — count and log it.
+		s.stats.IndexRebuilds++
+		log.Printf("store: rebuilding startup index for %s from %d result files", s.dir, len(resNames))
+	}
+	return s.rescan()
+}
+
 // dropCorruptAtOpen deletes an unreadable envelope found while
-// indexing and accounts for it — loudly. Deleting is the right
+// rescanning and accounts for it — loudly. Deleting is the right
 // recovery (every result is recomputable from its spec), but doing it
 // silently would make startup corruption indistinguishable from data
 // never written; the log line plus the CorruptAtOpen counter give
@@ -155,7 +227,10 @@ func (s *Store) dropCorruptAtOpen(path, reason string) {
 	os.Remove(path)
 }
 
-func (s *Store) index() error {
+// rescan walks the store directory rebuilding the entry table and the
+// LRU order from file modification times — the slow, always-correct
+// path behind the startup index.
+func (s *Store) rescan() error {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -227,6 +302,7 @@ func (s *Store) StatsSnapshot() Stats {
 	st := s.stats
 	st.Entries = len(s.byKey)
 	st.Bytes = s.size
+	st.IndexBytes = s.indexBytes
 	return st
 }
 
@@ -318,25 +394,31 @@ func readEnvelope(path string) (key string, body []byte, err error) {
 	if err != nil {
 		return "", nil, err
 	}
+	return parseEnvelope(raw, path)
+}
+
+// parseEnvelope verifies raw envelope bytes (from disk or from the
+// router's in-memory cache); label names the source in errors.
+func parseEnvelope(raw []byte, label string) (key string, body []byte, err error) {
 	nl := bytes.IndexByte(raw, '\n')
 	if nl < 0 {
-		return "", nil, fmt.Errorf("store: %s: no envelope header", path)
+		return "", nil, fmt.Errorf("store: %s: no envelope header", label)
 	}
 	fields := strings.Split(string(raw[:nl]), " ")
 	if len(fields) != 4 || fields[0] != magic {
-		return "", nil, fmt.Errorf("store: %s: bad envelope header", path)
+		return "", nil, fmt.Errorf("store: %s: bad envelope header", label)
 	}
 	var n int
 	if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
-		return "", nil, fmt.Errorf("store: %s: bad length: %w", path, err)
+		return "", nil, fmt.Errorf("store: %s: bad length: %w", label, err)
 	}
 	body = raw[nl+1:]
 	if len(body) != n {
-		return "", nil, fmt.Errorf("store: %s: body is %d bytes, header says %d", path, len(body), n)
+		return "", nil, fmt.Errorf("store: %s: body is %d bytes, header says %d", label, len(body), n)
 	}
 	sum := sha256.Sum256(body)
 	if hex.EncodeToString(sum[:]) != fields[1] {
-		return "", nil, fmt.Errorf("store: %s: checksum mismatch", path)
+		return "", nil, fmt.Errorf("store: %s: checksum mismatch", label)
 	}
 	return fields[3], body, nil
 }
@@ -447,8 +529,8 @@ func (s *Store) Put(key string, body []byte) error {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		s.mu.Unlock()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
@@ -461,6 +543,13 @@ func (s *Store) Put(key string, body []byte) error {
 	s.size += int64(len(body))
 	s.stats.Writes++
 	s.gcLocked(key)
+	flush := s.maybeFlushLocked()
+	s.mu.Unlock()
+	if flush {
+		if err := s.flushIndex(); err != nil {
+			log.Printf("store: %v", err) // advisory; next Open rescans
+		}
+	}
 	return nil
 }
 
@@ -473,12 +562,14 @@ func (s *Store) removeLocked(el *list.Element) {
 }
 
 // gcLocked evicts from the back of the access order — O(1) per
-// victim — until the store fits its byte budget. keep (the key just
-// written, at the front) is never evicted: a budget smaller than a
-// single result would otherwise thrash every Put into an immediate
-// delete.
+// victim — until the store fits its byte budget. The budget covers
+// payload bytes plus the startup index file; the index itself is
+// never an eviction candidate (it is not an entry), it only shrinks
+// the room left for results. keep (the key just written, at the
+// front) is never evicted: a budget smaller than a single result
+// would otherwise thrash every Put into an immediate delete.
 func (s *Store) gcLocked(keep string) {
-	for s.size > s.maxBytes && s.order.Len() > 1 {
+	for s.size+s.indexBytes > s.maxBytes && s.order.Len() > 1 {
 		back := s.order.Back()
 		e := back.Value.(*entry)
 		if e.key == keep {
@@ -487,6 +578,7 @@ func (s *Store) gcLocked(keep string) {
 		s.removeLocked(back)
 		os.Remove(filepath.Join(s.dir, fileName(e.key)))
 		s.stats.Evictions++
+		s.mutations++ // stales the index; folded into the next flush
 	}
 }
 

@@ -154,11 +154,14 @@ func TestOpenSweepsCorruptAndTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(left) != 1 || left[0].Name() != fileName("run:TL:keep") {
-		names := make([]string, len(left))
-		for i, de := range left {
-			names[i] = de.Name()
+	var names []string
+	for _, de := range left {
+		if de.Name() == indexName { // the startup index rides along
+			continue
 		}
+		names = append(names, de.Name())
+	}
+	if len(names) != 1 || names[0] != fileName("run:TL:keep") {
 		t.Fatalf("directory not swept: %v", names)
 	}
 	st := s2.StatsSnapshot()
@@ -222,11 +225,14 @@ func TestOpenRejectsNewerGenerationEnvelopesAndCrashedPutTmp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(left) != 1 || left[0].Name() != fileName("run:TL:old") {
-		names := make([]string, len(left))
-		for i, de := range left {
-			names[i] = de.Name()
+	var names []string
+	for _, de := range left {
+		if de.Name() == indexName { // the startup index rides along
+			continue
 		}
+		names = append(names, de.Name())
+	}
+	if len(names) != 1 || names[0] != fileName("run:TL:old") {
 		t.Fatalf("directory not swept: %v", names)
 	}
 	// The future file counted as corruption (it was removed on sight);
@@ -239,7 +245,9 @@ func TestOpenRejectsNewerGenerationEnvelopesAndCrashedPutTmp(t *testing.T) {
 func TestGCEvictsLeastRecentlyAccessed(t *testing.T) {
 	dir := t.TempDir()
 	body := bytes.Repeat([]byte("x"), 100)
-	s := mustOpen(t, dir, 350) // room for three 100-byte bodies
+	// Room for three 100-byte bodies plus the startup index file,
+	// which counts against the budget too.
+	s := mustOpen(t, dir, 450)
 	for _, k := range []string{"k:a", "k:b", "k:c"} {
 		if err := s.Put(k, body); err != nil {
 			t.Fatal(err)
@@ -304,7 +312,9 @@ func TestLRUOrderSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2 := mustOpen(t, dir, 250)
+	// Budget sized so that, with the startup index counted, the third
+	// write evicts exactly the stalest entry.
+	s2 := mustOpen(t, dir, 350)
 	if err := s2.Put("k:third", body); err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +361,7 @@ func TestTouchRefreshesRecencyWithoutReading(t *testing.T) {
 	// Touch is the memory-tier hook: a result served from an upstream
 	// cache must still look hot to this store's GC.
 	body := bytes.Repeat([]byte("t"), 100)
-	s := mustOpen(t, t.TempDir(), 350)
+	s := mustOpen(t, t.TempDir(), 450) // three bodies + the startup index
 	for _, k := range []string{"k:a", "k:b", "k:c"} {
 		if err := s.Put(k, body); err != nil {
 			t.Fatal(err)
