@@ -27,6 +27,7 @@ import (
 var auditedPackages = []string{
 	"internal/agg",
 	"internal/obs",
+	"internal/sched",
 	"internal/service",
 	"internal/shard",
 	"internal/store",

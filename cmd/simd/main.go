@@ -4,8 +4,21 @@
 // requests are answered byte-identically from the content-addressed
 // result cache (simulations are bit-reproducible, so a spec's hash
 // determines its result), and the run queue is bounded — saturation
-// answers 503 + Retry-After derived from actual queue depth instead
-// of queueing without limit.
+// answers 503 + Retry-After derived from the requester's own class
+// queue depth instead of queueing without limit.
+//
+// Execution is tenant-aware and weighted-fair (internal/sched):
+// every request carries a tenant (the X-Tenant header, renamable via
+// -tenant-header) and a scheduling class (X-Class: "interactive" —
+// the /run and /compare default — or "batch", the sweep default).
+// Workers are shared by class weight (-class-weights, default
+// interactive=4,batch=1) and round-robined fairly across the tenants
+// inside each class, so one tenant's 100k-variant sweep can no
+// longer starve another tenant's interactive /run. Each class has
+// its own bounded queue (-queue is PER CLASS) and its own honest
+// Retry-After. -fair=false collapses everything back to one FIFO
+// queue for A/B comparison. Scheduling changes only WHEN a variant
+// runs, never its bytes — responses stay byte-identical.
 //
 // With -store DIR the result cache is two-tier: an in-memory LRU in
 // front of a disk-backed store, so a restarted simd serves previously
@@ -71,7 +84,8 @@
 //
 //	simd [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR] [-store-max-bytes N]
 //	     [-request-timeout D] [-max-cycles N] [-max-sweep-variants N] [-attempt-timeout D]
-//	     [-router-cache-bytes N] [-debug-addr ADDR] [-shards N | -backends URL,URL,...]
+//	     [-router-cache-bytes N] [-debug-addr ADDR] [-fair] [-class-weights interactive=4,batch=1]
+//	     [-tenant-header X-Tenant] [-shards N | -backends URL,URL,...]
 //
 // Every mode also serves GET /metrics (Prometheus text; the router
 // re-exposes each worker's series under a shard label) and GET
@@ -112,6 +126,9 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "router-side timeout per backend attempt (0 = none); a hung shard is failed over")
 	routerCache := flag.Int64("router-cache-bytes", 64<<20, "router-side result-cache budget in bytes (<= 0 disables); repeat /run and /compare hits answer at the router with zero backend round trips")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); NOT inherited by -shards workers")
+	fair := flag.Bool("fair", true, "weighted-fair tenant scheduling; false collapses every request into one FIFO queue")
+	classWeights := flag.String("class-weights", "", "per-class worker shares as name=weight pairs, e.g. interactive=4,batch=1 (empty = those defaults)")
+	tenantHeader := flag.String("tenant-header", service.DefaultTenantHeader, "request header carrying the caller's tenant for fair-share accounting")
 	shards := flag.Int("shards", 0, "spawn N local worker processes and serve the sharded router")
 	backends := flag.String("backends", "", "comma-separated worker URLs to route over (externally managed shards)")
 	flag.Parse()
@@ -119,16 +136,22 @@ func main() {
 	if *shards > 0 && *backends != "" {
 		fatal("use -shards (local workers) or -backends (external workers), not both")
 	}
+	weights, err := parseClassWeights(*classWeights)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fopt := fairOpts{fair: *fair, weights: weights, weightsArg: *classWeights, tenantHeader: *tenantHeader}
 	serveDebug(*debugAddr)
 	ropt := shard.Options{
 		AttemptTimeout:   *attemptTimeout,
 		MaxCycles:        *maxCycles,
 		MaxSweepVariants: *maxSweep,
 		RouterCacheBytes: *routerCache,
+		TenantHeader:     *tenantHeader,
 	}
 	switch {
 	case *shards > 0:
-		runSupervised(*addr, *shards, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, ropt)
+		runSupervised(*addr, *shards, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, ropt, fopt)
 	case *backends != "":
 		// Tolerate "url, url" spacing: an invisible leading space would
 		// otherwise make that shard's URLs unparseable and its whole
@@ -142,8 +165,45 @@ func main() {
 		ropt.Backends = urls
 		runRouter(*addr, ropt, nil, "")
 	default:
-		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, *maxCycles, *maxSweep)
+		runSingle(*addr, *workers, *queue, *cache, *storeDir, *storeMax, *reqTimeout, *maxCycles, *maxSweep, fopt)
 	}
+}
+
+// fairOpts carries the tenant-scheduling flags: parsed weights for
+// the in-process service, the raw -class-weights argument for worker
+// inheritance, and the tenant header name shared by every tier.
+type fairOpts struct {
+	fair         bool
+	weights      map[string]int
+	weightsArg   string
+	tenantHeader string
+}
+
+// parseClassWeights decodes -class-weights: comma-separated
+// name=weight pairs with positive integer weights. Class NAMES are
+// validated by service.New (the scheduler owns that vocabulary);
+// this only enforces the pair syntax. Empty input means defaults.
+func parseClassWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-class-weights: %q is not name=weight", pair)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-class-weights: weight %q for class %q must be a positive integer", val, name)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
 }
 
 func fatal(format string, args ...any) {
@@ -215,13 +275,17 @@ func listen(addr, mode string) net.Listener {
 	return ln
 }
 
-// runSingle is one worker process: the whole service in one pool.
-func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, maxCycles uint64, maxSweep int) {
+// runSingle is one worker process: the whole service on one
+// weighted-fair scheduler.
+func runSingle(addr string, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, maxCycles uint64, maxSweep int, fopt fairOpts) {
 	srv, err := service.New(service.Options{
 		Workers: workers, Queue: queue, CacheEntries: cache,
 		StoreDir: storeDir, StoreMaxBytes: storeMax,
 		RequestTimeout: reqTimeout, MaxCycles: maxCycles,
 		MaxSweepVariants: maxSweep,
+		ClassWeights:     fopt.weights,
+		TenantHeader:     fopt.tenantHeader,
+		DisableFairness:  !fopt.fair,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -275,9 +339,10 @@ func runRouter(addr string, opt shard.Options, sup *shard.Supervisor, note strin
 // them. Each worker gets its own store directory (DIR/shard-i), so
 // the per-shard result stores stay disjoint and a respawned or
 // restarted worker replays exactly its own slice of the keyspace. The
-// workers inherit the deadline and cycle-cap flags, so cluster and
-// single-process deployments enforce identical limits.
-func runSupervised(addr string, n, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, ropt shard.Options) {
+// workers inherit the deadline, cycle-cap and fairness flags, so
+// cluster and single-process deployments enforce identical limits
+// and queue by the same tenant identity.
+func runSupervised(addr string, n, workers, queue, cache int, storeDir string, storeMax int64, reqTimeout time.Duration, ropt shard.Options, fopt fairOpts) {
 	bin, err := os.Executable()
 	if err != nil {
 		fatal("%v", err)
@@ -291,6 +356,11 @@ func runSupervised(addr string, n, workers, queue, cache int, storeDir string, s
 			"-request-timeout", reqTimeout.String(),
 			"-max-cycles", strconv.FormatUint(ropt.MaxCycles, 10),
 			"-max-sweep-variants", strconv.Itoa(ropt.MaxSweepVariants),
+			"-fair=" + strconv.FormatBool(fopt.fair),
+			"-tenant-header", fopt.tenantHeader,
+		}
+		if fopt.weightsArg != "" {
+			args = append(args, "-class-weights", fopt.weightsArg)
 		}
 		if storeDir != "" {
 			args = append(args, "-store", filepath.Join(storeDir, fmt.Sprintf("shard-%d", i)))

@@ -20,6 +20,7 @@ import (
 	"strconv"
 
 	"repro/internal/agg"
+	"repro/internal/sched"
 )
 
 // AnalyzeRequest is the body of POST /sweep/analyze — a sweep grid
@@ -44,7 +45,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	s.analyzeGrid(w, r, req)
+	id, err := s.requestIdent(r, sched.Batch)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.analyzeGrid(w, r, req, id)
 }
 
 // analyzeGrid runs the decoded analysis request — the shared engine
@@ -53,7 +59,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // byte-identical on the same result space. Rows are folded into
 // metric inputs as they complete, so a 100k-variant analysis holds
 // per-variant metrics, never the full result bodies.
-func (s *Server) analyzeGrid(w http.ResponseWriter, r *http.Request, req AnalyzeRequest) {
+func (s *Server) analyzeGrid(w http.ResponseWriter, r *http.Request, req AnalyzeRequest, aid ident) {
 	grid, total, err := ResolveSweepGrid(req.SweepRequest, s.scenarioByName, s.maxSweepVariants)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
@@ -81,7 +87,7 @@ func (s *Server) analyzeGrid(w http.ResponseWriter, r *http.Request, req Analyze
 	}
 
 	inputs := make([]agg.Input, 0, min(total, sweepChunkSize))
-	distinct, complete := s.collectGrid(r.Context(), grid, -1, model, compare, func(row SweepRow) {
+	distinct, complete := s.collectGrid(r.Context(), grid, -1, model, compare, aid, func(row SweepRow) {
 		inputs = append(inputs, AnalyzeInput(compare, row))
 	})
 	if !complete {

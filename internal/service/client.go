@@ -41,6 +41,23 @@ const (
 	DefaultRetryWait = time.Second
 )
 
+// Tenant-aware scheduling headers — the wire form of the identity the
+// weighted-fair scheduler (internal/sched) queues by. Both are
+// optional on every endpoint: a request without them is tenant
+// "default" in the endpoint's natural class (interactive for /run and
+// /compare, batch for the sweep family).
+const (
+	// DefaultTenantHeader names the header carrying the caller's tenant
+	// for fair-share accounting (Options.TenantHeader overrides the
+	// name per deployment). Values must match [A-Za-z0-9._-]{1,64}.
+	DefaultTenantHeader = "X-Tenant"
+	// ClassHeader carries the scheduling class, "interactive" or
+	// "batch" — it overrides the endpoint's default class, letting a
+	// latency-sensitive scripted sweep run interactive or a bulk /run
+	// replay demote itself to batch.
+	ClassHeader = "X-Class"
+)
+
 // RetryWait maps a 503's Retry-After header value onto the backoff a
 // retry loop should sleep. Integer seconds are honored and clamped to
 // [MinRetryWait, MaxRetryWait]; a missing or unparseable value (an

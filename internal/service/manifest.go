@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/agg"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/sweep"
 )
@@ -279,7 +280,12 @@ func (s *Server) handleSweepResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sweepResumes.Inc()
-	s.streamSweep(w, r, m.Request, after)
+	rid, err := s.requestIdent(r, sched.Batch)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.streamSweep(w, r, m.Request, after, rid)
 }
 
 // handleSweepStoredAnalyze serves POST /sweep/{id}/analyze: the
@@ -306,7 +312,12 @@ func (s *Server) handleSweepStoredAnalyze(w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
 		return
 	}
-	s.analyzeGrid(w, r, AnalyzeRequest{SweepRequest: m.Request, Request: sel})
+	aid, err := s.requestIdent(r, sched.Batch)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.analyzeGrid(w, r, AnalyzeRequest{SweepRequest: m.Request, Request: sel}, aid)
 }
 
 // handleResults serves the router's stolen-variant side channel.

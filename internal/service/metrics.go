@@ -1,7 +1,8 @@
 // The worker's metric vocabulary: every simd_* series GET /metrics
 // exposes, registered once at construction. Almost everything is a
 // callback metric read at scrape time from counters the serving path
-// already maintains (the healthz atomics, the pool, the store), so
+// already maintains (the healthz atomics, the scheduler, the store),
+// so
 // instrumentation adds nothing to the hot path beyond what /healthz
 // already paid — the kernel-side zero-alloc contract
 // (BenchmarkSchedulerPostDispatch) is untouched by construction.
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -35,7 +37,7 @@ func (t *Timing) Header() string {
 }
 
 // initMetrics registers the server's metric families. Called once
-// from New, after the pool, cache and store exist.
+// from New, after the scheduler, cache and store exist.
 func (s *Server) initMetrics() {
 	reg := obs.NewRegistry()
 	s.reg = reg
@@ -59,11 +61,45 @@ func (s *Server) initMetrics() {
 	reg.CounterFunc("simd_timeouts_total", "Simulations aborted 504 at the request deadline.", s.timeouts.Load)
 
 	reg.GaugeFunc("simd_pool_workers", "Worker pool size.", func() float64 { return float64(s.workers) })
-	reg.GaugeFunc("simd_pool_queue_capacity", "Bounded job-queue capacity.", func() float64 { return float64(s.queue) })
-	reg.GaugeFunc("simd_pool_queue_depth", "Jobs waiting in the queue.", func() float64 { return float64(s.pool.Queued()) })
-	reg.GaugeFunc("simd_pool_in_flight", "Jobs executing on a worker.", func() float64 { return float64(s.pool.InFlight()) })
-	reg.CounterFunc("simd_pool_jobs_submitted_total", "Jobs accepted by the pool.", s.pool.Submitted)
-	reg.CounterFunc("simd_pool_jobs_completed_total", "Jobs finished by a worker.", s.pool.Completed)
+	reg.GaugeFunc("simd_pool_queue_capacity", "Bounded job-queue capacity per scheduling class.", func() float64 { return float64(s.queue) })
+	reg.GaugeFunc("simd_pool_queue_depth", "Jobs waiting in scheduler queues, all classes.", func() float64 { return float64(s.sched.Queued()) })
+	reg.GaugeFunc("simd_pool_in_flight", "Jobs executing on a worker.", func() float64 { return float64(s.sched.InFlight()) })
+	reg.CounterFunc("simd_pool_jobs_submitted_total", "Jobs admitted by the scheduler.", s.sched.Admitted)
+	reg.CounterFunc("simd_pool_jobs_completed_total", "Jobs finished by a worker.", s.sched.Completed)
+
+	// The weighted-fair scheduler's own vocabulary. Depth and wait are
+	// pushed by the scheduler's observer hooks (called under its lock,
+	// so a scrape always sees a depth the scheduler actually had);
+	// per-class dispatch/rejection counters and in-flight read the
+	// snapshot at scrape time.
+	depth := reg.GaugeVec("simd_sched_queue_depth", "Queued jobs per tenant and class.", "tenant", "class")
+	waits := reg.HistogramVec("simd_sched_wait_seconds", "Queue wait from admission to worker pickup.", obs.DefTimeBuckets, "class")
+	rejects := reg.CounterVec("simd_sched_rejections_total", "Submissions refused at a full class queue.", "class")
+	inFlight := reg.GaugeVec("simd_sched_in_flight", "Jobs executing on a worker per class.", "class")
+	dispatched := reg.CounterVec("simd_sched_dispatched_total", "Jobs handed to a worker per class.", "class")
+	classWait := make([]*obs.Histogram, len(sched.Classes()))
+	for _, c := range sched.Classes() {
+		classWait[c] = waits.With(c.String())
+		cl := c
+		inFlight.Func(func() float64 {
+			return float64(s.sched.Snapshot().Classes[cl].InFlight)
+		}, cl.String())
+		dispatched.Func(func() uint64 {
+			return s.sched.Snapshot().Classes[cl].Dispatched
+		}, cl.String())
+		rejects.With(cl.String()) // pre-register so the series exists at zero
+	}
+	s.sched.SetObserver(sched.Observer{
+		QueueDepth: func(tenant string, class sched.Class, depthNow int) {
+			depth.With(tenant, class.String()).Set(float64(depthNow))
+		},
+		Wait: func(class sched.Class, d time.Duration) {
+			classWait[class].Observe(d.Seconds())
+		},
+		Rejected: func(class sched.Class) {
+			rejects.With(class.String()).Inc()
+		},
+	})
 
 	reg.GaugeFunc("simd_cache_memory_entries", "Results held in the memory LRU.", func() float64 { return float64(s.cache.len()) })
 	reg.GaugeFunc("simd_process_start_time_seconds", "Unix time the process started serving.", func() float64 { return float64(s.since.Unix()) })

@@ -16,10 +16,16 @@
 //     arrive while the first is still simulating attach to the
 //     in-flight job and all receive its result — N identical
 //     submissions cost one simulation.
-//   - Bounded run queue with backpressure. Jobs execute on a
-//     farm.Pool sized to the host's cores; once its queue fills,
-//     submissions are rejected with 503 + Retry-After instead of
-//     queueing unboundedly.
+//   - Tenant-aware weighted-fair execution with backpressure. Jobs
+//     execute through a sched.Scheduler over workers sized to the
+//     host's cores: requests queue per (tenant, class) — interactive
+//     /run and /compare outweigh sweep backfill, tenants share their
+//     class equally — and each class has its own admission cap; at
+//     the cap, submissions of THAT class are rejected with 503 plus
+//     a Retry-After derived from that class's own backlog instead of
+//     queueing unboundedly (or being blamed for another class's
+//     backlog). Tenant identity rides the X-Tenant request header
+//     (Options.TenantHeader), class the X-Class header.
 //
 // Endpoints: POST /run, POST /compare, POST /sweep (NDJSON parameter
 // grids; see sweep.go), POST /sweep/analyze (grid aggregates —
@@ -43,8 +49,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -55,7 +61,9 @@ import (
 type Options struct {
 	// Workers is the run-farm worker count (<= 0: one per CPU).
 	Workers int
-	// Queue is the bounded job-queue depth (<= 0: 2x workers).
+	// Queue is the bounded job-queue depth PER CLASS (<= 0: 2x
+	// workers): a full batch queue rejects batch submissions and
+	// nothing else.
 	Queue int
 	// CacheEntries caps the in-memory result cache (<= 0:
 	// DefaultCacheEntries).
@@ -82,6 +90,20 @@ type Options struct {
 	// same option; both tiers resolve it through ResolveSweepGrid, so
 	// the limit cannot drift between a backend and its frontend.
 	MaxSweepVariants int
+	// ClassWeights overrides the scheduler's per-class dispatch
+	// weights, keyed by class wire name ("interactive", "batch").
+	// Missing classes keep their defaults; New rejects unknown names.
+	ClassWeights map[string]int
+	// TenantHeader names the request header carrying tenant identity
+	// (empty: DefaultTenantHeader). A request without the header (or
+	// with an invalid value — rejected 400) queues as
+	// sched.DefaultTenant.
+	TenantHeader string
+	// DisableFairness collapses scheduling to one tenant and one
+	// class — a single FIFO queue with a single cap, the pre-fairness
+	// behavior. An operational escape hatch (-fair=false), not a
+	// recommended mode.
+	DisableFairness bool
 }
 
 // DefaultCacheEntries is the default result-cache capacity.
@@ -107,7 +129,7 @@ type Counters struct {
 
 // Server is the simulation service.
 type Server struct {
-	pool  *farm.Pool
+	sched *sched.Scheduler
 	mux   *http.ServeMux
 	cache *lru
 	// disk is the persistent result tier behind the memory LRU; nil
@@ -122,6 +144,8 @@ type Server struct {
 	requestTimeout                                       time.Duration
 	maxSpecCycles                                        uint64
 	maxSweepVariants                                     int
+	tenantHeader                                         string
+	fairnessOff                                          bool
 
 	// manifestMu serializes sweep-manifest read-merge-write
 	// checkpoints, so two streams of the same sweep id never lose
@@ -173,16 +197,21 @@ type flight struct {
 // emits a disposition for 503s.
 const dispositionClosed = "closed"
 
-// New starts a server (its worker pool runs until Close). With a
-// StoreDir it opens (or resumes) the disk-backed result store there,
-// so a restarted server replays previously computed results
+// New starts a server (its scheduler's workers run until Close). With
+// a StoreDir it opens (or resumes) the disk-backed result store
+// there, so a restarted server replays previously computed results
 // byte-identically.
 func New(opt Options) (*Server, error) {
-	if opt.Workers <= 0 {
-		opt.Workers = farm.DefaultWorkers()
+	weights := make(map[sched.Class]int, len(opt.ClassWeights))
+	for name, w := range opt.ClassWeights {
+		c, ok := sched.ParseClass(name)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown scheduling class %q in ClassWeights", name)
+		}
+		weights[c] = w
 	}
-	if opt.Queue <= 0 {
-		opt.Queue = 2 * opt.Workers
+	if opt.TenantHeader == "" {
+		opt.TenantHeader = DefaultTenantHeader
 	}
 	if opt.CacheEntries <= 0 {
 		opt.CacheEntries = DefaultCacheEntries
@@ -202,16 +231,19 @@ func New(opt Options) (*Server, error) {
 	if opt.MaxSweepVariants <= 0 {
 		opt.MaxSweepVariants = DefaultMaxSweepVariants
 	}
+	scheduler := sched.New(sched.Options{Workers: opt.Workers, Queue: opt.Queue, Weights: weights})
 	s := &Server{
-		pool:             farm.NewPool(opt.Workers, opt.Queue),
+		sched:            scheduler,
 		cache:            newLRU(opt.CacheEntries),
 		disk:             disk,
 		flights:          make(map[string]*flight),
-		workers:          opt.Workers,
-		queue:            opt.Queue,
+		workers:          scheduler.Workers(),
+		queue:            scheduler.QueueCap(),
 		requestTimeout:   opt.RequestTimeout,
 		maxSpecCycles:    maxSpecCycles,
 		maxSweepVariants: opt.MaxSweepVariants,
+		tenantHeader:     opt.TenantHeader,
+		fairnessOff:      opt.DisableFairness,
 		since:            time.Now(),
 	}
 	s.buildScenarioLibrary()
@@ -278,12 +310,12 @@ func ScenarioLibrary() (body []byte, byName map[string]spec.Spec) {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the run queue, stops the workers, and flushes the disk
-// store's startup index so the next Open is O(1) file reads. An index
-// flush failure is logged, not fatal: the next Open falls back to a
-// loud full rescan and loses nothing but startup time.
+// Close drains the scheduler's queues, stops the workers, and flushes
+// the disk store's startup index so the next Open is O(1) file reads.
+// An index flush failure is logged, not fatal: the next Open falls
+// back to a loud full rescan and loses nothing but startup time.
 func (s *Server) Close() {
-	s.pool.Close()
+	s.sched.Close()
 	if s.disk != nil {
 		if err := s.disk.Close(); err != nil {
 			log.Printf("store: flushing startup index at close: %v", err)
@@ -462,7 +494,49 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "unknown model %q (want tl or rtl)", req.Model)
 		return
 	}
-	s.serveCached(w, r, runKey(model, hash), hash, computeRun(sp, hash, model, wl))
+	id, err := s.requestIdent(r, sched.Interactive)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.serveCached(w, r, runKey(model, hash), hash, id, computeRun(sp, hash, model, wl))
+}
+
+// ident is one request's scheduling identity: the tenant whose fair
+// queue the work joins and the priority class it dispatches under.
+type ident struct {
+	tenant string
+	class  sched.Class
+}
+
+// requestIdent derives the request's scheduling identity from its
+// headers: tenant from Options.TenantHeader (absent: the shared
+// sched.DefaultTenant bucket; invalid: a 400-worthy error, so bad
+// identifiers can't pollute metric label space), class from X-Class
+// (absent: def — Interactive for /run and /compare, Batch for sweep
+// and analyze paths). With fairness disabled everything collapses to
+// one queue after validation.
+func (s *Server) requestIdent(r *http.Request, def sched.Class) (ident, error) {
+	tenant := r.Header.Get(s.tenantHeader)
+	switch {
+	case tenant == "":
+		tenant = sched.DefaultTenant
+	case !sched.ValidTenant(tenant):
+		return ident{}, fmt.Errorf("%s %q is not a tenant identifier (1-%d characters of [A-Za-z0-9._-])",
+			s.tenantHeader, tenant, sched.MaxTenantLen)
+	}
+	class := def
+	if v := r.Header.Get(ClassHeader); v != "" {
+		c, ok := sched.ParseClass(v)
+		if !ok {
+			return ident{}, fmt.Errorf("%s %q is not a scheduling class (want interactive or batch)", ClassHeader, v)
+		}
+		class = c
+	}
+	if s.fairnessOff {
+		return ident{tenant: sched.DefaultTenant, class: sched.Interactive}, nil
+	}
+	return ident{tenant: tenant, class: class}, nil
 }
 
 // runKey is the cache key of a single-model run result.
@@ -522,7 +596,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.serveCached(w, r, compareKey(hash), hash, computeCompare(sp, hash, wl))
+	id, err := s.requestIdent(r, sched.Interactive)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.serveCached(w, r, compareKey(hash), hash, id, computeCompare(sp, hash, wl))
 }
 
 // compareKey is the cache key of a two-model accuracy row.
@@ -603,19 +682,23 @@ func (s *Server) persist(key string, body []byte) {
 
 // executeOnce resolves one cache key to a response: served from a
 // cache tier ("hit"), attached to an in-flight duplicate
-// ("coalesced"), or computed as a new job on the bounded pool
-// ("miss") — in that order. compute runs on a pool worker and must be
-// deterministic in its output bytes; those exact bytes are cached,
-// persisted and replayed. A saturated pool yields a 503 status (with
-// disposition "" for the request that hit the full queue, "coalesced"
-// for duplicates that had attached to it); the caller chooses whether
-// that is terminal (HTTP request path) or retryable (sweep rows,
-// which pass recheck=true on retries so the disk tier isn't
-// hit/miss-counted once per backoff round — the silent flight-leader
-// re-probe below still rescues a disk-resident result). A non-nil
-// error means ctx ended before the result was ready — the job itself
-// still completes and fills the cache.
-func (s *Server) executeOnce(ctx context.Context, key string, compute func(context.Context, *Timing) ([]byte, error), recheck bool) (status int, body []byte, disposition string, timing *Timing, err error) {
+// ("coalesced"), or computed as a new job on the weighted-fair
+// scheduler under id's tenant and class ("miss") — in that order.
+// compute runs on a worker and must be deterministic in its output
+// bytes; those exact bytes are cached, persisted and replayed
+// (scheduling order can never touch them). A saturated class queue
+// yields a 503 status (with disposition "" for the request that hit
+// the cap, "coalesced" for duplicates that had attached to it); the
+// caller chooses whether that is terminal (HTTP request path) or
+// retryable (sweep rows, which pass recheck=true on retries so the
+// disk tier isn't hit/miss-counted once per backoff round — the
+// silent flight-leader re-probe below still rescues a disk-resident
+// result). Coalescing wins over classing: a duplicate rides the
+// leader's queue position whatever class either request declared,
+// because attaching to in-flight work is always cheaper than a fairer
+// queue slot. A non-nil error means ctx ended before the result was
+// ready — the job itself still completes and fills the cache.
+func (s *Server) executeOnce(ctx context.Context, key string, id ident, compute func(context.Context, *Timing) ([]byte, error), recheck bool) (status int, body []byte, disposition string, timing *Timing, err error) {
 	probe := s.lookup
 	if recheck {
 		probe = s.lookupMemory
@@ -683,7 +766,7 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 		deadline = time.Now().Add(s.requestTimeout)
 	}
 	submitted := time.Now()
-	_, serr := s.pool.Submit(func() {
+	_, serr := s.sched.Submit(id.tenant, id.class, func() {
 		// Queue wait is measured from submission to worker pickup —
 		// the stage a saturated pool inflates; it plus simulate and
 		// encode is the X-Timing breakdown the leader's response (and
@@ -734,13 +817,13 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 	if serr != nil {
 		// Fill the flight before closing it: requests that already
 		// coalesced onto this key must read a real 503, not a
-		// zero-valued response. A saturated queue is transient
-		// (disposition "", the retryable signal); a closed pool is
-		// terminal (disposition dispositionClosed) so retry loops
+		// zero-valued response. A saturated class queue is transient
+		// (disposition "", the retryable signal); a closed scheduler
+		// is terminal (disposition dispositionClosed) so retry loops
 		// don't spin against a server that is shutting down.
 		disposition := ""
 		msg := "run queue saturated; retry"
-		if !errors.Is(serr, farm.ErrSaturated) {
+		if !errors.Is(serr, sched.ErrSaturated) {
 			disposition = dispositionClosed
 			msg = "service shutting down"
 			f.terminal = true
@@ -771,8 +854,8 @@ func (s *Server) executeOnce(ctx context.Context, key string, compute func(conte
 // computed response (miss or coalesced — anything that waited on the
 // simulation) carries the X-Timing stage breakdown; cache hits have
 // no stages to report.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, compute func(context.Context, *Timing) ([]byte, error)) {
-	status, body, disposition, timing, err := s.executeOnce(r.Context(), key, compute, false)
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash string, id ident, compute func(context.Context, *Timing) ([]byte, error)) {
+	status, body, disposition, timing, err := s.executeOnce(r.Context(), key, id, compute, false)
 	if err != nil {
 		return
 	}
@@ -788,9 +871,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash s
 		}
 		if disposition == dispositionClosed {
 			// Tell machine clients (the shard router's retry loops)
-			// that this 503 is terminal — the pool is shutting down,
-			// not busy — so they fail over instead of backing off
-			// against a server that will never recover.
+			// that this 503 is terminal — the scheduler is shutting
+			// down, not busy — so they fail over instead of backing
+			// off against a server that will never recover.
 			w.Header().Set("X-Terminal", "1")
 		}
 		// Backpressure responses carry no cache disposition.
@@ -801,7 +884,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, hash s
 		// each response gets its own request ID stamped at write time.
 		body = injectRequestID(body, obs.RequestIDFrom(r.Context()))
 	}
-	s.writeBody(w, status, body, disposition, hash)
+	s.writeBodyClass(w, status, body, disposition, hash, id.class)
 }
 
 // injectRequestID stamps rid into an errorResponse body. Unparseable
@@ -839,18 +922,24 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 type Health struct {
 	OK  bool `json:"ok"`
 	Pid int  `json:"pid"`
-	// Workers/QueueCap are the pool's static shape; Queued/InFlight
-	// its instantaneous load.
+	// Workers/QueueCap are the scheduler's static shape (QueueCap is
+	// per class); Queued/InFlight its instantaneous load summed over
+	// every class and tenant.
 	Workers  int `json:"workers"`
 	QueueCap int `json:"queue_capacity"`
 	Queued   int `json:"queued"`
 	InFlight int `json:"in_flight"`
-	// RetryAfter is the backoff (seconds) a 503 would carry right now —
-	// the live backpressure signal, exposed so frontends can pace
-	// without provoking a rejection to read it.
-	RetryAfter   int          `json:"retry_after"`
-	CacheEntries int          `json:"cache_entries"`
-	Store        *store.Stats `json:"store,omitempty"`
+	// RetryAfter is the WORST per-class backoff (seconds) a 503 would
+	// carry right now — the conservative one-number pacing signal for
+	// frontends; per-class honesty lives in Sched.
+	RetryAfter int `json:"retry_after"`
+	// Sched is the weighted-fair scheduler's per-class and active
+	// per-tenant queue state, keyed with the metrics label vocabulary
+	// (class, tenant) — per-class queue depths, in-flight counts,
+	// admission rejections and honest per-class retry_after.
+	Sched        *sched.Snapshot `json:"sched,omitempty"`
+	CacheEntries int             `json:"cache_entries"`
+	Store        *store.Stats    `json:"store,omitempty"`
 	// Since is when this process started serving and UptimeSeconds its
 	// age — monotonic per process life. A respawned worker restarts
 	// both at zero alongside its counters, which is how a frontend
@@ -871,11 +960,13 @@ func (s *Server) HealthSnapshot() Health {
 		st := s.disk.StatsSnapshot()
 		diskStats = &st
 	}
+	schedSnap := s.sched.Snapshot()
 	return Health{
 		OK: true, Pid: os.Getpid(),
 		Workers: s.workers, QueueCap: s.queue,
-		Queued: s.pool.Queued(), InFlight: s.pool.InFlight(),
+		Queued: s.sched.Queued(), InFlight: s.sched.InFlight(),
 		RetryAfter:    s.retryAfterSeconds(),
+		Sched:         &schedSnap,
 		CacheEntries:  s.cache.len(),
 		Store:         diskStats,
 		Since:         s.since,
@@ -899,31 +990,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeBody(w, http.StatusOK, body, "", "")
 }
 
-// retryAfterSeconds derives the 503 Retry-After value from the
-// pool's actual load: one second base plus one per full worker-batch
-// of jobs already queued or executing — the time-shape of the backlog
-// a retry has to wait behind, not a constant. An idle pool says 1; a
-// pool with its queue full and every worker busy says proportionally
-// more, so clients (and the shard router) back off harder exactly
-// when the server is deeper under water. Capped so a pathological
-// queue never tells clients to go away for minutes.
+// retryAfterSeconds is the worst per-class backoff — what healthz
+// advertises at the top level so frontends pacing on one number stay
+// conservative. Per-class honesty lives in the sched healthz block
+// and on the 503s themselves: a class's rejection carries ITS
+// class's backoff (sched.RetryAfterSeconds), derived from its own
+// backlog and weighted worker share, never another class's backlog.
 func (s *Server) retryAfterSeconds() int {
-	backlog := s.pool.Queued() + s.pool.InFlight()
-	secs := 1 + backlog/s.workers
-	if secs > maxRetryAfterSeconds {
-		secs = maxRetryAfterSeconds
+	worst := 1
+	for _, c := range sched.Classes() {
+		if secs := s.sched.RetryAfterSeconds(c); secs > worst {
+			worst = secs
+		}
 	}
-	return secs
+	return worst
 }
 
-// maxRetryAfterSeconds caps the advertised backoff.
-const maxRetryAfterSeconds = 30
-
 // writeBody sends a JSON body with the cache-disposition and
-// spec-hash headers. Backpressure responses (503) always carry
-// Retry-After — derived from live pool load, whether served directly
-// or through a coalesced flight.
+// spec-hash headers; 503s here carry the interactive class's backoff
+// (non-execution endpoints — health, scenarios, manifests — never
+// produce saturation 503s, so the distinction is moot for them).
 func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache, hash string) {
+	s.writeBodyClass(w, status, body, cache, hash, sched.Interactive)
+}
+
+// writeBodyClass is writeBody for execution endpoints, which know the
+// request's scheduling class: a backpressure response (503) carries
+// the Retry-After of THAT class — the honest per-class backoff,
+// whether the 503 was served directly or through a coalesced flight.
+func (s *Server) writeBodyClass(w http.ResponseWriter, status int, body []byte, cache, hash string, class sched.Class) {
 	w.Header().Set("Content-Type", "application/json")
 	if cache != "" {
 		w.Header().Set("X-Cache", cache)
@@ -932,7 +1027,7 @@ func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte, cache
 		w.Header().Set("X-Spec-Hash", hash)
 	}
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds(class)))
 	}
 	w.WriteHeader(status)
 	w.Write(body)

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/sched"
 	"repro/internal/spec"
 )
 
@@ -308,12 +309,12 @@ func TestBackpressureRejectsWhenSaturated(t *testing.T) {
 	srv, ts := newTestServer(t, Options{Workers: 1, Queue: 1})
 	block := make(chan struct{})
 	started := make(chan struct{})
-	w1, err := srv.pool.Submit(func() { close(started); <-block })
+	w1, err := srv.sched.Submit("t", sched.Interactive, func() { close(started); <-block })
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	w2, err := srv.pool.Submit(func() {})
+	w2, err := srv.sched.Submit("t", sched.Interactive, func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,12 +359,12 @@ func TestSaturatedDuplicatesAllGet503(t *testing.T) {
 	srv, ts := newTestServer(t, Options{Workers: 1, Queue: 1})
 	block := make(chan struct{})
 	started := make(chan struct{})
-	w1, err := srv.pool.Submit(func() { close(started); <-block })
+	w1, err := srv.sched.Submit("t", sched.Interactive, func() { close(started); <-block })
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	w2, err := srv.pool.Submit(func() {})
+	w2, err := srv.sched.Submit("t", sched.Interactive, func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,14 +449,14 @@ func TestRetryAfterScalesWithPoolLoad(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{})
 	waits := []func(){}
-	w, err := srv.pool.Submit(func() { close(started); <-block })
+	w, err := srv.sched.Submit("t", sched.Interactive, func() { close(started); <-block })
 	if err != nil {
 		t.Fatal(err)
 	}
 	waits = append(waits, w)
 	<-started
 	for i := 0; i < 4; i++ {
-		w, err := srv.pool.Submit(func() {})
+		w, err := srv.sched.Submit("t", sched.Interactive, func() {})
 		if err != nil {
 			t.Fatal(err)
 		}

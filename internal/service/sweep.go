@@ -6,10 +6,14 @@
 // NDJSON row per variant as its simulation completes — not when the
 // whole grid is done. Every variant consults the full cache path
 // (memory LRU, disk store, in-flight coalescing) before costing a
-// simulation, and runs on the same bounded pool as /run and /compare:
-// under saturation a sweep row waits and retries instead of failing
-// the stream, so sweeps apply backpressure to themselves rather than
-// starving interactive requests of their 503 signal.
+// simulation, and runs through the same weighted-fair scheduler as
+// /run and /compare — under the Batch class (unless X-Class says
+// otherwise), so a deep sweep fills its own class queue while
+// interactive requests keep their weighted share of the workers.
+// When the batch queue saturates, a sweep row waits out the BATCH
+// class's Retry-After and retries instead of failing the stream, so
+// sweeps apply backpressure to themselves rather than starving
+// interactive requests of their 503 signal.
 package service
 
 import (
@@ -22,6 +26,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/sweep"
 )
@@ -203,15 +208,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	s.streamSweep(w, r, req, -1)
+	id, err := s.requestIdent(r, sched.Batch)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.streamSweep(w, r, req, -1, id)
 }
 
 // streamSweep validates the grid and streams its NDJSON rows — the
 // shared engine of POST /sweep (after = -1: the whole grid) and GET
-// /sweep/{id}/resume (after = the client's high-water mark). It
-// checkpoints a sweep manifest as rows complete, so the sweep's
-// identity and per-variant progress survive this stream's death.
-func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, after int) {
+// /sweep/{id}/resume (after = the client's high-water mark). Variants
+// execute under rid (normally the caller's tenant in the Batch
+// class). It checkpoints a sweep manifest as rows complete, so the
+// sweep's identity and per-variant progress survive this stream's
+// death.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, after int, rid ident) {
 	grid, total, err := ResolveSweepGrid(req, s.scenarioByName, s.maxSweepVariants)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "%v", err)
@@ -272,7 +284,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 	// truncated, and saying otherwise to a half-closed socket helps
 	// nobody. The final checkpoint still runs: progress made before
 	// the disconnect is exactly what a resume wants to skip.
-	distinct, complete := s.collectGrid(r.Context(), grid, after, model, compare, emit)
+	distinct, complete := s.collectGrid(r.Context(), grid, after, model, compare, rid, emit)
 	if complete {
 		// The terminal summary row runs only when every variant
 		// produced a row — nothing here fakes completion.
@@ -298,13 +310,13 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 // deaths. Returns the deduplicated variant count of the FULL walk
 // (valid only when complete) and whether the walk finished before
 // ctx ended.
-func (s *Server) collectGrid(ctx context.Context, grid sweep.Grid, after int, model core.Model, compare bool, emit func(SweepRow)) (distinct int, complete bool) {
+func (s *Server) collectGrid(ctx context.Context, grid sweep.Grid, after int, model core.Model, compare bool, id ident, emit func(SweepRow)) (distinct int, complete bool) {
 	chunk := make([]sweep.Variant, 0, sweepChunkSize)
 	flush := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		ok := s.collectRows(ctx, chunk, model, compare, emit)
+		ok := s.collectRows(ctx, chunk, model, compare, id, emit)
 		chunk = chunk[:0]
 		return ok
 	}
@@ -344,7 +356,7 @@ func (s *Server) collectGrid(ctx context.Context, grid sweep.Grid, after int, mo
 // on caching, backpressure or failure semantics. Returns false when
 // ctx ended first — the row set is then a subset and must not be
 // read as the whole chunk.
-func (s *Server) collectRows(ctx context.Context, variants []sweep.Variant, model core.Model, compare bool, emit func(SweepRow)) bool {
+func (s *Server) collectRows(ctx context.Context, variants []sweep.Variant, model core.Model, compare bool, id ident, emit func(SweepRow)) bool {
 	// First pass: serve every memory-cached variant immediately, so a
 	// warm sweep streams at memory speed no matter how busy the pool
 	// is, and collect the rest for the workers. Disk-held variants
@@ -372,7 +384,7 @@ func (s *Server) collectRows(ctx context.Context, variants []sweep.Variant, mode
 	for i := 0; i < workersN; i++ {
 		go func() {
 			for v := range work {
-				row, ok := s.resolveVariant(ctx, v, model, compare)
+				row, ok := s.resolveVariant(ctx, v, model, compare, id)
 				if !ok {
 					return // client gone; in-flight jobs still fill the cache
 				}
@@ -416,9 +428,9 @@ func (s *Server) sweepKey(v sweep.Variant, model core.Model, compare bool) strin
 }
 
 // resolveVariant computes (or replays) one variant through the shared
-// execute path, retrying with backoff while the pool is saturated.
-// ok=false means the request context ended first.
-func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core.Model, compare bool) (SweepRow, bool) {
+// execute path, retrying with backoff while its class queue is
+// saturated. ok=false means the request context ended first.
+func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core.Model, compare bool, id ident) (SweepRow, bool) {
 	// Compile the spec inside the job, not here: a warm variant is
 	// answered from a cache tier or a coalesced flight without paying
 	// generator compilation (a restarted server replaying a big grid
@@ -437,7 +449,7 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 	}
 	key := s.sweepKey(v, model, compare)
 	for attempt := 0; ; attempt++ {
-		status, body, disposition, _, err := s.executeOnce(ctx, key, compute, attempt > 0)
+		status, body, disposition, _, err := s.executeOnce(ctx, key, id, compute, attempt > 0)
 		if err != nil {
 			return SweepRow{}, false
 		}
@@ -445,18 +457,19 @@ func (s *Server) resolveVariant(ctx context.Context, v sweep.Variant, model core
 			return sweepRow(v, disposition, status, body), true
 		}
 		if disposition == dispositionClosed {
-			// The pool is shut down, not busy: emit the failure as the
-			// row instead of retrying against a terminal condition.
+			// The scheduler is shut down, not busy: emit the failure as
+			// the row instead of retrying against a terminal condition.
 			return sweepRow(v, "", status, body), true
 		}
 		// Saturated: the sweep absorbs its own backpressure instead of
 		// surfacing a mid-stream 503 row. The wait honors the SAME
 		// number a 503 response would have advertised in Retry-After —
-		// derived from live pool backlog, clamped exactly like the
-		// shard router's retries — not a hardcoded millisecond loop
-		// that hammers a saturated pool dozens of times a second per
-		// pending variant.
-		if !sleepFor(ctx, RetryWaitSeconds(s.retryAfterSeconds())) {
+		// this request's OWN class backlog (a batch sweep backs off on
+		// batch depth, never on interactive load), clamped exactly
+		// like the shard router's retries — not a hardcoded
+		// millisecond loop that hammers a saturated queue dozens of
+		// times a second per pending variant.
+		if !sleepFor(ctx, RetryWaitSeconds(s.sched.RetryAfterSeconds(id.class))) {
 			return SweepRow{}, false
 		}
 	}

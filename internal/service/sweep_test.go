@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/sweep"
 )
 
@@ -214,12 +215,12 @@ func TestSweepStreamsIncrementally(t *testing.T) {
 	// Saturate the pool: worker held, queue slot filled.
 	block := make(chan struct{})
 	started := make(chan struct{})
-	w1, err := srv.pool.Submit(func() { close(started); <-block })
+	w1, err := srv.sched.Submit("t", sched.Interactive, func() { close(started); <-block })
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	w2, err := srv.pool.Submit(func() {})
+	w2, err := srv.sched.Submit("t", sched.Interactive, func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestSweepTerminatesWhenPoolCloses(t *testing.T) {
 	// rows and end the stream instead of retrying 503s forever (which
 	// would hang graceful shutdown on the in-flight handler).
 	srv, ts := newTestServer(t, Options{Workers: 1, Queue: 4})
-	srv.pool.Close()
+	srv.sched.Close()
 
 	// The timeout is the hang detector: a sweep that retries the
 	// closed pool forever trips it instead of wedging the test.
@@ -580,12 +581,12 @@ func TestSweepClientDisconnectStopsRetriesAndFreesPool(t *testing.T) {
 	release := func() { unblock.Do(func() { close(block) }) }
 	defer release()
 	started := make(chan struct{})
-	w1, err := srv.pool.Submit(func() { close(started); <-block })
+	w1, err := srv.sched.Submit("t", sched.Interactive, func() { close(started); <-block })
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	w2, err := srv.pool.Submit(func() {})
+	w2, err := srv.sched.Submit("t", sched.Interactive, func() {})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,6 +61,7 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +69,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -122,6 +124,13 @@ type Options struct {
 	// respawning / dead-after-give-up) per shard, and is what the
 	// admin grow endpoint spawns new workers through.
 	Supervisor *Supervisor
+	// TenantHeader names the request header carrying the caller's
+	// tenant for the backends' weighted-fair scheduling (empty:
+	// service.DefaultTenantHeader). Must match the backends'
+	// -tenant-header so the identity the router validates and forwards
+	// is the one the workers queue by (cmd/simd wires one flag into
+	// both).
+	TenantHeader string
 }
 
 // defaultSweepConcurrency is the per-shard variant fan-out used when
@@ -199,6 +208,7 @@ type Router struct {
 	maxCycles        uint64
 	maxSweepVariants int
 	sweepConc        int
+	tenantHeader     string
 	breakerThreshold int
 	breakerInterval  time.Duration
 	httpClient       *http.Client
@@ -254,6 +264,7 @@ func New(opt Options) (*Router, error) {
 		maxCycles:        opt.MaxCycles,
 		maxSweepVariants: opt.MaxSweepVariants,
 		sweepConc:        opt.SweepConcurrency,
+		tenantHeader:     opt.TenantHeader,
 		breakerThreshold: opt.BreakerThreshold,
 		breakerInterval:  opt.BreakerInterval,
 		httpClient:       opt.HTTP,
@@ -263,6 +274,9 @@ func New(opt Options) (*Router, error) {
 	}
 	if rt.maxSweepVariants <= 0 {
 		rt.maxSweepVariants = service.DefaultMaxSweepVariants
+	}
+	if rt.tenantHeader == "" {
+		rt.tenantHeader = service.DefaultTenantHeader
 	}
 	if opt.RouterCacheBytes > 0 {
 		rt.cache = newResultCache(opt.RouterCacheBytes)
@@ -331,8 +345,21 @@ func (rt *Router) newShardState(id int, base string) (*shardState, error) {
 }
 
 // probeConcurrency resolves each shard's sweep fan-out: the
-// configured value if set, otherwise the backend's live worker count
-// (falling back to defaultSweepConcurrency when unreachable).
+// configured value if set, otherwise sized per class from the
+// backend's live /healthz (falling back to defaultSweepConcurrency
+// when unreachable). Sweep variants are batch-class, and under the
+// weighted-fair scheduler a batch call that finds every worker busy
+// with interactive work QUEUES (up to the batch cap) instead of
+// burning a 503 — so the router keeps one extra worker's worth of
+// variants in the shard's batch queue (worker count plus
+// min(batch queue capacity, worker count)): the queue stays primed
+// through interactive bursts and drains at full rate the moment the
+// workers free up, with no gratuitous 503 churn. The same number is
+// the work-stealing threshold (collectChunk), so a backlog within
+// the shard's own primed pipeline is left alone and stealing starts
+// only past what the shard can actually hold in its batch share.
+// Backends without a sched block report no batch cap and size to
+// the worker count as before.
 func (rt *Router) probeConcurrency(shards []*shardState) {
 	var wg sync.WaitGroup
 	for _, sh := range shards {
@@ -345,8 +372,18 @@ func (rt *Router) probeConcurrency(shards []*shardState) {
 			sh.conc = defaultSweepConcurrency
 			ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
 			defer cancel()
-			if h, err := sh.client.FetchHealth(ctx); err == nil && h.Workers > 0 {
-				sh.conc = h.Workers
+			h, err := sh.client.FetchHealth(ctx)
+			if err != nil || h.Workers <= 0 {
+				return
+			}
+			sh.conc = h.Workers
+			if h.Sched == nil {
+				return
+			}
+			for _, cs := range h.Sched.Classes {
+				if cs.Class == sched.Batch.String() && cs.QueueCap > 0 {
+					sh.conc = h.Workers + min(cs.QueueCap, h.Workers)
+				}
 			}
 		}(sh)
 	}
@@ -477,17 +514,56 @@ func (rt *Router) checkCycleCap(sp spec.Spec) error {
 
 // post sends one backend call, bounded by the per-attempt timeout
 // when configured. The attempt context is derived from the caller's,
-// so a vanished client still cancels the forward immediately.
-func (rt *Router) post(ctx context.Context, sh *shardState, path string, body []byte) (int, http.Header, []byte, error) {
+// so a vanished client still cancels the forward immediately. extra
+// (may be nil) carries per-request scheduling identity — the
+// tenant/class headers the backend's weighted-fair scheduler queues
+// by.
+func (rt *Router) post(ctx context.Context, sh *shardState, path string, body []byte, extra http.Header) (int, http.Header, []byte, error) {
 	if rt.attemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, rt.attemptTimeout)
 		defer cancel()
 	}
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	for name, vals := range extra {
+		hdr[name] = vals
+	}
 	start := time.Now()
-	status, hdr, respBody, err := sh.client.PostJSON(ctx, path, body)
+	status, respHdr, respBody, err := sh.client.Do(ctx, http.MethodPost, path, body, hdr)
 	sh.attempts.Observe(time.Since(start).Seconds())
-	return status, hdr, respBody, err
+	return status, respHdr, respBody, err
+}
+
+// identHeader extracts the scheduling identity a frontend request
+// carries — the tenant header (Options.TenantHeader) and X-Class —
+// as the header block every backend hop for that request forwards.
+// defClass is stamped when the client named no class ("" leaves the
+// choice to the backend endpoint's own default); the sweep fan-out
+// passes "batch" so a grid's variants are explicitly batch-class on
+// every /run they become, even through failover and work-stealing.
+// Validation happens here, with the scheduler's own rules, so a bad
+// identity is one clean 400 at the front door rather than a
+// per-variant error row storm.
+func (rt *Router) identHeader(r *http.Request, defClass string) (http.Header, error) {
+	hdr := http.Header{}
+	if tenant := r.Header.Get(rt.tenantHeader); tenant != "" {
+		if !sched.ValidTenant(tenant) {
+			return nil, fmt.Errorf("invalid tenant %q in %s (want 1-%d chars of [A-Za-z0-9._-])", tenant, rt.tenantHeader, sched.MaxTenantLen)
+		}
+		hdr.Set(rt.tenantHeader, tenant)
+	}
+	class := r.Header.Get(service.ClassHeader)
+	if class != "" {
+		if _, ok := sched.ParseClass(class); !ok {
+			return nil, fmt.Errorf("unknown scheduling class %q in %s (want interactive or batch)", class, service.ClassHeader)
+		}
+	} else {
+		class = defClass
+	}
+	if class != "" {
+		hdr.Set(service.ClassHeader, class)
+	}
+	return hdr, nil
 }
 
 // resultKeyFor maps a variant's endpoint and model selector onto the
@@ -560,6 +636,11 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	schedHdr, err := rt.identHeader(r, "")
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 	vw := rt.view()
 	ranks := RankIDs(hash, vw.ids)
 	owner := ranks[0]
@@ -580,7 +661,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, path strin
 			lastErr = fmt.Sprintf("shard %d (%s): circuit open", id, sh.client.Base)
 			continue
 		}
-		status, hdr, respBody, err := rt.post(r.Context(), sh, path, body)
+		status, hdr, respBody, err := rt.post(r.Context(), sh, path, body, schedHdr)
 		if err != nil {
 			if r.Context().Err() != nil {
 				return // client gone; nothing to say and no one to say it to
@@ -680,6 +761,18 @@ type ClusterHealth struct {
 	// honest cluster-wide pacing hint, since a request may land on the
 	// busiest shard.
 	RetryAfter int `json:"retry_after"`
+	// Sched aggregates the shards' weighted-fair scheduler state per
+	// class: queue capacity, queued, in-flight, rejected and
+	// dispatched summed over live shards; retry_after is the worst
+	// (largest) live shard's per-class backoff. Class names match the
+	// simd_sched_* metric labels. Absent when no live shard reported a
+	// sched block.
+	Sched []sched.ClassStatus `json:"sched,omitempty"`
+	// SchedTenants aggregates per-tenant queue depth across live
+	// shards, ordered by class then tenant name — the cluster-wide
+	// twin of a worker's sched.tenants healthz block, keyed like the
+	// simd_sched_queue_depth{tenant,class} metric.
+	SchedTenants []sched.TenantStatus `json:"sched_tenants,omitempty"`
 	// Restarts is the total supervisor respawns across shards. A
 	// nonzero value warns that the summed Counters below undercount:
 	// a respawned worker restarts its counters (and loses its memory
@@ -728,6 +821,9 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 	}
 	v := service.ReadVersion(rt.since)
 	out.Version = &v
+	classAgg := make(map[string]*sched.ClassStatus)
+	var classOrder []string
+	tenantAgg := make(map[string]*sched.TenantStatus)
 	for _, s := range out.Shards {
 		if !s.OK || s.Health == nil {
 			out.OK = false
@@ -747,6 +843,53 @@ func (rt *Router) FetchClusterHealth(ctx context.Context) ClusterHealth {
 		out.Rejected += h.Rejected
 		out.StoreHits += h.StoreHits
 		out.Timeouts += h.Timeouts
+		if h.Sched == nil {
+			continue
+		}
+		for _, cs := range h.Sched.Classes {
+			agg, ok := classAgg[cs.Class]
+			if !ok {
+				c := cs
+				classAgg[cs.Class] = &c
+				classOrder = append(classOrder, cs.Class)
+				continue
+			}
+			agg.QueueCap += cs.QueueCap
+			agg.Queued += cs.Queued
+			agg.InFlight += cs.InFlight
+			agg.Rejected += cs.Rejected
+			agg.Dispatched += cs.Dispatched
+			if cs.RetryAfter > agg.RetryAfter {
+				agg.RetryAfter = cs.RetryAfter
+			}
+		}
+		for _, ts := range h.Sched.Tenants {
+			// Key by class INDEX so the merged order below is class
+			// order then tenant name — exactly a single worker's own
+			// healthz block — not the class names' lexicographic order.
+			idx, _ := sched.ParseClass(ts.Class)
+			k := fmt.Sprintf("%d\x00%s", idx, ts.Tenant)
+			if agg, ok := tenantAgg[k]; ok {
+				agg.Queued += ts.Queued
+			} else {
+				t := ts
+				tenantAgg[k] = &t
+			}
+		}
+	}
+	// Workers report classes in fixed scheduler order, so first-seen
+	// order IS that order; tenants sort by class then name, matching a
+	// single worker's own healthz block.
+	for _, name := range classOrder {
+		out.Sched = append(out.Sched, *classAgg[name])
+	}
+	tenantKeys := make([]string, 0, len(tenantAgg))
+	for k := range tenantAgg {
+		tenantKeys = append(tenantKeys, k)
+	}
+	sort.Strings(tenantKeys)
+	for _, k := range tenantKeys {
+		out.SchedTenants = append(out.SchedTenants, *tenantAgg[k])
 	}
 	return out
 }
@@ -830,7 +973,12 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	rt.streamSweep(w, r, req, -1)
+	schedHdr, err := rt.identHeader(r, sched.Batch.String())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.streamSweep(w, r, req, -1, schedHdr)
 }
 
 // streamSweep validates the grid and streams its NDJSON rows — the
@@ -839,8 +987,10 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 // router mirrors the backend's checkpointing: the sweep's manifest is
 // written through to a backend store as rows complete, so a sweep's
 // identity and progress survive the death of the client, the router
-// AND any single shard.
-func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req service.SweepRequest, after int) {
+// AND any single shard. schedHdr is the caller's scheduling identity
+// (tenant + class, normally batch) stamped on every per-variant
+// backend call.
+func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req service.SweepRequest, after int, schedHdr http.Header) {
 	grid, total, err := service.ResolveSweepGrid(req, rt.scenarioByName, rt.maxSweepVariants)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
@@ -894,7 +1044,7 @@ func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req servic
 			rt.checkpointManifest(man)
 		}
 	}
-	distinct, complete := rt.collectGrid(r.Context(), grid, after, path, runModel, emit)
+	distinct, complete := rt.collectGrid(r.Context(), grid, after, path, runModel, schedHdr, emit)
 	if complete {
 		enc.Encode(service.SweepSummary{Done: true, Rows: emitted, Errors: errored})
 		if flusher != nil {
@@ -920,13 +1070,13 @@ func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, req servic
 // the new membership at the next chunk boundary. Returns the
 // deduplicated variant count of the FULL walk (valid only when
 // complete) and whether the walk finished before ctx ended.
-func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, path, runModel string, emit func(Row)) (distinct int, complete bool) {
+func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, path, runModel string, schedHdr http.Header, emit func(Row)) (distinct int, complete bool) {
 	chunk := make([]sweep.Variant, 0, sweepChunkSize)
 	flush := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		ok := rt.collectChunk(ctx, rt.view(), chunk, path, runModel, emit)
+		ok := rt.collectChunk(ctx, rt.view(), chunk, path, runModel, schedHdr, emit)
 		chunk = chunk[:0]
 		return ok
 	}
@@ -972,7 +1122,7 @@ func (rt *Router) collectGrid(ctx context.Context, grid sweep.Grid, after int, p
 // about to clear anyway is left alone (ownership still decides cache
 // placement), while a skewed chunk stops being wall-clock-bounded by
 // its hottest shard. The two ends never contend for the same variant.
-func (rt *Router) collectChunk(ctx context.Context, vw *view, variants []sweep.Variant, path, runModel string, emit func(Row)) bool {
+func (rt *Router) collectChunk(ctx context.Context, vw *view, variants []sweep.Variant, path, runModel string, schedHdr http.Header, emit func(Row)) bool {
 	pos := make(map[int]int, len(vw.shards))
 	for i, sh := range vw.shards {
 		pos[sh.id] = i
@@ -1023,9 +1173,9 @@ func (rt *Router) collectChunk(ctx context.Context, vw *view, variants []sweep.V
 					var row Row
 					var alive bool
 					if ownerPos == self {
-						row, alive = rt.resolveVariant(ctx, vw, v, path, runModel)
+						row, alive = rt.resolveVariant(ctx, vw, v, path, runModel, schedHdr)
 					} else {
-						row, alive = rt.resolveStolen(ctx, vw, v, vw.shards[ownerPos].id, vw.shards[self].id, path, runModel)
+						row, alive = rt.resolveStolen(ctx, vw, v, vw.shards[ownerPos].id, vw.shards[self].id, path, runModel, schedHdr)
 					}
 					if !alive {
 						return // client gone
@@ -1074,7 +1224,12 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	rt.analyzeGrid(w, r, req)
+	schedHdr, err := rt.identHeader(r, sched.Batch.String())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.analyzeGrid(w, r, req, schedHdr)
 }
 
 // analyzeGrid runs the decoded analysis request — the shared engine
@@ -1082,7 +1237,7 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // (grid from the stored manifest). Rows fold into metric inputs as
 // they complete, so a 100k-variant analysis holds per-variant
 // metrics, never the full result bodies.
-func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req service.AnalyzeRequest) {
+func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req service.AnalyzeRequest, schedHdr http.Header) {
 	grid, total, err := service.ResolveSweepGrid(req.SweepRequest, rt.scenarioByName, rt.maxSweepVariants)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
@@ -1112,7 +1267,7 @@ func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req servic
 	}
 
 	inputs := make([]agg.Input, 0, min(total, sweepChunkSize))
-	distinct, complete := rt.collectGrid(r.Context(), grid, -1, path, runModel, func(row Row) {
+	distinct, complete := rt.collectGrid(r.Context(), grid, -1, path, runModel, schedHdr, func(row Row) {
 		inputs = append(inputs, service.AnalyzeInput(compare, row.SweepRow))
 	})
 	if !complete {
@@ -1147,7 +1302,7 @@ func (rt *Router) analyzeGrid(w http.ResponseWriter, r *http.Request, req servic
 // over — every shard would answer identically. The error row exists
 // only when every shard refused. ok=false means the client's context
 // ended.
-func (rt *Router) resolveVariant(ctx context.Context, vw *view, v sweep.Variant, path, runModel string) (Row, bool) {
+func (rt *Router) resolveVariant(ctx context.Context, vw *view, v sweep.Variant, path, runModel string, schedHdr http.Header) (Row, bool) {
 	ranks := RankIDs(v.Hash, vw.ids)
 	owner := ranks[0]
 	row := Row{SweepRow: service.SweepRow{
@@ -1179,7 +1334,7 @@ func (rt *Router) resolveVariant(ctx context.Context, vw *view, v sweep.Variant,
 		}
 	attempt:
 		for {
-			status, hdr, body, err := rt.post(ctx, sh, path, reqBody)
+			status, hdr, body, err := rt.post(ctx, sh, path, reqBody, schedHdr)
 			if err != nil {
 				if ctx.Err() != nil {
 					return Row{}, false
@@ -1254,7 +1409,7 @@ func (rt *Router) resolveVariant(ctx context.Context, vw *view, v sweep.Variant,
 // simulated. A dead or terminal thief sends the variant down the
 // ordinary rank-walk (resolveVariant) — stealing may change who
 // computes, never whether the row appears.
-func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, owner, thief int, path, runModel string) (Row, bool) {
+func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, owner, thief int, path, runModel string, schedHdr http.Header) (Row, bool) {
 	key := resultKeyFor(path, runModel, v.Hash)
 	if cached, ok := rt.cacheLookup(key); ok {
 		return Row{SweepRow: service.SweepRow{
@@ -1273,7 +1428,7 @@ func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, 
 	}
 	sh := vw.byID[thief]
 	if !sh.breaker.allow() {
-		return rt.resolveVariant(ctx, vw, v, path, runModel)
+		return rt.resolveVariant(ctx, vw, v, path, runModel, schedHdr)
 	}
 	row := Row{SweepRow: service.SweepRow{
 		Index:  v.Index,
@@ -1287,13 +1442,13 @@ func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, 
 		return row, true
 	}
 	for {
-		status, hdr, body, err := rt.post(ctx, sh, path, reqBody)
+		status, hdr, body, err := rt.post(ctx, sh, path, reqBody, schedHdr)
 		if err != nil {
 			if ctx.Err() != nil {
 				return Row{}, false
 			}
 			sh.breaker.failure()
-			return rt.resolveVariant(ctx, vw, v, path, runModel)
+			return rt.resolveVariant(ctx, vw, v, path, runModel, schedHdr)
 		}
 		switch {
 		case status == http.StatusOK:
@@ -1315,7 +1470,7 @@ func (rt *Router) resolveStolen(ctx context.Context, vw *view, v sweep.Variant, 
 			}
 		case status == http.StatusServiceUnavailable:
 			sh.breaker.failure()
-			return rt.resolveVariant(ctx, vw, v, path, runModel)
+			return rt.resolveVariant(ctx, vw, v, path, runModel, schedHdr)
 		default:
 			// Deterministic error: every shard answers identically, so
 			// the thief's answer IS the answer.
@@ -1536,7 +1691,12 @@ func (rt *Router) handleSweepResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.sweepResumes.Inc()
-	rt.streamSweep(w, r, m.Request, after)
+	schedHdr, err := rt.identHeader(r, sched.Batch.String())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.streamSweep(w, r, m.Request, after, schedHdr)
 }
 
 // handleSweepStoredAnalyze serves POST /sweep/{id}/analyze: the
@@ -1563,5 +1723,10 @@ func (rt *Router) handleSweepStoredAnalyze(w http.ResponseWriter, r *http.Reques
 		writeError(w, r, http.StatusNotFound, "unknown sweep %q (re-POST the grid to /sweep to rebuild it)", id)
 		return
 	}
-	rt.analyzeGrid(w, r, service.AnalyzeRequest{SweepRequest: m.Request, Request: sel})
+	schedHdr, err := rt.identHeader(r, sched.Batch.String())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.analyzeGrid(w, r, service.AnalyzeRequest{SweepRequest: m.Request, Request: sel}, schedHdr)
 }
